@@ -1,0 +1,127 @@
+// Shared plumbing for the experiment harness (bench/bench_*.cpp).
+//
+// Every bench binary runs with no arguments; knobs come from the
+// environment so the whole suite can be driven by a single loop:
+//   IMC_BENCH_SCALE        dataset node-count multiplier   (default 0.12)
+//   IMC_BENCH_RUNS         repetitions averaged per cell   (default 2)
+//   IMC_BENCH_MAX_SAMPLES  RIC pool cap inside IMCAF       (default 30000)
+//   IMC_BENCH_TIME_LIMIT   per-algorithm deadline, seconds (default 20)
+//   IMC_BENCH_CSV_DIR      if set, also dump each table as CSV there
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "community/community_set.h"
+#include "core/imcaf.h"
+#include "core/problem.h"
+#include "estimation/dagum.h"
+#include "graph/generators/dataset_catalog.h"
+#include "graph/graph.h"
+#include "util/cli.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace imc::bench {
+
+struct BenchContext {
+  double scale = 0.12;
+  int runs = 2;
+  std::uint64_t max_samples = 30000;
+  double time_limit = 20.0;
+  std::optional<std::string> csv_dir;
+
+  static BenchContext from_env() {
+    BenchContext ctx;
+    ctx.scale = env_double("IMC_BENCH_SCALE", ctx.scale);
+    ctx.runs = static_cast<int>(env_int("IMC_BENCH_RUNS", ctx.runs));
+    ctx.max_samples = static_cast<std::uint64_t>(
+        env_int("IMC_BENCH_MAX_SAMPLES", static_cast<std::int64_t>(ctx.max_samples)));
+    ctx.time_limit = env_double("IMC_BENCH_TIME_LIMIT", ctx.time_limit);
+    ctx.csv_dir = env_string("IMC_BENCH_CSV_DIR");
+    return ctx;
+  }
+};
+
+/// Builds the stand-in graph for `id` at the context scale.
+inline Graph load_dataset(DatasetId id, const BenchContext& ctx) {
+  return make_dataset(id, ctx.scale);
+}
+
+/// The paper's standard community setup (§VI-A) on top of a graph.
+inline CommunitySet standard_communities(const Graph& graph,
+                                         CommunityMethod method,
+                                         ThresholdRegime regime,
+                                         NodeId size_cap = 8,
+                                         std::uint64_t seed = 42) {
+  CommunityBuildConfig config;
+  config.method = method;
+  config.size_cap = size_cap;
+  config.regime = regime;
+  config.seed = seed;
+  return build_communities(graph, config);
+}
+
+/// Scores a seed set with the same Dagum estimator the paper uses for all
+/// algorithms (ε' = δ' = 0.1 inherited from DagumOptions defaults).
+inline double evaluate_benefit(const Graph& graph,
+                               const CommunitySet& communities,
+                               const std::vector<NodeId>& seeds,
+                               std::uint64_t seed = 4242) {
+  if (seeds.empty()) return 0.0;
+  DagumOptions options;
+  options.seed = seed;
+  options.max_samples = 400'000;
+  return dagum_estimate_benefit(graph, communities, seeds, options).value;
+}
+
+/// Prints the table and optionally writes CSV next to it.
+inline void emit(const BenchContext& ctx, const Table& table,
+                 const std::string& csv_name) {
+  table.print(std::cout);
+  std::cout << "\n";
+  if (ctx.csv_dir) {
+    table.save_csv(*ctx.csv_dir + "/" + csv_name + ".csv");
+  }
+}
+
+/// Algorithms compared in the paper's experiments.
+enum class BenchAlgo { kUbg, kMaf, kMb, kHbc, kKs, kIm, kDegree, kRandom };
+
+inline std::string algo_name(BenchAlgo algo) {
+  switch (algo) {
+    case BenchAlgo::kUbg: return "UBG";
+    case BenchAlgo::kMaf: return "MAF";
+    case BenchAlgo::kMb: return "MB";
+    case BenchAlgo::kHbc: return "HBC";
+    case BenchAlgo::kKs: return "KS";
+    case BenchAlgo::kIm: return "IM";
+    case BenchAlgo::kDegree: return "Degree";
+    case BenchAlgo::kRandom: return "Random";
+  }
+  return "?";
+}
+
+struct AlgoOutcome {
+  std::vector<NodeId> seeds;
+  double benefit = 0.0;
+  double seconds = 0.0;
+  bool timed_out = false;
+};
+
+/// Runs one algorithm end to end (seed selection + Dagum scoring). The
+/// ctx.time_limit deadline is honoured by MB/BT (the paper discards MB runs
+/// that exceed the runtime limit — we flag them instead).
+AlgoOutcome run_algorithm(BenchAlgo algo, const Graph& graph,
+                          const CommunitySet& communities, std::uint32_t k,
+                          const BenchContext& ctx, std::uint64_t seed);
+
+/// Banner with the reproduced experiment id.
+inline void banner(const std::string& what) {
+  std::cout << "\n############################################################\n"
+            << "# " << what << "\n"
+            << "############################################################\n\n";
+}
+
+}  // namespace imc::bench

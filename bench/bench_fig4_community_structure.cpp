@@ -1,0 +1,62 @@
+// Reproduces Fig. 4: solution quality vs community structure.
+//
+//   (a) facebook + Louvain, s ∈ {4, 8, 16, 32}, regular thresholds
+//   (b) facebook + Random,  same sweep
+//   (c) facebook + Louvain, bounded thresholds h = 2 (quality INcreases
+//       with s here — the paper's observed contrast)
+//   (d) dblp + Louvain, regular thresholds
+// k = 10 everywhere (paper setting). Expected shape: benefit decreases as
+// s grows in the regular regime and our algorithms dominate baselines
+// regardless of the formation method.
+#include "bench_common.h"
+
+int main() {
+  using namespace imc;
+  using namespace imc::bench;
+  const BenchContext ctx = BenchContext::from_env();
+  banner("Fig. 4 — Quality of solution vs community structure (k=10)");
+
+  struct Panel {
+    const char* label;
+    DatasetId dataset;
+    CommunityMethod method;
+    ThresholdRegime regime;
+  };
+  const Panel panels[] = {
+      {"4a facebook/louvain/regular", DatasetId::kFacebook,
+       CommunityMethod::kLouvain, ThresholdRegime::kFractionOfPopulation},
+      {"4b facebook/random/regular", DatasetId::kFacebook,
+       CommunityMethod::kRandom, ThresholdRegime::kFractionOfPopulation},
+      {"4c facebook/louvain/bounded", DatasetId::kFacebook,
+       CommunityMethod::kLouvain, ThresholdRegime::kConstantBounded},
+      {"4d dblp/louvain/regular", DatasetId::kDblp, CommunityMethod::kLouvain,
+       ThresholdRegime::kFractionOfPopulation},
+  };
+  const BenchAlgo algos[] = {BenchAlgo::kUbg, BenchAlgo::kMaf,
+                             BenchAlgo::kHbc, BenchAlgo::kKs};
+  constexpr std::uint32_t k = 10;
+
+  Table table("Fig. 4", {"panel", "s", "algorithm", "benefit", "seconds"});
+  for (const Panel& panel : panels) {
+    const Graph graph = load_dataset(panel.dataset, ctx);
+    for (const NodeId s : {4U, 8U, 16U, 32U}) {
+      const CommunitySet communities =
+          standard_communities(graph, panel.method, panel.regime, s);
+      for (const BenchAlgo algo : algos) {
+        double benefit = 0.0, seconds = 0.0;
+        for (int run = 0; run < ctx.runs; ++run) {
+          const AlgoOutcome outcome = run_algorithm(
+              algo, graph, communities, k, ctx,
+              0xF16'4000ULL + static_cast<std::uint64_t>(run) * 31 + s);
+          benefit += outcome.benefit;
+          seconds += outcome.seconds;
+        }
+        table.add_row({std::string(panel.label),
+                       static_cast<long long>(s), algo_name(algo),
+                       benefit / ctx.runs, seconds / ctx.runs});
+      }
+    }
+  }
+  emit(ctx, table, "fig4");
+  return 0;
+}

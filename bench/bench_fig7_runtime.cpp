@@ -1,0 +1,61 @@
+// Reproduces Fig. 7: CPU runtime of our algorithms vs k on the large
+// networks.
+//
+//   (a) bounded thresholds (h = 2) on epinions-like: MAF ≈ UBG ≪ MB
+//       (MB spawns O(|V|) subproblems — paper: exceeded the limit on Pokec)
+//   (b) regular thresholds on dblp-like and pokec-like: MAF flat in k,
+//       UBG's greedy grows with k.
+#include "bench_common.h"
+
+int main() {
+  using namespace imc;
+  using namespace imc::bench;
+  const BenchContext ctx = BenchContext::from_env();
+  banner("Fig. 7 — Runtime (seconds) vs k");
+
+  Table table("Fig. 7",
+              {"panel", "dataset", "k", "algorithm", "seconds", "note"});
+
+  const std::uint32_t ks[] = {5, 10, 20, 50};
+
+  // ---- (a) bounded on epinions-like --------------------------------------
+  {
+    const Graph graph = load_dataset(DatasetId::kEpinions, ctx);
+    const CommunitySet communities =
+        standard_communities(graph, CommunityMethod::kLouvain,
+                             ThresholdRegime::kConstantBounded);
+    for (const std::uint32_t k : ks) {
+      for (const BenchAlgo algo :
+           {BenchAlgo::kUbg, BenchAlgo::kMaf, BenchAlgo::kMb}) {
+        const AlgoOutcome outcome = run_algorithm(
+            algo, graph, communities, k, ctx, 0xF16'7000ULL + k);
+        table.add_row({std::string("7a bounded"), std::string("epinions"),
+                       static_cast<long long>(k), algo_name(algo),
+                       outcome.seconds,
+                       std::string(outcome.timed_out ? "HIT TIME LIMIT"
+                                                     : "")});
+      }
+    }
+  }
+
+  // ---- (b) regular on dblp-like and pokec-like ----------------------------
+  for (const DatasetId dataset : {DatasetId::kDblp, DatasetId::kPokec}) {
+    const Graph graph = load_dataset(dataset, ctx);
+    const CommunitySet communities = standard_communities(
+        graph, CommunityMethod::kLouvain,
+        ThresholdRegime::kFractionOfPopulation);
+    for (const std::uint32_t k : ks) {
+      for (const BenchAlgo algo : {BenchAlgo::kUbg, BenchAlgo::kMaf}) {
+        const AlgoOutcome outcome = run_algorithm(
+            algo, graph, communities, k, ctx, 0xF16'7b00ULL + k);
+        table.add_row({std::string("7b regular"),
+                       dataset_info(dataset).name,
+                       static_cast<long long>(k), algo_name(algo),
+                       outcome.seconds, std::string("")});
+      }
+    }
+  }
+
+  emit(ctx, table, "fig7");
+  return 0;
+}

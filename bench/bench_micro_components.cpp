@@ -1,0 +1,138 @@
+// Component micro-benchmarks (google-benchmark): substrate hot paths.
+#include <benchmark/benchmark.h>
+
+#include "community/community_set.h"
+#include "community/louvain.h"
+#include "community/size_cap.h"
+#include "community/threshold_policy.h"
+#include "core/objective.h"
+#include "diffusion/ic_model.h"
+#include "graph/generators/dataset_catalog.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "sampling/ric_pool.h"
+#include "sampling/ric_sample.h"
+#include "sampling/rr_set.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace imc;
+
+double micro_scale() {
+  static const double scale = env_double("IMC_BENCH_SCALE", 0.12);
+  return scale;
+}
+
+const Graph& facebook_graph() {
+  static const Graph graph = make_dataset(DatasetId::kFacebook, micro_scale());
+  return graph;
+}
+
+const CommunitySet& facebook_communities() {
+  static const CommunitySet communities = [] {
+    CommunitySet set = CommunitySet::from_assignment(
+        facebook_graph().node_count(),
+        louvain_communities(facebook_graph()).assignment);
+    Rng rng(1);
+    set = cap_community_sizes(set, 8, rng);
+    apply_population_benefits(set);
+    apply_fraction_thresholds(set, 0.5);
+    return set;
+  }();
+  return communities;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  Rng rng(1);
+  BarabasiAlbertConfig config;
+  config.nodes = static_cast<NodeId>(state.range(0));
+  config.attach = 4;
+  const EdgeList edges = barabasi_albert_edges(config, rng);
+  for (auto _ : state) {
+    Graph graph(config.nodes, edges);
+    benchmark::DoNotOptimize(graph.edge_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(5000);
+
+void BM_IcSimulation(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  Rng rng(2);
+  std::vector<NodeId> seeds{0, 1, 2, 3, 4};
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulate_ic_into(graph, seeds, rng, active, scratch));
+  }
+}
+BENCHMARK(BM_IcSimulation);
+
+void BM_RrSetGeneration(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_rr_set(graph, rng).nodes.size());
+  }
+}
+BENCHMARK(BM_RrSetGeneration);
+
+void BM_RicSampleGeneration(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  const CommunitySet& communities = facebook_communities();
+  RicSampler sampler(graph, communities);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.generate(rng).touching.size());
+  }
+}
+BENCHMARK(BM_RicSampleGeneration);
+
+void BM_PoolCHat(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  const CommunitySet& communities = facebook_communities();
+  static RicPool pool = [&] {
+    RicPool p(graph, communities);
+    p.grow(5000, 5);
+    return p;
+  }();
+  Rng rng(6);
+  const auto seeds = rng.sample_without_replacement(graph.node_count(), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.c_hat(seeds));
+  }
+}
+BENCHMARK(BM_PoolCHat);
+
+void BM_CoverageMarginal(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  const CommunitySet& communities = facebook_communities();
+  static RicPool pool = [&] {
+    RicPool p(graph, communities);
+    p.grow(5000, 7);
+    return p;
+  }();
+  CoverageState cover(pool);
+  cover.add_seed(0);
+  NodeId v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cover.marginal_nu(v));
+    v = (v + 1) % graph.node_count();
+  }
+}
+BENCHMARK(BM_CoverageMarginal);
+
+void BM_Louvain(benchmark::State& state) {
+  const Graph& graph = facebook_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(louvain_communities(graph).modularity);
+  }
+}
+BENCHMARK(BM_Louvain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Electoral campaign targeting (paper §I: "each community represents a
+// state of population").
+//
+// Voters influence each other online; states are disjoint voter blocks won
+// outright when half the (modeled) voters are persuaded — and a won state
+// pays its electoral votes, all or nothing. That all-or-nothing payoff is
+// precisely the non-submodular community objective: the marginal value of
+// one more persuaded voter is zero until the state tips.
+//
+//   build/examples/election_campaign [--k 20] [--states 12]
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "imc/imc.h"
+
+int main(int argc, char** argv) {
+  using namespace imc;
+  const ArgParser args(argc, argv);
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 20));
+  const auto states = static_cast<CommunityId>(args.get_int("states", 12));
+
+  std::cout << "=== Electoral campaign planner ===\n\n";
+
+  // Online discourse graph with strong regional structure: voters mostly
+  // follow in-state voices (SBM blocks = states) plus national influencers.
+  Rng rng(1787);
+  SbmConfig sbm;
+  sbm.nodes = 1200;
+  sbm.blocks = states;
+  sbm.p_in = 0.08;
+  sbm.p_out = 0.002;
+  EdgeList edges = sbm_edges(sbm, rng);
+  // Persuasion is contagious within echo chambers: a fixed per-edge
+  // probability (not weighted cascade) so that in-state cascades can
+  // actually percolate and states can tip.
+  apply_uniform_weights(edges, 0.12);
+  const Graph graph(sbm.nodes, edges);
+
+  // States from the planted blocks; electoral votes proportional to turnout
+  // (population), victory at 50%.
+  std::vector<CommunityId> assignment(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    assignment[v] = sbm_block_of(v, states);
+  }
+  CommunitySet state_set =
+      CommunitySet::from_assignment(graph.node_count(), assignment);
+  state_set = cap_community_sizes(state_set, 50, rng);  // mask-width split
+  apply_population_benefits(state_set);
+  apply_fraction_thresholds(state_set, 0.3);
+
+  const BenefitOracle oracle(graph, state_set, [] {
+    DagumOptions options;
+    options.max_samples = 60000;  // keep the demo responsive
+    return options;
+  }());
+
+  std::cout << "discourse graph: " << graph.summary() << "\n"
+            << "state blocks:    " << state_set.summary() << "\n\n";
+
+  // Compare the full strategy matrix on the electoral objective.
+  struct Row {
+    const char* name;
+    std::vector<NodeId> seeds;
+  };
+  std::vector<Row> rows;
+
+  UbgSolver ubg;
+  MafSolver maf;
+  ImcafConfig config;
+  config.max_samples = 16000;
+  rows.push_back({"UBG  (ours)",
+                  imcaf_solve(graph, state_set, k, ubg, config).seeds});
+  rows.push_back({"MAF  (ours)",
+                  imcaf_solve(graph, state_set, k, maf, config).seeds});
+  rows.push_back({"HBC", hbc_select(graph, state_set, k)});
+  Rng ks_rng(3);
+  rows.push_back({"KS", ks_select(state_set, k, ks_rng)});
+  rows.push_back({"IM (spread)", im_ris_select(graph, k).seeds});
+  rows.push_back({"Degree", degree_select(graph, k)});
+
+  std::cout << std::left << std::setw(14) << "strategy" << std::right
+            << std::setw(22) << "expected elect. votes" << "\n"
+            << std::string(36, '-') << "\n";
+  for (const Row& row : rows) {
+    std::cout << std::left << std::setw(14) << row.name << std::right
+              << std::setw(22) << std::fixed << std::setprecision(2)
+              << oracle.benefit(row.seeds) << "\n";
+  }
+  std::cout << "\ntotal electoral votes in play: "
+            << state_set.total_benefit() << "\n"
+            << "\nNote how spread-maximizing strategies waste persuasion on "
+               "safe or hopeless\nstates; the community-level planner "
+               "concentrates on tippable blocks.\n";
+  return 0;
+}

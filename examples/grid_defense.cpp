@@ -1,0 +1,83 @@
+// Social-network-coupled power grid vulnerability analysis (paper §I, [7]).
+//
+// An adversary spreads misinformation through a social network to trigger
+// synchronized demand swings. A NEIGHBORHOOD (geographic community) becomes
+// dangerous once enough of its residents act in unison — the activation
+// threshold models the demand swing a feeder can absorb. IMC computes the
+// attacker's optimum, which is exactly the defender's worst case; the
+// example reports which neighborhoods are most exposed.
+//
+//   build/examples/grid_defense [--k 12] [--neighborhoods 40]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "imc/imc.h"
+
+int main(int argc, char** argv) {
+  using namespace imc;
+  const ArgParser args(argc, argv);
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 12));
+  const auto neighborhoods =
+      static_cast<CommunityId>(args.get_int("neighborhoods", 40));
+
+  std::cout << "=== Grid-coupled social attack surface ===\n\n";
+
+  // Residents follow each other on a heavy-tailed social graph; geography
+  // (the grid) partitions them into disjoint neighborhoods, so communities
+  // are NOT the social clusters — we use a random geographic partition.
+  Rng rng(2026);
+  BarabasiAlbertConfig social;
+  social.nodes = 1200;
+  social.attach = 5;
+  social.directed = true;
+  social.reciprocity = 0.3;
+  EdgeList edges = barabasi_albert_edges(social, rng);
+  apply_weighted_cascade(edges, social.nodes);
+  const Graph graph(social.nodes, edges);
+
+  CommunitySet zones = CommunitySet::from_assignment(
+      graph.node_count(),
+      random_partition(graph.node_count(), neighborhoods, rng));
+  // Feeder capacity: a zone oscillates when 40% of residents act together;
+  // impact is proportional to its population. Keep zones within the mask
+  // width by splitting oversized ones.
+  zones = cap_community_sizes(zones, 40, rng);
+  apply_population_benefits(zones);
+  apply_fraction_thresholds(zones, 0.25);
+
+  std::cout << "social graph:  " << graph.summary() << "\n"
+            << "grid zones:    " << zones.summary() << "\n\n";
+
+  // Worst-case attacker: maximize the load impact of influenced zones.
+  UbgSolver solver;
+  ImcafConfig config;
+  config.max_samples = 10000;
+  const ImcafResult attack = imcaf_solve(graph, zones, k, solver, config);
+  DagumOptions oracle_options;
+  oracle_options.max_samples = 60000;
+  const double exposure =
+      BenefitOracle(graph, zones, oracle_options).benefit(attack.seeds);
+
+  std::cout << "attacker budget (compromised accounts): " << k << "\n"
+            << "expected affected load (population units): " << exposure
+            << " of " << zones.total_benefit() << "\n\n";
+
+  // Defender view: which zones do the attack seeds sit in / reach first?
+  std::vector<std::uint32_t> seeds_in_zone(zones.size(), 0);
+  for (const NodeId seed : attack.seeds) {
+    const CommunityId z = zones.community_of(seed);
+    if (z != kInvalidCommunity) ++seeds_in_zone[z];
+  }
+  std::cout << "zones hosting attack seeds (harden these first):\n";
+  for (CommunityId z = 0; z < zones.size(); ++z) {
+    if (seeds_in_zone[z] > 0) {
+      std::cout << "  zone " << z << ": " << seeds_in_zone[z]
+                << " seed(s), population " << zones.population(z)
+                << ", threshold " << zones.threshold(z) << "\n";
+    }
+  }
+  std::cout << "\n(Re-run with a larger --k to stress-test mitigation "
+               "budgets.)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Collaborative-based viral marketing (paper §I).
+//
+// A product is only adopted when a *group* of users is influenced together
+// — e.g. a team-messaging app is useless to a lone adopter. Communities are
+// friend circles; a circle "converts" once half its members are influenced,
+// and its value is its population. We compare the community-aware planner
+// (UBG) against classic influence maximization (IM) and show why optimizing
+// raw spread misses group conversions.
+//
+//   build/examples/viral_marketing [--k 15] [--scale 0.3]
+#include <iostream>
+
+#include "imc/imc.h"
+
+int main(int argc, char** argv) {
+  using namespace imc;
+  const ArgParser args(argc, argv);
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 15));
+  const double scale = args.get_double("scale", 0.3);
+
+  std::cout << "=== Collaborative viral marketing ===\n\n";
+
+  // A dense friendship network (facebook-like stand-in).
+  const Graph graph = make_dataset(DatasetId::kFacebook, scale);
+
+  // Friend circles from Louvain, capped at 8 people; a circle converts when
+  // 50% of it is influenced and is worth its size in licence seats.
+  CommunityBuildConfig config;
+  config.method = CommunityMethod::kLouvain;
+  config.size_cap = 8;
+  config.regime = ThresholdRegime::kFractionOfPopulation;
+  config.threshold_fraction = 0.5;
+  const CommunitySet circles = build_communities(graph, config);
+  std::cout << "network: " << graph.summary() << "\n"
+            << "circles: " << circles.summary() << "\n\n";
+
+  // --- community-aware planning (this paper) ---------------------------------
+  UbgSolver ubg;
+  ImcafConfig imcaf_config;
+  imcaf_config.max_samples = 20000;
+  const ImcafResult ours = imcaf_solve(graph, circles, k, ubg, imcaf_config);
+
+  // --- classic IM (spread-optimal, community-blind) ---------------------------
+  ImRisConfig im_config;
+  const ImRisResult im = im_ris_select(graph, k, im_config);
+
+  // --- the marketing-relevant score: converted seats --------------------------
+  const BenefitOracle oracle(graph, circles);
+  const double ours_seats = oracle.benefit(ours.seeds);
+  const double im_seats = oracle.benefit(im.seeds);
+
+  MonteCarloOptions mc;
+  mc.simulations = 4000;
+  const double ours_spread = mc_expected_spread(graph, ours.seeds, mc);
+  const double im_spread = mc_expected_spread(graph, im.seeds, mc);
+
+  std::cout << "                     UBG (community-aware)   IM (spread-only)\n";
+  std::cout << "expected seats:      " << ours_seats << "                 "
+            << im_seats << "\n";
+  std::cout << "expected spread:     " << ours_spread << "               "
+            << im_spread << "\n\n";
+  std::cout << "IM reaches " << (im_spread >= ours_spread ? "as many or more"
+                                                          : "fewer")
+            << " individuals, but scattered reach converts fewer whole "
+               "circles;\nthe community-level objective is what the "
+               "licence revenue tracks.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "community/community_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace imc {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("communities file, line " + std::to_string(line) +
+                           ": " + what);
+}
+
+}  // namespace
+
+void write_communities(std::ostream& out, const CommunitySet& communities) {
+  out << "imc-communities v1\n";
+  out << "nodes " << communities.node_count() << "\n";
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    out << "community " << c << " threshold " << communities.threshold(c)
+        << " benefit " << communities.benefit(c) << "\n";
+    out << "members " << c;
+    for (const NodeId v : communities.members(c)) out << ' ' << v;
+    out << "\n";
+  }
+}
+
+void save_communities(const std::string& path,
+                      const CommunitySet& communities) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_communities: cannot open " + path);
+  write_communities(out, communities);
+  if (!out) throw std::runtime_error("save_communities: write failed");
+}
+
+CommunitySet read_communities(std::istream& in) {
+  std::string line;
+  std::size_t line_number = 0;
+
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "imc-communities v1") {
+    fail(line_number, "missing 'imc-communities v1' header");
+  }
+  if (!next_line()) fail(line_number, "missing 'nodes' line");
+  NodeId node_count = 0;
+  {
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword >> node_count) || keyword != "nodes") {
+      fail(line_number, "expected 'nodes <n>'");
+    }
+  }
+
+  struct Block {
+    std::uint32_t threshold = 1;
+    double benefit = 1.0;
+    std::vector<NodeId> members;
+    bool have_header = false;
+    bool have_members = false;
+  };
+  std::map<CommunityId, Block> blocks;
+
+  while (next_line()) {
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "community") {
+      CommunityId id = 0;
+      std::string threshold_kw, benefit_kw;
+      std::uint32_t threshold = 0;
+      double benefit = 0.0;
+      if (!(fields >> id >> threshold_kw >> threshold >> benefit_kw >>
+            benefit) ||
+          threshold_kw != "threshold" || benefit_kw != "benefit") {
+        fail(line_number, "expected 'community <id> threshold <h> benefit <b>'");
+      }
+      Block& block = blocks[id];
+      block.threshold = threshold;
+      block.benefit = benefit;
+      block.have_header = true;
+    } else if (keyword == "members") {
+      CommunityId id = 0;
+      if (!(fields >> id)) fail(line_number, "expected 'members <id> ...'");
+      Block& block = blocks[id];
+      if (block.have_members) fail(line_number, "duplicate members line");
+      NodeId v = 0;
+      while (fields >> v) block.members.push_back(v);
+      block.have_members = true;
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  std::vector<std::vector<NodeId>> groups(blocks.size());
+  for (auto& [id, block] : blocks) {
+    if (id >= blocks.size()) fail(line_number, "community ids must be dense");
+    if (!block.have_members || block.members.empty()) {
+      fail(line_number,
+           "community " + std::to_string(id) + " has no members");
+    }
+    groups[id] = std::move(block.members);
+  }
+  CommunitySet communities(node_count, std::move(groups));
+  for (const auto& [id, block] : blocks) {
+    if (block.have_header) {
+      communities.set_threshold(id, block.threshold);
+      communities.set_benefit(id, block.benefit);
+    }
+  }
+  return communities;
+}
+
+CommunitySet load_communities(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_communities: cannot open " + path);
+  return read_communities(in);
+}
+
+}  // namespace imc

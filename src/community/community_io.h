@@ -1,0 +1,33 @@
+// Plain-text (de)serialization of CommunitySets, so detected structures can
+// be saved once and reused across CLI invocations and experiments.
+//
+// Format (line-oriented, '#' comments):
+//   imc-communities v1
+//   nodes <n>
+//   community <id> threshold <h> benefit <b>
+//   members <id> <v1> <v2> ...
+// Community blocks may appear in any order; ids must be dense [0, r).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "community/community_set.h"
+
+namespace imc {
+
+/// Writes the full structure (members, thresholds, benefits).
+void write_communities(std::ostream& out, const CommunitySet& communities);
+
+/// Saves to a file; throws std::runtime_error on I/O failure.
+void save_communities(const std::string& path,
+                      const CommunitySet& communities);
+
+/// Parses a structure; throws std::runtime_error (with line number) on
+/// malformed input.
+[[nodiscard]] CommunitySet read_communities(std::istream& in);
+
+/// Loads from a file; throws std::runtime_error if unreadable.
+[[nodiscard]] CommunitySet load_communities(const std::string& path);
+
+}  // namespace imc

@@ -1,0 +1,154 @@
+#include "community/community_set.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace imc {
+
+CommunitySet::CommunitySet(NodeId node_count,
+                           std::vector<std::vector<NodeId>> groups)
+    : node_count_(node_count), groups_(std::move(groups)) {
+  for (const auto& group : groups_) {
+    if (group.empty()) {
+      throw std::invalid_argument("CommunitySet: empty community");
+    }
+    for (const NodeId v : group) {
+      if (v >= node_count_) {
+        throw std::invalid_argument("CommunitySet: member out of range");
+      }
+    }
+  }
+  rebuild_membership();
+  thresholds_.assign(groups_.size(), 1);
+  benefits_.assign(groups_.size(), 1.0);
+}
+
+CommunitySet CommunitySet::from_assignment(
+    NodeId node_count, std::span<const CommunityId> assignment) {
+  if (assignment.size() != node_count) {
+    throw std::invalid_argument(
+        "CommunitySet::from_assignment: size mismatch");
+  }
+  CommunityId max_id = 0;
+  bool any = false;
+  for (const CommunityId c : assignment) {
+    if (c == kInvalidCommunity) continue;
+    max_id = std::max(max_id, c);
+    any = true;
+  }
+  std::vector<std::vector<NodeId>> groups(any ? max_id + 1 : 0);
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (assignment[v] != kInvalidCommunity) {
+      groups[assignment[v]].push_back(v);
+    }
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      throw std::invalid_argument(
+          "CommunitySet::from_assignment: community ids must be dense");
+    }
+  }
+  return CommunitySet(node_count, std::move(groups));
+}
+
+void CommunitySet::rebuild_membership() {
+  community_of_.assign(node_count_, kInvalidCommunity);
+  for (CommunityId c = 0; c < groups_.size(); ++c) {
+    for (const NodeId v : groups_[c]) {
+      if (community_of_[v] != kInvalidCommunity) {
+        throw std::invalid_argument(
+            "CommunitySet: node belongs to two communities");
+      }
+      community_of_[v] = c;
+    }
+  }
+}
+
+void CommunitySet::check_community(CommunityId c) const {
+  if (c >= groups_.size()) {
+    throw std::out_of_range("CommunitySet: community id out of range");
+  }
+}
+
+std::span<const NodeId> CommunitySet::members(CommunityId c) const {
+  check_community(c);
+  return groups_[c];
+}
+
+CommunityId CommunitySet::community_of(NodeId v) const {
+  if (v >= node_count_) {
+    throw std::out_of_range("CommunitySet: node id out of range");
+  }
+  return community_of_[v];
+}
+
+std::uint32_t CommunitySet::threshold(CommunityId c) const {
+  check_community(c);
+  return thresholds_[c];
+}
+
+void CommunitySet::set_threshold(CommunityId c, std::uint32_t h) {
+  check_community(c);
+  if (h == 0 || h > groups_[c].size()) {
+    throw std::invalid_argument(
+        "CommunitySet::set_threshold: h must be in [1, population]");
+  }
+  thresholds_[c] = h;
+}
+
+std::uint32_t CommunitySet::max_threshold() const {
+  std::uint32_t h = 0;
+  for (const std::uint32_t t : thresholds_) h = std::max(h, t);
+  return h;
+}
+
+double CommunitySet::benefit(CommunityId c) const {
+  check_community(c);
+  return benefits_[c];
+}
+
+void CommunitySet::set_benefit(CommunityId c, double b) {
+  check_community(c);
+  if (b <= 0.0) {
+    throw std::invalid_argument(
+        "CommunitySet::set_benefit: benefit must be positive");
+  }
+  benefits_[c] = b;
+}
+
+double CommunitySet::total_benefit() const {
+  return std::accumulate(benefits_.begin(), benefits_.end(), 0.0);
+}
+
+double CommunitySet::min_benefit() const {
+  if (benefits_.empty()) return 0.0;
+  return *std::min_element(benefits_.begin(), benefits_.end());
+}
+
+double CommunitySet::coverage() const noexcept {
+  if (node_count_ == 0) return 0.0;
+  NodeId assigned = 0;
+  for (const CommunityId c : community_of_) {
+    if (c != kInvalidCommunity) ++assigned;
+  }
+  return static_cast<double>(assigned) / static_cast<double>(node_count_);
+}
+
+std::string CommunitySet::summary() const {
+  NodeId smallest = node_count_, largest = 0;
+  for (const auto& group : groups_) {
+    smallest = std::min<NodeId>(smallest, group.size());
+    largest = std::max<NodeId>(largest, group.size());
+  }
+  std::ostringstream out;
+  out << "CommunitySet(r=" << size() << ", coverage=" << coverage();
+  if (!groups_.empty()) {
+    out << ", |C| in [" << smallest << ", " << largest << "]";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace imc

@@ -1,0 +1,58 @@
+#include "community/label_propagation.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace imc {
+
+std::vector<CommunityId> label_propagation_communities(
+    const Graph& graph, const LabelPropagationConfig& config) {
+  const NodeId n = graph.node_count();
+  std::vector<CommunityId> label(n);
+  std::iota(label.begin(), label.end(), 0U);
+  if (n == 0) return label;
+
+  Rng rng(config.seed);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+
+  std::unordered_map<CommunityId, std::uint32_t> votes;
+  votes.reserve(64);
+
+  for (std::uint32_t sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    rng.shuffle(std::span<NodeId>(order));
+    bool changed = false;
+    for (const NodeId v : order) {
+      votes.clear();
+      for (const Neighbor& nb : graph.out_neighbors(v)) ++votes[label[nb.node]];
+      for (const Neighbor& nb : graph.in_neighbors(v)) ++votes[label[nb.node]];
+      if (votes.empty()) continue;
+      // Highest vote count; ties broken by smallest label for determinism.
+      CommunityId best = label[v];
+      std::uint32_t best_votes = 0;
+      for (const auto& [c, count] : votes) {
+        if (count > best_votes || (count == best_votes && c < best)) {
+          best = c;
+          best_votes = count;
+        }
+      }
+      if (best != label[v]) {
+        label[v] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Densify.
+  std::unordered_map<CommunityId, CommunityId> dense;
+  CommunityId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [it, inserted] = dense.try_emplace(label[v], next);
+    if (inserted) ++next;
+    label[v] = it->second;
+  }
+  return label;
+}
+
+}  // namespace imc

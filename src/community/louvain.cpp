@@ -1,0 +1,214 @@
+#include "community/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "community/modularity.h"
+
+namespace imc {
+
+namespace {
+
+/// Weighted directed multigraph used during coarsening. Self-loops carry
+/// the internal weight of contracted communities.
+struct LevelGraph {
+  // out[i] / in[i]: (neighbor, weight) lists; may contain self-loops.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> out;
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> in;
+  std::vector<double> out_strength;  // Σ outgoing weight incl. self-loops
+  std::vector<double> in_strength;
+  double total_weight = 0.0;
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(out.size());
+  }
+};
+
+LevelGraph finest_level(const Graph& graph) {
+  LevelGraph level;
+  const std::uint32_t n = graph.node_count();
+  level.out.resize(n);
+  level.in.resize(n);
+  level.out_strength.assign(n, 0.0);
+  level.in_strength.assign(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      level.out[u].emplace_back(nb.node, 1.0);
+      level.in[nb.node].emplace_back(u, 1.0);
+      level.out_strength[u] += 1.0;
+      level.in_strength[nb.node] += 1.0;
+      level.total_weight += 1.0;
+    }
+  }
+  return level;
+}
+
+/// One local-moving phase. Returns the per-node community labels (dense)
+/// and whether anything moved at all.
+struct MovePhaseResult {
+  std::vector<std::uint32_t> label;  // node -> community (dense ids)
+  std::uint32_t community_count = 0;
+  bool moved = false;
+};
+
+MovePhaseResult local_moving(const LevelGraph& level,
+                             const LouvainConfig& config, Rng& rng) {
+  const std::uint32_t n = level.size();
+  MovePhaseResult result;
+  result.label.resize(n);
+  std::iota(result.label.begin(), result.label.end(), 0U);
+
+  // Community aggregates (indexed by current label).
+  std::vector<double> community_out(level.out_strength);
+  std::vector<double> community_in(level.in_strength);
+
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0U);
+  rng.shuffle(std::span<std::uint32_t>(order));
+
+  const double m = level.total_weight;
+  if (m <= 0.0) {
+    result.community_count = n;
+    return result;
+  }
+
+  // Scratch: weight from/to each neighboring community of the current node.
+  std::unordered_map<std::uint32_t, double> link_weight;
+  link_weight.reserve(64);
+
+  for (std::uint32_t sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    bool sweep_moved = false;
+    for (const std::uint32_t node : order) {
+      const std::uint32_t current = result.label[node];
+      const double d_out = level.out_strength[node];
+      const double d_in = level.in_strength[node];
+
+      // Gather total link weight between `node` and each community
+      // (both directions combined — that is the coupling term of ΔQ).
+      link_weight.clear();
+      for (const auto& [to, w] : level.out[node]) {
+        if (to != node) link_weight[result.label[to]] += w;
+      }
+      for (const auto& [from, w] : level.in[node]) {
+        if (from != node) link_weight[result.label[from]] += w;
+      }
+
+      // Remove the node from its community.
+      community_out[current] -= d_out;
+      community_in[current] -= d_in;
+
+      // ΔQ of joining community c (relative to staying alone):
+      //   links(node, c)/m − (d_out·In(c) + d_in·Out(c))/m².
+      const auto gain_of = [&](std::uint32_t c) {
+        const double links = [&] {
+          const auto it = link_weight.find(c);
+          return it == link_weight.end() ? 0.0 : it->second;
+        }();
+        return links / m -
+               (d_out * community_in[c] + d_in * community_out[c]) / (m * m);
+      };
+
+      std::uint32_t best = current;
+      double best_gain = gain_of(current);
+      for (const auto& [c, unused_w] : link_weight) {
+        (void)unused_w;
+        if (c == best) continue;
+        const double g = gain_of(c);
+        if (g > best_gain + config.min_gain) {
+          best_gain = g;
+          best = c;
+        }
+      }
+
+      community_out[best] += d_out;
+      community_in[best] += d_in;
+      if (best != current) {
+        result.label[node] = best;
+        result.moved = true;
+        sweep_moved = true;
+      }
+    }
+    if (!sweep_moved) break;
+  }
+
+  // Densify labels.
+  std::unordered_map<std::uint32_t, std::uint32_t> dense;
+  dense.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        dense.try_emplace(result.label[v], result.community_count);
+    if (inserted) ++result.community_count;
+    result.label[v] = it->second;
+  }
+  return result;
+}
+
+/// Contracts communities into super-nodes, merging parallel edges.
+LevelGraph coarsen(const LevelGraph& level,
+                   std::span<const std::uint32_t> label,
+                   std::uint32_t community_count) {
+  LevelGraph coarse;
+  coarse.out.resize(community_count);
+  coarse.in.resize(community_count);
+  coarse.out_strength.assign(community_count, 0.0);
+  coarse.in_strength.assign(community_count, 0.0);
+  coarse.total_weight = level.total_weight;
+
+  std::vector<std::unordered_map<std::uint32_t, double>> merged(
+      community_count);
+  for (std::uint32_t u = 0; u < level.size(); ++u) {
+    for (const auto& [v, w] : level.out[u]) {
+      merged[label[u]][label[v]] += w;
+    }
+  }
+  for (std::uint32_t cu = 0; cu < community_count; ++cu) {
+    for (const auto& [cv, w] : merged[cu]) {
+      coarse.out[cu].emplace_back(cv, w);
+      coarse.in[cv].emplace_back(cu, w);
+      coarse.out_strength[cu] += w;
+      coarse.in_strength[cv] += w;
+    }
+  }
+  return coarse;
+}
+
+}  // namespace
+
+LouvainResult louvain_communities(const Graph& graph,
+                                  const LouvainConfig& config) {
+  LouvainResult result;
+  const NodeId n = graph.node_count();
+  result.assignment.resize(n);
+  std::iota(result.assignment.begin(), result.assignment.end(), 0U);
+  if (n == 0) return result;
+
+  Rng rng(config.seed);
+  LevelGraph level = finest_level(graph);
+
+  for (std::uint32_t round = 0; round < config.max_levels; ++round) {
+    const MovePhaseResult phase = local_moving(level, config, rng);
+    if (!phase.moved) break;
+    ++result.levels;
+    // Project the coarse labels back onto original nodes.
+    for (NodeId v = 0; v < n; ++v) {
+      result.assignment[v] = phase.label[result.assignment[v]];
+    }
+    if (phase.community_count == level.size()) break;
+    level = coarsen(level, phase.label, phase.community_count);
+  }
+
+  // Densify the final assignment (projection preserves density, but be
+  // defensive in case no round ran).
+  std::unordered_map<CommunityId, CommunityId> dense;
+  CommunityId next = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [it, inserted] = dense.try_emplace(result.assignment[v], next);
+    if (inserted) ++next;
+    result.assignment[v] = it->second;
+  }
+  result.modularity = directed_modularity(graph, result.assignment);
+  return result;
+}
+
+}  // namespace imc

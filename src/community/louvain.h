@@ -1,0 +1,38 @@
+// Directed Louvain community detection (Blondel et al. 2008; directed
+// modularity per Leicht–Newman / Dugué–Perez), the detector the paper uses
+// to build community structures for IMC (§VI-A).
+//
+// Two phases per level: (1) local moving — greedily reassign nodes to the
+// neighboring community with the best modularity gain until a sweep yields
+// no improvement, (2) coarsening — contract each community to a super-node
+// and recurse. Deterministic given the seed (node visit order is shuffled).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+struct LouvainConfig {
+  std::uint64_t seed = 42;
+  std::uint32_t max_levels = 24;     // coarsening rounds
+  std::uint32_t max_sweeps = 64;     // local-moving sweeps per level
+  double min_gain = 1e-9;            // stop sweeping below this total gain
+};
+
+struct LouvainResult {
+  std::vector<CommunityId> assignment;  // node -> dense community id
+  double modularity = 0.0;              // of the final assignment
+  std::uint32_t levels = 0;             // coarsening rounds performed
+};
+
+/// Runs directed Louvain on the graph's topology (edge probabilities are
+/// ignored; each directed edge has unit weight at the finest level).
+[[nodiscard]] LouvainResult louvain_communities(const Graph& graph,
+                                                const LouvainConfig& config = {});
+
+}  // namespace imc

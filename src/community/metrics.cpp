@@ -1,0 +1,76 @@
+#include "community/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imc {
+
+double conductance(const Graph& graph, const CommunitySet& communities,
+                   CommunityId c) {
+  if (communities.node_count() != graph.node_count()) {
+    throw std::invalid_argument("conductance: node count mismatch");
+  }
+  std::uint64_t cut = 0;
+  std::uint64_t volume_inside = 0;
+  for (const NodeId v : communities.members(c)) {
+    for (const Neighbor& nb : graph.out_neighbors(v)) {
+      ++volume_inside;
+      if (communities.community_of(nb.node) != c) ++cut;
+    }
+    // Incoming cut edges (from outside into C).
+    for (const Neighbor& nb : graph.in_neighbors(v)) {
+      if (communities.community_of(nb.node) != c) ++cut;
+    }
+  }
+  const std::uint64_t volume_outside = graph.edge_count() - volume_inside;
+  const std::uint64_t denominator = std::min(volume_inside, volume_outside);
+  if (denominator == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denominator);
+}
+
+double average_conductance(const Graph& graph,
+                           const CommunitySet& communities) {
+  if (communities.empty()) return 1.0;
+  double total = 0.0;
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    total += conductance(graph, communities, c);
+  }
+  return total / static_cast<double>(communities.size());
+}
+
+double internal_edge_fraction(const Graph& graph,
+                              const CommunitySet& communities) {
+  if (graph.edge_count() == 0) return 0.0;
+  std::uint64_t internal = 0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const CommunityId cu = communities.community_of(u);
+    if (cu == kInvalidCommunity) continue;
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (communities.community_of(nb.node) == cu) ++internal;
+    }
+  }
+  return static_cast<double>(internal) /
+         static_cast<double>(graph.edge_count());
+}
+
+CommunitySizeStats community_size_stats(const CommunitySet& communities) {
+  CommunitySizeStats stats;
+  if (communities.empty()) return stats;
+  stats.min = communities.population(0);
+  stats.max = communities.population(0);
+  double population_total = 0.0;
+  double threshold_total = 0.0;
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    const NodeId population = communities.population(c);
+    stats.min = std::min(stats.min, population);
+    stats.max = std::max(stats.max, population);
+    population_total += static_cast<double>(population);
+    threshold_total += static_cast<double>(communities.threshold(c));
+  }
+  stats.mean = population_total / static_cast<double>(communities.size());
+  stats.threshold_mean =
+      threshold_total / static_cast<double>(communities.size());
+  return stats;
+}
+
+}  // namespace imc

@@ -1,0 +1,39 @@
+// Quality metrics for community structures: used by tests (Louvain must
+// produce low-conductance communities on modular graphs), the CLI and the
+// dataset-validation suite.
+#pragma once
+
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// Conductance of community c: cut(C, V\C) / min(vol(C), vol(V\C)), with
+/// volumes/cuts counted over directed edges. Returns 1 for degenerate
+/// (zero-volume) communities; lower is better.
+[[nodiscard]] double conductance(const Graph& graph,
+                                 const CommunitySet& communities,
+                                 CommunityId c);
+
+/// Mean conductance over all communities.
+[[nodiscard]] double average_conductance(const Graph& graph,
+                                         const CommunitySet& communities);
+
+/// Fraction of edges whose endpoints share a community (both assigned).
+[[nodiscard]] double internal_edge_fraction(const Graph& graph,
+                                            const CommunitySet& communities);
+
+/// Population distribution summary.
+struct CommunitySizeStats {
+  NodeId min = 0;
+  NodeId max = 0;
+  double mean = 0.0;
+  double threshold_mean = 0.0;  // mean activation threshold h_i
+};
+[[nodiscard]] CommunitySizeStats community_size_stats(
+    const CommunitySet& communities);
+
+}  // namespace imc

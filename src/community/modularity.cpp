@@ -1,0 +1,46 @@
+#include "community/modularity.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace imc {
+
+double directed_modularity(const Graph& graph,
+                           std::span<const CommunityId> assignment) {
+  if (assignment.size() != graph.node_count()) {
+    throw std::invalid_argument("directed_modularity: assignment size");
+  }
+  const double m = static_cast<double>(graph.edge_count());
+  if (m == 0.0) return 0.0;
+
+  CommunityId max_id = 0;
+  for (const CommunityId c : assignment) {
+    if (c == kInvalidCommunity) {
+      throw std::invalid_argument(
+          "directed_modularity: full assignment required");
+    }
+    max_id = std::max(max_id, c);
+  }
+
+  // Per-community: internal edges, total out-degree, total in-degree.
+  std::vector<double> internal(max_id + 1, 0.0);
+  std::vector<double> out_total(max_id + 1, 0.0);
+  std::vector<double> in_total(max_id + 1, 0.0);
+
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    const CommunityId cu = assignment[u];
+    out_total[cu] += static_cast<double>(graph.out_degree(u));
+    in_total[cu] += static_cast<double>(graph.in_degree(u));
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (assignment[nb.node] == cu) internal[cu] += 1.0;
+    }
+  }
+
+  double q = 0.0;
+  for (CommunityId c = 0; c <= max_id; ++c) {
+    q += internal[c] / m - (out_total[c] / m) * (in_total[c] / m);
+  }
+  return q;
+}
+
+}  // namespace imc

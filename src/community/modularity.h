@@ -1,0 +1,21 @@
+// Directed modularity (Leicht–Newman), the objective the Louvain detector
+// optimizes and the metric tests assert on:
+//   Q = (1/m) Σ_ij [ A_ij − d_out(i) d_in(j) / m ] δ(c_i, c_j)
+// computed structurally (every directed edge counts 1, IC probabilities are
+// ignored: community structure is topological, as in the paper's setup).
+#pragma once
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// Modularity of a full assignment (every node must have a community id;
+/// use distinct singleton ids for "unassigned" nodes if needed).
+/// Returns 0 for graphs without edges.
+[[nodiscard]] double directed_modularity(
+    const Graph& graph, std::span<const CommunityId> assignment);
+
+}  // namespace imc

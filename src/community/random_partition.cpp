@@ -1,0 +1,30 @@
+#include "community/random_partition.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace imc {
+
+std::vector<CommunityId> random_partition(NodeId node_count,
+                                          CommunityId community_count,
+                                          Rng& rng) {
+  if (community_count == 0 || community_count > node_count) {
+    throw std::invalid_argument(
+        "random_partition: need 0 < communities <= nodes");
+  }
+  std::vector<CommunityId> assignment(node_count);
+  // First assign one distinct node to each community (no empties), then
+  // scatter the rest uniformly.
+  std::vector<NodeId> nodes(node_count);
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  rng.shuffle(std::span<NodeId>(nodes));
+  for (CommunityId c = 0; c < community_count; ++c) {
+    assignment[nodes[c]] = c;
+  }
+  for (NodeId i = community_count; i < node_count; ++i) {
+    assignment[nodes[i]] = static_cast<CommunityId>(rng.below(community_count));
+  }
+  return assignment;
+}
+
+}  // namespace imc

@@ -1,0 +1,19 @@
+// Random community formation — the paper's baseline community structure
+// ("we fix the number of communities and randomly put nodes into
+// communities", §VI-A).
+#pragma once
+
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// Assigns every node of [0, node_count) to one of `community_count`
+/// communities uniformly at random; guarantees no community is empty
+/// (requires community_count <= node_count). Returns a dense assignment.
+[[nodiscard]] std::vector<CommunityId> random_partition(
+    NodeId node_count, CommunityId community_count, Rng& rng);
+
+}  // namespace imc

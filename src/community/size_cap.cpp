@@ -1,0 +1,39 @@
+#include "community/size_cap.h"
+
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace imc {
+
+CommunitySet cap_community_sizes(const CommunitySet& communities, NodeId cap,
+                                 Rng& rng) {
+  if (cap == 0) {
+    throw std::invalid_argument("cap_community_sizes: cap must be >= 1");
+  }
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(communities.size());
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    const auto members = communities.members(c);
+    if (members.size() <= cap) {
+      groups.emplace_back(members.begin(), members.end());
+      continue;
+    }
+    std::vector<NodeId> shuffled(members.begin(), members.end());
+    rng.shuffle(std::span<NodeId>(shuffled));
+    // ceil(|C| / s) chunks of near-equal size (never exceeding `cap`).
+    const std::uint64_t chunks = ceil_div(shuffled.size(), cap);
+    const std::uint64_t base = shuffled.size() / chunks;
+    const std::uint64_t remainder = shuffled.size() % chunks;
+    std::size_t begin = 0;
+    for (std::uint64_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::size_t len = base + (chunk < remainder ? 1 : 0);
+      groups.emplace_back(shuffled.begin() + begin,
+                          shuffled.begin() + begin + len);
+      begin += len;
+    }
+  }
+  return CommunitySet(communities.node_count(), std::move(groups));
+}
+
+}  // namespace imc

@@ -1,0 +1,18 @@
+// Size-cap splitting — the paper's `s` parameter (§VI-A): "If a community C
+// was larger than s, we split it into ceil(|C|/s) communities."
+#pragma once
+
+#include "community/community_set.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// Splits every community with more than `cap` members into near-equal
+/// chunks of at most `cap` (members are shuffled before chunking so splits
+/// are unbiased). Thresholds/benefits of the result are reset to defaults;
+/// apply a policy from community/threshold_policy.h afterwards.
+[[nodiscard]] CommunitySet cap_community_sizes(const CommunitySet& communities,
+                                               NodeId cap, Rng& rng);
+
+}  // namespace imc

@@ -1,0 +1,43 @@
+#include "community/threshold_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace imc {
+
+void apply_fraction_thresholds(CommunitySet& communities, double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument(
+        "apply_fraction_thresholds: fraction must be in (0, 1]");
+  }
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    const auto population = static_cast<double>(communities.population(c));
+    const auto h = static_cast<std::uint32_t>(
+        std::clamp(std::ceil(fraction * population), 1.0, population));
+    communities.set_threshold(c, h);
+  }
+}
+
+void apply_constant_thresholds(CommunitySet& communities, std::uint32_t h) {
+  if (h == 0) {
+    throw std::invalid_argument("apply_constant_thresholds: h must be >= 1");
+  }
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    communities.set_threshold(c, std::min(h, communities.population(c)));
+  }
+}
+
+void apply_population_benefits(CommunitySet& communities) {
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    communities.set_benefit(c, static_cast<double>(communities.population(c)));
+  }
+}
+
+void apply_uniform_benefits(CommunitySet& communities, double value) {
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    communities.set_benefit(c, value);
+  }
+}
+
+}  // namespace imc

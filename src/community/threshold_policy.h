@@ -1,0 +1,26 @@
+// Policies assigning activation thresholds and benefits to a CommunitySet,
+// matching the paper's two experimental regimes (§VI-A):
+//   * regular:  h_i = 50% of population (fraction policy),
+//   * bounded:  h_i = 2 (constant policy, capped at the population).
+// Benefits: b_i = |C_i| (population policy) in all paper experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "community/community_set.h"
+
+namespace imc {
+
+/// h_i = clamp(ceil(fraction * |C_i|), 1, |C_i|).
+void apply_fraction_thresholds(CommunitySet& communities, double fraction);
+
+/// h_i = min(h, |C_i|). The paper's bounded-threshold setting uses h = 2.
+void apply_constant_thresholds(CommunitySet& communities, std::uint32_t h);
+
+/// b_i = |C_i| (the paper's setting: benefit equals population).
+void apply_population_benefits(CommunitySet& communities);
+
+/// b_i = value for all communities.
+void apply_uniform_benefits(CommunitySet& communities, double value = 1.0);
+
+}  // namespace imc

@@ -1,0 +1,129 @@
+#include "core/baselines/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace imc {
+
+std::vector<double> pagerank(const Graph& graph,
+                             const PageRankConfig& config) {
+  const NodeId n = graph.node_count();
+  std::vector<double> rank(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0) return rank;
+  if (config.damping < 0.0 || config.damping >= 1.0) {
+    throw std::invalid_argument("pagerank: damping must be in [0, 1)");
+  }
+
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t iteration = 0; iteration < config.max_iterations;
+       ++iteration) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto out = graph.out_neighbors(u);
+      if (out.empty()) {
+        dangling_mass += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(out.size());
+      for (const Neighbor& nb : out) next[nb.node] += share;
+    }
+    const double teleport =
+        (1.0 - config.damping) / static_cast<double>(n) +
+        config.damping * dangling_mass / static_cast<double>(n);
+    double change = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const double updated = teleport + config.damping * next[v];
+      change += std::abs(updated - rank[v]);
+      rank[v] = updated;
+    }
+    if (change < config.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<NodeId> pagerank_select(const Graph& graph, std::uint32_t k,
+                                    const PageRankConfig& config) {
+  if (k == 0 || k > graph.node_count()) {
+    throw std::invalid_argument("pagerank_select: need 1 <= k <= |V|");
+  }
+  const std::vector<double> rank = pagerank(graph, config);
+  std::vector<NodeId> nodes(graph.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  std::partial_sort(nodes.begin(), nodes.begin() + k, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (rank[a] != rank[b]) return rank[a] > rank[b];
+                      return a < b;
+                    });
+  nodes.resize(k);
+  return nodes;
+}
+
+std::vector<NodeId> degree_discount_select(const Graph& graph,
+                                           std::uint32_t k, double p) {
+  const NodeId n = graph.node_count();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("degree_discount_select: need 1 <= k <= |V|");
+  }
+  if (p <= 0.0) {
+    // Default: mean edge probability of the graph.
+    double total = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Neighbor& nb : graph.out_neighbors(u)) {
+        total += static_cast<double>(nb.weight);
+      }
+    }
+    p = graph.edge_count() > 0
+            ? total / static_cast<double>(graph.edge_count())
+            : 0.01;
+  }
+
+  std::vector<double> discounted(n);
+  std::vector<std::uint32_t> selected_neighbors(n, 0);
+  std::vector<std::uint8_t> chosen(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    discounted[v] = static_cast<double>(graph.out_degree(v));
+  }
+
+  // Lazy max-heap keyed by the discounted degree at push time.
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry> heap;
+  for (NodeId v = 0; v < n; ++v) heap.emplace(discounted[v], v);
+
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < k && !heap.empty()) {
+    const auto [score, v] = heap.top();
+    heap.pop();
+    if (chosen[v]) continue;
+    if (score > discounted[v] + 1e-12) {
+      heap.emplace(discounted[v], v);  // stale entry: refresh
+      continue;
+    }
+    chosen[v] = 1;
+    seeds.push_back(v);
+    // Discount all out-neighbors of the chosen seed.
+    for (const Neighbor& nb : graph.out_neighbors(v)) {
+      const NodeId w = nb.node;
+      if (chosen[w]) continue;
+      ++selected_neighbors[w];
+      const double d = static_cast<double>(graph.out_degree(w));
+      const double t = static_cast<double>(selected_neighbors[w]);
+      discounted[w] = d - 2.0 * t - (d - t) * t * p;
+      heap.emplace(discounted[w], w);
+    }
+  }
+  // Degenerate graphs (k > non-chosen candidates) — top up.
+  for (NodeId v = 0; v < n && seeds.size() < k; ++v) {
+    if (!chosen[v]) {
+      chosen[v] = 1;
+      seeds.push_back(v);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace imc

@@ -1,0 +1,39 @@
+// Centrality-based seeders: PageRank and DegreeDiscountIC — the classic
+// cheap heuristics of the IM literature (Chen et al. KDD'09), rounding out
+// the baseline suite beyond the paper's HBC/KS/IM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  std::uint32_t max_iterations = 100;
+  double tolerance = 1e-10;  // L1 change per iteration to stop
+};
+
+/// Standard power-iteration PageRank (dangling mass redistributed
+/// uniformly). Returns per-node scores summing to 1.
+[[nodiscard]] std::vector<double> pagerank(const Graph& graph,
+                                           const PageRankConfig& config = {});
+
+/// Top-k nodes by PageRank (ties by smaller id).
+[[nodiscard]] std::vector<NodeId> pagerank_select(
+    const Graph& graph, std::uint32_t k, const PageRankConfig& config = {});
+
+/// DegreeDiscountIC (Chen–Wang–Yang 2009): greedy degree selection where
+/// each pick discounts its neighbors' effective degrees
+///   dd(v) = d(v) − 2 t(v) − (d(v) − t(v)) t(v) p,
+/// with t(v) = #already-selected in-neighbors of v and p the assumed
+/// uniform propagation probability (use the graph's mean edge weight by
+/// passing p <= 0).
+[[nodiscard]] std::vector<NodeId> degree_discount_select(const Graph& graph,
+                                                         std::uint32_t k,
+                                                         double p = -1.0);
+
+}  // namespace imc

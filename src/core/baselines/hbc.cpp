@@ -1,0 +1,49 @@
+#include "core/baselines/hbc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace imc {
+
+std::vector<double> hbc_scores(const Graph& graph,
+                               const CommunitySet& communities) {
+  if (communities.node_count() != graph.node_count()) {
+    throw std::invalid_argument("hbc_scores: node count mismatch");
+  }
+  std::vector<double> score(graph.node_count(), 0.0);
+  const auto value_of = [&](NodeId v) -> double {
+    const CommunityId c = communities.community_of(v);
+    if (c == kInvalidCommunity) return 0.0;
+    return communities.benefit(c) /
+           static_cast<double>(communities.threshold(c));
+  };
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    double total = value_of(u);  // activating u hits its own community
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      total += static_cast<double>(nb.weight) * value_of(nb.node);
+    }
+    score[u] = total;
+  }
+  return score;
+}
+
+std::vector<NodeId> hbc_select(const Graph& graph,
+                               const CommunitySet& communities,
+                               std::uint32_t k) {
+  if (k == 0 || k > graph.node_count()) {
+    throw std::invalid_argument("hbc_select: need 1 <= k <= |V|");
+  }
+  const std::vector<double> score = hbc_scores(graph, communities);
+  std::vector<NodeId> nodes(graph.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  std::partial_sort(nodes.begin(), nodes.begin() + k, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  nodes.resize(k);
+  return nodes;
+}
+
+}  // namespace imc

@@ -1,0 +1,26 @@
+// HBC — High Beneficial Connection baseline (paper §VI-A).
+//
+// Scores every node by its one-hop "beneficial connection"
+//   B(u) = Σ_{v ∈ N⁺(u)} w(u, v) · b_{C(v)} / h_{C(v)}
+// (out-neighbors v that belong to some community; u's own membership also
+// counts as a zero-distance connection with weight 1) and seeds the top k.
+#pragma once
+
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// Per-node HBC score (exposed for tests/ablations).
+[[nodiscard]] std::vector<double> hbc_scores(const Graph& graph,
+                                             const CommunitySet& communities);
+
+/// Top-k nodes by score (ties by smaller id).
+[[nodiscard]] std::vector<NodeId> hbc_select(const Graph& graph,
+                                             const CommunitySet& communities,
+                                             std::uint32_t k);
+
+}  // namespace imc

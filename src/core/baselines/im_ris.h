@@ -1,0 +1,40 @@
+// IM — the classic Influence Maximization baseline (paper §VI-A): pick the
+// k nodes maximizing the expected influence SPREAD (ignoring communities),
+// then score their community benefit separately.
+//
+// This is a complete RIS-based IM solver in its own right: RR-set pool +
+// CELF lazy greedy max-coverage (submodular, (1 − 1/e − ε) guarantee), with
+// SSA-style doubling until the greedy solution covers enough RR sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sampling/rr_set.h"
+
+namespace imc {
+
+struct ImRisConfig {
+  double epsilon = 0.2;
+  double delta = 0.2;
+  std::uint64_t seed = 31337;
+  std::uint64_t max_rr_sets = 4'000'000;  // hard memory/time cap
+};
+
+struct ImRisResult {
+  std::vector<NodeId> seeds;
+  double estimated_spread = 0.0;  // RIS estimate E[|active|]
+  std::uint64_t rr_sets_used = 0;
+};
+
+/// CELF max-coverage over an existing pool (exposed for tests/ablations).
+[[nodiscard]] std::vector<NodeId> rr_greedy_max_coverage(const RrPool& pool,
+                                                         std::uint32_t k);
+
+/// Full IM solver with doubling.
+[[nodiscard]] ImRisResult im_ris_select(const Graph& graph, std::uint32_t k,
+                                        const ImRisConfig& config = {});
+
+}  // namespace imc

@@ -1,0 +1,39 @@
+// IMM — Influence Maximization via Martingales (Tang, Shi, Xiao, SIGMOD
+// 2015), the paper's reference [4] and the second state-of-the-art IM
+// framework it cites alongside SSA.
+//
+// Two phases:
+//   1. Sampling: guess OPT by halving x = n/2^i; for each guess generate
+//      θ_i = λ'/x_i RR sets and test whether the greedy cover certifies
+//      a lower bound LB; then top up to θ = λ*/LB sets.
+//   2. Node selection: greedy max coverage over the final pool.
+// Returns a (1 − 1/e − ε)-approximate seed set w.p. >= 1 − n^−ℓ.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+struct ImmConfig {
+  double epsilon = 0.2;
+  double ell = 1.0;  // failure probability exponent: 1 − 1/n^ℓ
+  std::uint64_t seed = 271828;
+  std::uint64_t max_rr_sets = 4'000'000;
+};
+
+struct ImmResult {
+  std::vector<NodeId> seeds;
+  double estimated_spread = 0.0;
+  double opt_lower_bound = 0.0;  // LB from the sampling phase
+  std::uint64_t rr_sets_used = 0;
+};
+
+/// Full IMM run under the IC model.
+[[nodiscard]] ImmResult imm_select(const Graph& graph, std::uint32_t k,
+                                   const ImmConfig& config = {});
+
+}  // namespace imc

@@ -1,0 +1,64 @@
+#include "core/baselines/ks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imc {
+
+KnapsackPlan knapsack_communities(const CommunitySet& communities,
+                                  std::uint32_t k) {
+  KnapsackPlan plan;
+  const CommunityId r = communities.size();
+  if (r == 0 || k == 0) return plan;
+
+  // dp[c][w] compressed to rolling rows, with choice bits for backtracking.
+  std::vector<double> best(k + 1, 0.0);
+  std::vector<std::vector<std::uint8_t>> take(
+      r, std::vector<std::uint8_t>(k + 1, 0));
+
+  for (CommunityId c = 0; c < r; ++c) {
+    const std::uint32_t cost = communities.threshold(c);
+    const double value = communities.benefit(c);
+    if (cost > k) continue;
+    for (std::uint32_t w = k; w >= cost; --w) {
+      const double candidate = best[w - cost] + value;
+      if (candidate > best[w]) {
+        best[w] = candidate;
+        take[c][w] = 1;
+      }
+      if (w == cost) break;  // unsigned underflow guard
+    }
+  }
+
+  // Backtrack from the best capacity.
+  std::uint32_t w = static_cast<std::uint32_t>(
+      std::max_element(best.begin(), best.end()) - best.begin());
+  plan.total_value = best[w];
+  for (CommunityId c = r; c-- > 0;) {
+    if (take[c][w]) {
+      plan.chosen.push_back(c);
+      plan.total_cost += communities.threshold(c);
+      w -= communities.threshold(c);
+    }
+  }
+  std::reverse(plan.chosen.begin(), plan.chosen.end());
+  return plan;
+}
+
+std::vector<NodeId> ks_select(const CommunitySet& communities,
+                              std::uint32_t k, Rng& rng) {
+  if (k == 0) throw std::invalid_argument("ks_select: k must be >= 1");
+  const KnapsackPlan plan = knapsack_communities(communities, k);
+  std::vector<NodeId> seeds;
+  seeds.reserve(k);
+  for (const CommunityId c : plan.chosen) {
+    const auto members = communities.members(c);
+    std::vector<NodeId> shuffled(members.begin(), members.end());
+    rng.shuffle(std::span<NodeId>(shuffled));
+    const std::uint32_t h = communities.threshold(c);
+    seeds.insert(seeds.end(), shuffled.begin(), shuffled.begin() + h);
+  }
+  return seeds;
+}
+
+}  // namespace imc

@@ -1,0 +1,36 @@
+// KS — Knapsack-like baseline (paper §VI-A).
+//
+// Treats each community's activation threshold h_i as the cost of
+// influencing it and its benefit b_i as the value; solves the 0/1 knapsack
+// with capacity k EXACTLY by dynamic programming (capacity is the seed
+// budget, an integer), then seeds h_i members of each chosen community.
+// KS ignores topology and diffusion entirely — which is exactly why the
+// paper uses it as the "structure-only" strawman.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+struct KnapsackPlan {
+  std::vector<CommunityId> chosen;
+  double total_value = 0.0;
+  std::uint32_t total_cost = 0;
+};
+
+/// Exact 0/1 knapsack over communities (cost h_i, value b_i, capacity k).
+[[nodiscard]] KnapsackPlan knapsack_communities(const CommunitySet& communities,
+                                                std::uint32_t k);
+
+/// Full KS baseline: solve the knapsack, then pick h_i random members of
+/// each chosen community (paper line: "we selected h nodes in C").
+[[nodiscard]] std::vector<NodeId> ks_select(const CommunitySet& communities,
+                                            std::uint32_t k, Rng& rng);
+
+}  // namespace imc

@@ -1,0 +1,34 @@
+#include "core/baselines/simple.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace imc {
+
+std::vector<NodeId> degree_select(const Graph& graph, std::uint32_t k) {
+  if (k == 0 || k > graph.node_count()) {
+    throw std::invalid_argument("degree_select: need 1 <= k <= |V|");
+  }
+  std::vector<NodeId> nodes(graph.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0U);
+  std::partial_sort(nodes.begin(), nodes.begin() + k, nodes.end(),
+                    [&](NodeId a, NodeId b) {
+                      const auto da = graph.out_degree(a);
+                      const auto db = graph.out_degree(b);
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  nodes.resize(k);
+  return nodes;
+}
+
+std::vector<NodeId> random_select(const Graph& graph, std::uint32_t k,
+                                  Rng& rng) {
+  if (k == 0 || k > graph.node_count()) {
+    throw std::invalid_argument("random_select: need 1 <= k <= |V|");
+  }
+  return rng.sample_without_replacement(graph.node_count(), k);
+}
+
+}  // namespace imc

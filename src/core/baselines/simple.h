@@ -1,0 +1,23 @@
+// Trivial seeders: highest out-degree and uniform random. Not in the
+// paper's baseline list but standard sanity anchors for the benches and
+// tests (every serious algorithm must beat Random; Degree approximates IM
+// on heavy-tailed graphs).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// Top-k nodes by out-degree (ties by smaller id).
+[[nodiscard]] std::vector<NodeId> degree_select(const Graph& graph,
+                                                std::uint32_t k);
+
+/// k distinct uniform nodes.
+[[nodiscard]] std::vector<NodeId> random_select(const Graph& graph,
+                                                std::uint32_t k, Rng& rng);
+
+}  // namespace imc

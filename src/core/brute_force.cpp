@@ -1,0 +1,62 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/mathx.h"
+
+namespace imc {
+
+BruteForceResult brute_force_maxr(const RicPool& pool, std::uint32_t k,
+                                  std::uint64_t max_subsets) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < pool.graph().node_count(); ++v) {
+    if (pool.appearance_count(v) > 0) candidates.push_back(v);
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(candidates.size());
+  if (k == 0) throw std::invalid_argument("brute_force_maxr: k must be >= 1");
+  if (k >= n) {
+    // Every candidate fits in the budget: the whole candidate set is optimal
+    // (the objective is monotone).
+    BruteForceResult all;
+    all.seeds = candidates;
+    all.influenced = pool.influenced_count(all.seeds);
+    all.c_hat = pool.c_hat(all.seeds);
+    return all;
+  }
+  const double log_subsets = log_binomial(n, k);
+  if (log_subsets > std::log(static_cast<double>(max_subsets))) {
+    throw std::invalid_argument(
+        "brute_force_maxr: instance too large to enumerate");
+  }
+
+  // Lexicographic k-combination walk over candidate indices.
+  std::vector<std::uint32_t> pick(k);
+  for (std::uint32_t i = 0; i < k; ++i) pick[i] = i;
+
+  BruteForceResult best;
+  std::vector<NodeId> seeds(k);
+  for (;;) {
+    for (std::uint32_t i = 0; i < k; ++i) seeds[i] = candidates[pick[i]];
+    const std::uint64_t influenced = pool.influenced_count(seeds);
+    if (influenced > best.influenced || best.seeds.empty()) {
+      best.influenced = influenced;
+      best.seeds = seeds;
+    }
+    // Advance to the next combination.
+    std::int64_t slot = static_cast<std::int64_t>(k) - 1;
+    while (slot >= 0 && pick[slot] == n - k + static_cast<std::uint32_t>(slot)) {
+      --slot;
+    }
+    if (slot < 0) break;
+    ++pick[slot];
+    for (std::uint32_t j = static_cast<std::uint32_t>(slot) + 1; j < k; ++j) {
+      pick[j] = pick[j - 1] + 1;
+    }
+  }
+  best.c_hat = pool.c_hat(best.seeds);
+  return best;
+}
+
+}  // namespace imc

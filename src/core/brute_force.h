@@ -1,0 +1,27 @@
+// Exhaustive MAXR solver — the test oracle for optimality gaps (Theorems
+// 3–5 are asserted against it on tiny instances). Exponential; refuses
+// instances beyond a work limit instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sampling/ric_pool.h"
+
+namespace imc {
+
+struct BruteForceResult {
+  std::vector<NodeId> seeds;
+  std::uint64_t influenced = 0;  // influenced samples (raw MAXR objective)
+  double c_hat = 0.0;
+};
+
+/// Enumerates all k-subsets of the candidate nodes (nodes touching >= 1
+/// sample). Throws std::invalid_argument if C(candidates, k) exceeds
+/// `max_subsets`.
+[[nodiscard]] BruteForceResult brute_force_maxr(
+    const RicPool& pool, std::uint32_t k,
+    std::uint64_t max_subsets = 5'000'000);
+
+}  // namespace imc

@@ -1,0 +1,62 @@
+// BT — the Bounded-Threshold algorithm (paper Alg. 4) and its recursive
+// extension BT(d) (§IV-C).
+//
+// For every candidate center u, BT restricts the pool to G_R(u) — the
+// samples u touches — discounts each sample's threshold by the members u
+// already reaches, and greedily selects k−1 more nodes on the reduced
+// instance (for h <= 2 the reduction leaves thresholds <= 1, i.e. plain
+// submodular coverage). It returns the K(u) = {u} ∪ T with the largest
+// |D_R(K(u), u)|. Guarantees: (1−1/e)/k for h <= 2 (Theorem 4) and
+// (1−1/e)/k^{d−1} for h <= d by recursion.
+//
+// BT enumerates O(|V|) subproblems — the paper reports it exceeding the
+// runtime limit on Pokec — so the config carries an optional deadline and
+// an optional candidate cap (both off by default) used by the runtime
+// experiments (Fig. 7) and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/maxr_solver.h"
+
+namespace imc {
+
+struct BtConfig {
+  /// Recursion depth d; correct for instances whose thresholds are <= d.
+  std::uint32_t depth = 2;
+  /// Abort enumeration after this many seconds (0 = no deadline); the best
+  /// K(u) found so far is returned with `timed_out` set.
+  double deadline_seconds = 0.0;
+  /// Consider only the `candidate_limit` nodes of highest appearance count
+  /// as centers (0 = all touching nodes). Ablation/runtime knob.
+  std::uint32_t candidate_limit = 0;
+};
+
+struct BtSolution : MaxrSolution {
+  NodeId center = kInvalidNode;  // the winning u of line 10
+  std::uint64_t d_value = 0;     // |D_R(K(u), u)|
+  bool timed_out = false;
+  std::uint64_t centers_tried = 0;
+};
+
+/// Throws std::invalid_argument if some community threshold exceeds
+/// `config.depth` (the guarantee precondition, enforced for safety).
+[[nodiscard]] BtSolution bt_solve(const RicPool& pool, std::uint32_t k,
+                                  const BtConfig& config = {});
+
+class BtSolver final : public MaxrSolver {
+ public:
+  explicit BtSolver(BtConfig config = {}) : config_(config) {}
+  [[nodiscard]] std::string name() const override { return "BT"; }
+  /// Theorem 4 / §IV-C: α = (1 − 1/e) / k^{d−1}.
+  [[nodiscard]] double alpha(const RicPool&, std::uint32_t k) const override;
+  [[nodiscard]] MaxrSolution solve(const RicPool& pool,
+                                   std::uint32_t k) const override {
+    return bt_solve(pool, k, config_);
+  }
+
+ private:
+  BtConfig config_;
+};
+
+}  // namespace imc

@@ -1,0 +1,163 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "core/objective.h"
+
+namespace imc {
+
+namespace {
+
+/// Nodes that touch at least one sample — the only useful candidates.
+[[nodiscard]] std::vector<NodeId> candidate_nodes(const RicPool& pool) {
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < pool.graph().node_count(); ++v) {
+    if (pool.appearance_count(v) > 0) candidates.push_back(v);
+  }
+  return candidates;
+}
+
+/// Tops the seed set up to k with untouched nodes (deterministically) when
+/// there are fewer candidates than seats; marginals there are all zero.
+void fill_to_k(const RicPool& pool, std::uint32_t k,
+               std::vector<NodeId>& seeds) {
+  std::vector<std::uint8_t> used(pool.graph().node_count(), 0);
+  for (const NodeId v : seeds) used[v] = 1;
+  for (NodeId v = 0; v < pool.graph().node_count() && seeds.size() < k; ++v) {
+    if (!used[v]) seeds.push_back(v);
+  }
+}
+
+void check_k(const RicPool& pool, std::uint32_t k) {
+  if (k == 0 || k > pool.graph().node_count()) {
+    throw std::invalid_argument("greedy: need 1 <= k <= node count");
+  }
+}
+
+GreedyResult finish(const RicPool& pool, std::vector<NodeId> seeds) {
+  GreedyResult result;
+  result.c_hat = pool.c_hat(seeds);
+  result.nu = pool.nu(seeds);
+  result.seeds = std::move(seeds);
+  return result;
+}
+
+}  // namespace
+
+GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k) {
+  check_k(pool, k);
+  CoverageState state(pool);
+  const std::vector<NodeId> candidates = candidate_nodes(pool);
+  std::vector<std::uint8_t> chosen(pool.graph().node_count(), 0);
+
+  for (std::uint32_t round = 0;
+       round < k && state.seeds().size() < candidates.size(); ++round) {
+    NodeId best = kInvalidNode;
+    std::uint64_t best_primary = 0;
+    double best_secondary = -1.0;
+    std::uint32_t best_appearance = 0;
+    for (const NodeId v : candidates) {
+      if (chosen[v]) continue;
+      const std::uint64_t primary = state.marginal_influenced(v);
+      if (best != kInvalidNode && primary < best_primary) continue;
+      const double secondary = state.marginal_nu(v);
+      const std::uint32_t appearance = pool.appearance_count(v);
+      const bool better =
+          best == kInvalidNode || primary > best_primary ||
+          (primary == best_primary &&
+           (secondary > best_secondary ||
+            (secondary == best_secondary && appearance > best_appearance)));
+      if (better) {
+        best = v;
+        best_primary = primary;
+        best_secondary = secondary;
+        best_appearance = appearance;
+      }
+    }
+    if (best == kInvalidNode) break;
+    chosen[best] = 1;
+    state.add_seed(best);
+  }
+
+  std::vector<NodeId> seeds = state.seeds();
+  fill_to_k(pool, k, seeds);
+  return finish(pool, std::move(seeds));
+}
+
+namespace {
+
+struct CelfEntry {
+  double gain;
+  NodeId node;
+  std::uint32_t round;  // round at which `gain` was computed
+};
+
+struct CelfLess {
+  bool operator()(const CelfEntry& a, const CelfEntry& b) const noexcept {
+    if (a.gain != b.gain) return a.gain < b.gain;  // max-heap on gain
+    return a.node > b.node;  // ties: smaller node id pops first
+  }
+};
+
+}  // namespace
+
+GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k) {
+  check_k(pool, k);
+  CoverageState state(pool);
+  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
+  for (const NodeId v : candidate_nodes(pool)) {
+    heap.push(CelfEntry{state.marginal_nu(v), v, 0});
+  }
+
+  std::uint32_t round = 0;
+  while (round < k && !heap.empty()) {
+    CelfEntry top = heap.top();
+    heap.pop();
+    if (top.round != round) {
+      // Stale: submodularity guarantees the true gain only shrank, so a
+      // refreshed entry can be pushed back and the heap order stays valid.
+      top.gain = state.marginal_nu(top.node);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    state.add_seed(top.node);
+    ++round;
+  }
+
+  std::vector<NodeId> seeds = state.seeds();
+  fill_to_k(pool, k, seeds);
+  return finish(pool, std::move(seeds));
+}
+
+GreedyResult plain_greedy_nu(const RicPool& pool, std::uint32_t k) {
+  check_k(pool, k);
+  CoverageState state(pool);
+  const std::vector<NodeId> candidates = candidate_nodes(pool);
+  std::vector<std::uint8_t> chosen(pool.graph().node_count(), 0);
+
+  for (std::uint32_t round = 0;
+       round < k && state.seeds().size() < candidates.size(); ++round) {
+    NodeId best = kInvalidNode;
+    double best_gain = -1.0;
+    for (const NodeId v : candidates) {
+      if (chosen[v]) continue;
+      const double gain = state.marginal_nu(v);
+      if (best == kInvalidNode || gain > best_gain) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    if (best == kInvalidNode) break;
+    chosen[best] = 1;
+    state.add_seed(best);
+  }
+
+  std::vector<NodeId> seeds = state.seeds();
+  fill_to_k(pool, k, seeds);
+  return finish(pool, std::move(seeds));
+}
+
+}  // namespace imc

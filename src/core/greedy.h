@@ -1,0 +1,40 @@
+// Greedy seed-selection engines over a RicPool.
+//
+// * greedy_c_hat — plain re-evaluating greedy on the NON-submodular ĉ_R.
+//   Lazy (CELF) evaluation is unsound here: a node's marginal can GROW as
+//   seeds accumulate (supermodular behavior near thresholds), so every
+//   round re-scans all candidates. Ties on the primary objective are broken
+//   by the ν marginal (progress toward thresholds), then appearance count —
+//   without this, early rounds of the bounded-threshold case (h >= 2, where
+//   no single node can cross any threshold) would pick arbitrarily.
+// * celf_greedy_nu — CELF lazy greedy on the submodular ν_R (Lemma 3),
+//   giving the classic (1 − 1/e) guarantee for the relaxed objective.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sampling/ric_pool.h"
+
+namespace imc {
+
+struct GreedyResult {
+  std::vector<NodeId> seeds;
+  double c_hat = 0.0;  // ĉ_R(seeds)
+  double nu = 0.0;     // ν_R(seeds)
+};
+
+/// Plain greedy on ĉ_R; O(k · Σ_v |touches(v)|).
+[[nodiscard]] GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k);
+
+/// CELF lazy greedy on ν_R; near-linear in practice.
+[[nodiscard]] GreedyResult celf_greedy_nu(const RicPool& pool,
+                                          std::uint32_t k);
+
+/// Plain (non-lazy) greedy on ν_R — ablation twin of celf_greedy_nu; the
+/// two must pick identical seed sets (asserted in tests).
+[[nodiscard]] GreedyResult plain_greedy_nu(const RicPool& pool,
+                                           std::uint32_t k);
+
+}  // namespace imc

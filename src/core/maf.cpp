@@ -1,0 +1,74 @@
+#include "core/maf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace imc {
+
+MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
+                      std::uint64_t seed) {
+  const CommunitySet& communities = pool.communities();
+  const NodeId n = pool.graph().node_count();
+  Rng rng(seed);
+
+  // -- S_1: communities by source frequency ---------------------------------
+  std::vector<std::uint32_t> frequency(communities.size(), 0);
+  for (const RicSample& g : pool.samples()) ++frequency[g.community];
+  std::vector<CommunityId> order(communities.size());
+  for (CommunityId c = 0; c < communities.size(); ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](CommunityId a, CommunityId b) {
+    if (frequency[a] != frequency[b]) return frequency[a] > frequency[b];
+    return a < b;
+  });
+
+  MafSolution solution;
+  for (const CommunityId c : order) {
+    if (solution.s1.size() >= k) break;
+    const auto members = communities.members(c);
+    const std::uint32_t h = communities.threshold(c);
+    // Line 5-6 of Alg. 3: take h random members iff they fit in the budget.
+    if (solution.s1.size() + h > k) continue;
+    std::vector<NodeId> shuffled(members.begin(), members.end());
+    rng.shuffle(std::span<NodeId>(shuffled));
+    solution.s1.insert(solution.s1.end(), shuffled.begin(),
+                       shuffled.begin() + h);
+  }
+
+  // -- S_2: k nodes with the highest appearance counts ----------------------
+  std::vector<NodeId> by_appearance;
+  by_appearance.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (pool.appearance_count(v) > 0) by_appearance.push_back(v);
+  }
+  std::sort(by_appearance.begin(), by_appearance.end(),
+            [&](NodeId a, NodeId b) {
+              const auto ca = pool.appearance_count(a);
+              const auto cb = pool.appearance_count(b);
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  if (by_appearance.size() > k) by_appearance.resize(k);
+  solution.s2 = std::move(by_appearance);
+
+  // -- Line 8: keep the better under ĉ_R ------------------------------------
+  const double c1 = pool.c_hat(solution.s1);
+  const double c2 = pool.c_hat(solution.s2);
+  solution.chose_s1 = c1 >= c2;
+  solution.seeds = solution.chose_s1 ? solution.s1 : solution.s2;
+  solution.c_hat = solution.chose_s1 ? c1 : c2;
+  return solution;
+}
+
+double MafSolver::alpha(const RicPool& pool, std::uint32_t k) const {
+  const CommunitySet& communities = pool.communities();
+  const double r = static_cast<double>(std::max<CommunityId>(
+      1, communities.size()));
+  const double h =
+      static_cast<double>(std::max<std::uint32_t>(1, communities.max_threshold()));
+  const double ratio =
+      std::floor(static_cast<double>(k) / h) / r;
+  return std::clamp(ratio, 1e-12, 1.0);
+}
+
+}  // namespace imc

@@ -1,0 +1,32 @@
+#include "core/maxr_solver.h"
+
+#include <stdexcept>
+
+#include "core/bt.h"
+#include "core/maf.h"
+#include "core/mb.h"
+#include "core/ubg.h"
+
+namespace imc {
+
+std::unique_ptr<MaxrSolver> make_maxr_solver(MaxrAlgorithm algorithm) {
+  switch (algorithm) {
+    case MaxrAlgorithm::kUbg: return std::make_unique<UbgSolver>();
+    case MaxrAlgorithm::kMaf: return std::make_unique<MafSolver>();
+    case MaxrAlgorithm::kBt: return std::make_unique<BtSolver>();
+    case MaxrAlgorithm::kMb: return std::make_unique<MbSolver>();
+  }
+  throw std::invalid_argument("make_maxr_solver: bad algorithm");
+}
+
+std::string to_string(MaxrAlgorithm algorithm) {
+  switch (algorithm) {
+    case MaxrAlgorithm::kUbg: return "UBG";
+    case MaxrAlgorithm::kMaf: return "MAF";
+    case MaxrAlgorithm::kBt: return "BT";
+    case MaxrAlgorithm::kMb: return "MB";
+  }
+  throw std::invalid_argument("to_string: bad MaxrAlgorithm");
+}
+
+}  // namespace imc

@@ -1,0 +1,33 @@
+#include "core/mb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace imc {
+
+MbSolution mb_solve(const RicPool& pool, std::uint32_t k,
+                    const BtConfig& bt_config, std::uint64_t maf_seed) {
+  MbSolution solution;
+  solution.maf = maf_solve(pool, k, maf_seed);
+  solution.bt = bt_solve(pool, k, bt_config);
+  solution.chose_bt = solution.bt.c_hat > solution.maf.c_hat;
+  const MaxrSolution& winner =
+      solution.chose_bt ? static_cast<const MaxrSolution&>(solution.bt)
+                        : static_cast<const MaxrSolution&>(solution.maf);
+  solution.seeds = winner.seeds;
+  solution.c_hat = winner.c_hat;
+  return solution;
+}
+
+double MbSolver::alpha(const RicPool& pool, std::uint32_t k) const {
+  constexpr double kOneMinusInvE = 1.0 - 1.0 / 2.718281828459045;
+  const double r =
+      static_cast<double>(std::max<CommunityId>(1, pool.communities().size()));
+  const double floor_half_k = std::floor(static_cast<double>(k) / 2.0);
+  const double value =
+      kOneMinusInvE * std::max(1.0, floor_half_k) /
+      (r * static_cast<double>(std::max(1U, k)));
+  return std::clamp(std::sqrt(value), 1e-12, 1.0);
+}
+
+}  // namespace imc

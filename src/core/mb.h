@@ -1,0 +1,43 @@
+// MB — the MAF ∧ BT combination (paper §IV-C "Combining with MAF").
+//
+// Runs both MAF and BT and keeps the better seed set under ĉ_R. Theorem 5:
+// for thresholds <= 2 this is a Θ(√((1−1/e)/r)) approximation — tight to
+// the Theorem 1 inapproximability bound under the exponential time
+// hypothesis.
+#pragma once
+
+#include "core/bt.h"
+#include "core/maf.h"
+#include "core/maxr_solver.h"
+
+namespace imc {
+
+struct MbSolution : MaxrSolution {
+  MafSolution maf;
+  BtSolution bt;
+  bool chose_bt = false;
+};
+
+[[nodiscard]] MbSolution mb_solve(const RicPool& pool, std::uint32_t k,
+                                  const BtConfig& bt_config = {},
+                                  std::uint64_t maf_seed = 1234);
+
+class MbSolver final : public MaxrSolver {
+ public:
+  explicit MbSolver(BtConfig bt_config = {}, std::uint64_t maf_seed = 1234)
+      : bt_config_(bt_config), maf_seed_(maf_seed) {}
+  [[nodiscard]] std::string name() const override { return "MB"; }
+  /// Theorem 5: α = sqrt((1 − 1/e)·⌊k/2⌋ / (r·k)).
+  [[nodiscard]] double alpha(const RicPool& pool,
+                             std::uint32_t k) const override;
+  [[nodiscard]] MaxrSolution solve(const RicPool& pool,
+                                   std::uint32_t k) const override {
+    return mb_solve(pool, k, bt_config_, maf_seed_);
+  }
+
+ private:
+  BtConfig bt_config_;
+  std::uint64_t maf_seed_;
+};
+
+}  // namespace imc

@@ -1,0 +1,95 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+#include "util/mathx.h"
+
+namespace imc {
+
+namespace {
+
+/// min(count / h, 1): the per-sample fractional ν term.
+[[nodiscard]] double fraction_of(std::uint32_t count,
+                                 std::uint32_t threshold) noexcept {
+  return count >= threshold
+             ? 1.0
+             : static_cast<double>(count) / static_cast<double>(threshold);
+}
+
+}  // namespace
+
+CoverageState::CoverageState(const RicPool& pool) : pool_(&pool) {
+  covered_.assign(pool.size(), 0);
+  is_seed_.assign(pool.graph().node_count(), 0);
+}
+
+void CoverageState::reset() {
+  std::fill(covered_.begin(), covered_.end(), 0);
+  std::fill(is_seed_.begin(), is_seed_.end(), 0);
+  seeds_.clear();
+  influenced_ = 0;
+  nu_sum_ = 0.0;
+}
+
+void CoverageState::add_seed(NodeId v) {
+  if (is_seed_.at(v)) return;
+  is_seed_[v] = 1;
+  seeds_.push_back(v);
+  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
+    const std::uint64_t before = covered_[touch.sample];
+    const std::uint64_t after = before | touch.mask;
+    if (after == before) continue;
+    covered_[touch.sample] = after;
+    const auto threshold = pool_->sample(touch.sample).threshold;
+    const auto old_count = static_cast<std::uint32_t>(popcount64(before));
+    const auto new_count = static_cast<std::uint32_t>(popcount64(after));
+    if (old_count < threshold && new_count >= threshold) ++influenced_;
+    nu_sum_ += fraction_of(new_count, threshold) -
+               fraction_of(old_count, threshold);
+  }
+}
+
+double CoverageState::c_hat() const noexcept {
+  if (pool_->size() == 0) return 0.0;
+  return pool_->total_benefit() * static_cast<double>(influenced_) /
+         static_cast<double>(pool_->size());
+}
+
+double CoverageState::nu() const noexcept {
+  if (pool_->size() == 0) return 0.0;
+  return pool_->total_benefit() * nu_sum_ /
+         static_cast<double>(pool_->size());
+}
+
+std::uint64_t CoverageState::marginal_influenced(NodeId v) const {
+  if (is_seed_.at(v)) return 0;
+  std::uint64_t gain = 0;
+  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
+    const std::uint64_t before = covered_[touch.sample];
+    const std::uint64_t after = before | touch.mask;
+    if (after == before) continue;
+    const auto threshold = pool_->sample(touch.sample).threshold;
+    const auto old_count = static_cast<std::uint32_t>(popcount64(before));
+    const auto new_count = static_cast<std::uint32_t>(popcount64(after));
+    if (old_count < threshold && new_count >= threshold) ++gain;
+  }
+  return gain;
+}
+
+double CoverageState::marginal_nu(NodeId v) const {
+  if (is_seed_.at(v)) return 0.0;
+  double gain = 0.0;
+  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
+    const std::uint64_t before = covered_[touch.sample];
+    const std::uint64_t after = before | touch.mask;
+    if (after == before) continue;
+    const auto threshold = pool_->sample(touch.sample).threshold;
+    gain += fraction_of(static_cast<std::uint32_t>(popcount64(after)),
+                        threshold) -
+            fraction_of(static_cast<std::uint32_t>(popcount64(before)),
+                        threshold);
+  }
+  return gain;
+}
+
+}  // namespace imc

@@ -1,0 +1,67 @@
+// Incremental evaluation of the two MAXR objectives over a RicPool:
+//   ĉ_R(S)  — count of influenced samples (paper eq. 3, non-submodular),
+//   ν_R(S)  — fractional upper bound Σ min(|I_g|/h_g, 1) (eq. 7, submodular).
+//
+// CoverageState keeps, per sample, the mask of community members currently
+// reached by the seed set, so adding one seed and querying one candidate's
+// marginal are both O(#samples the node touches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "sampling/ric_pool.h"
+
+namespace imc {
+
+class CoverageState {
+ public:
+  explicit CoverageState(const RicPool& pool);
+
+  /// Clears back to the empty seed set.
+  void reset();
+
+  /// Adds one seed (idempotent — re-adding is a no-op).
+  void add_seed(NodeId v);
+
+  [[nodiscard]] const std::vector<NodeId>& seeds() const noexcept {
+    return seeds_;
+  }
+
+  // -- current values ------------------------------------------------------
+  /// Number of samples with popcount(covered) >= threshold.
+  [[nodiscard]] std::uint64_t influenced() const noexcept {
+    return influenced_;
+  }
+  /// Σ_g min(covered_g / h_g, 1) (unnormalized ν; multiply by b/|R|).
+  [[nodiscard]] double nu_sum() const noexcept { return nu_sum_; }
+
+  /// ĉ_R(current seeds) in benefit units.
+  [[nodiscard]] double c_hat() const noexcept;
+  /// ν_R(current seeds) in benefit units.
+  [[nodiscard]] double nu() const noexcept;
+
+  // -- candidate marginals (no mutation) ------------------------------------
+  /// Increase of influenced() if v were added.
+  [[nodiscard]] std::uint64_t marginal_influenced(NodeId v) const;
+  /// Increase of nu_sum() if v were added.
+  [[nodiscard]] double marginal_nu(NodeId v) const;
+
+  /// Member mask currently covered in sample g.
+  [[nodiscard]] std::uint64_t covered_mask(std::uint32_t g) const {
+    return covered_.at(g);
+  }
+
+  [[nodiscard]] const RicPool& pool() const noexcept { return *pool_; }
+
+ private:
+  const RicPool* pool_;
+  std::vector<std::uint64_t> covered_;   // per sample: reached member mask
+  std::vector<std::uint8_t> is_seed_;    // per node
+  std::vector<NodeId> seeds_;
+  std::uint64_t influenced_ = 0;
+  double nu_sum_ = 0.0;
+};
+
+}  // namespace imc

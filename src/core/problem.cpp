@@ -1,0 +1,80 @@
+#include "core/problem.h"
+
+#include <stdexcept>
+
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "community/random_partition.h"
+#include "community/size_cap.h"
+#include "community/threshold_policy.h"
+#include "util/rng.h"
+
+namespace imc {
+
+CommunitySet build_communities(const Graph& graph,
+                               const CommunityBuildConfig& config) {
+  Rng rng(config.seed);
+  CommunitySet communities;
+  switch (config.method) {
+    case CommunityMethod::kLouvain: {
+      LouvainConfig louvain;
+      louvain.seed = config.seed;
+      const LouvainResult result = louvain_communities(graph, louvain);
+      communities =
+          CommunitySet::from_assignment(graph.node_count(), result.assignment);
+      break;
+    }
+    case CommunityMethod::kRandom: {
+      CommunityId count = config.random_communities;
+      if (count == 0) {
+        count = std::max<CommunityId>(
+            1, graph.node_count() / std::max<NodeId>(1, config.size_cap));
+      }
+      communities = CommunitySet::from_assignment(
+          graph.node_count(),
+          random_partition(graph.node_count(), count, rng));
+      break;
+    }
+    case CommunityMethod::kLabelPropagation: {
+      LabelPropagationConfig lpa;
+      lpa.seed = config.seed;
+      communities = CommunitySet::from_assignment(
+          graph.node_count(), label_propagation_communities(graph, lpa));
+      break;
+    }
+  }
+
+  if (config.size_cap > 0) {
+    communities = cap_community_sizes(communities, config.size_cap, rng);
+  }
+
+  apply_population_benefits(communities);
+  switch (config.regime) {
+    case ThresholdRegime::kFractionOfPopulation:
+      apply_fraction_thresholds(communities, config.threshold_fraction);
+      break;
+    case ThresholdRegime::kConstantBounded:
+      apply_constant_thresholds(communities, config.threshold_constant);
+      break;
+  }
+  return communities;
+}
+
+std::string to_string(CommunityMethod method) {
+  switch (method) {
+    case CommunityMethod::kLouvain: return "louvain";
+    case CommunityMethod::kRandom: return "random";
+    case CommunityMethod::kLabelPropagation: return "lpa";
+  }
+  throw std::invalid_argument("to_string: bad CommunityMethod");
+}
+
+std::string to_string(ThresholdRegime regime) {
+  switch (regime) {
+    case ThresholdRegime::kFractionOfPopulation: return "regular";
+    case ThresholdRegime::kConstantBounded: return "bounded";
+  }
+  throw std::invalid_argument("to_string: bad ThresholdRegime");
+}
+
+}  // namespace imc

@@ -1,0 +1,60 @@
+// Problem bundling and experiment-setup helpers.
+//
+// An ImcProblem ties together the three inputs of Definition 1 — graph,
+// community structure, budget k — plus the accuracy parameters. The factory
+// functions reproduce the paper's experimental setup (§VI-A): Louvain or
+// Random partition, size cap s, population benefits, and either fractional
+// (h = 50% pop) or constant (h = 2) activation thresholds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "community/community_set.h"
+#include "estimation/concentration.h"
+#include "graph/graph.h"
+
+namespace imc {
+
+struct ImcProblem {
+  const Graph* graph = nullptr;
+  CommunitySet communities;
+  std::uint32_t k = 10;
+  ApproxParams params;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return graph != nullptr && !communities.empty() && k >= 1;
+  }
+};
+
+/// Community formation method of the experiments.
+enum class CommunityMethod { kLouvain, kRandom, kLabelPropagation };
+
+/// Threshold regime of the experiments.
+enum class ThresholdRegime {
+  kFractionOfPopulation,  // h_i = ceil(fraction · |C_i|) — "regular" case
+  kConstantBounded,       // h_i = min(h, |C_i|)          — "bounded" case
+};
+
+struct CommunityBuildConfig {
+  CommunityMethod method = CommunityMethod::kLouvain;
+  NodeId size_cap = 8;         // the paper's s (default s = 8)
+  ThresholdRegime regime = ThresholdRegime::kFractionOfPopulation;
+  double threshold_fraction = 0.5;  // used by kFractionOfPopulation
+  std::uint32_t threshold_constant = 2;  // used by kConstantBounded
+  /// For kRandom: number of communities before capping; 0 = n / size_cap.
+  CommunityId random_communities = 0;
+  std::uint64_t seed = 42;
+};
+
+/// Builds a CommunitySet per the paper's §VI-A recipe: detect (Louvain /
+/// Random / LPA), split to the size cap, set b_i = |C_i| and the chosen
+/// threshold policy.
+[[nodiscard]] CommunitySet build_communities(const Graph& graph,
+                                             const CommunityBuildConfig& config);
+
+[[nodiscard]] std::string to_string(CommunityMethod method);
+[[nodiscard]] std::string to_string(ThresholdRegime regime);
+
+}  // namespace imc

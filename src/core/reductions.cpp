@@ -1,0 +1,96 @@
+#include "core/reductions.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace imc {
+
+DksToImcResult dks_to_imc(const DksInstance& instance) {
+  if (instance.edges.empty()) {
+    throw std::invalid_argument("dks_to_imc: instance has no edges");
+  }
+  for (const auto& [a, b] : instance.edges) {
+    if (a >= instance.nodes || b >= instance.nodes || a == b) {
+      throw std::invalid_argument("dks_to_imc: bad edge endpoint");
+    }
+  }
+
+  DksToImcResult result;
+  result.copies_of.resize(instance.nodes);
+
+  // One community per DkS edge, two fresh copy-nodes per community.
+  std::vector<std::vector<NodeId>> groups;
+  groups.reserve(instance.edges.size());
+  NodeId next_node = 0;
+  for (const auto& [a, b] : instance.edges) {
+    const NodeId a_copy = next_node++;
+    const NodeId b_copy = next_node++;
+    result.copy_of.push_back(a);
+    result.copy_of.push_back(b);
+    result.copies_of[a].push_back(a_copy);
+    result.copies_of[b].push_back(b_copy);
+    groups.push_back({a_copy, b_copy});
+  }
+
+  // Wire each U_a into a strongly connected cluster (a directed cycle is
+  // the cheapest strongly-connected wiring) with certain edges.
+  GraphBuilder builder;
+  builder.reserve_nodes(next_node);
+  for (const auto& copies : result.copies_of) {
+    if (copies.size() < 2) continue;
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+      builder.add_edge(copies[i], copies[(i + 1) % copies.size()], 1.0);
+    }
+  }
+
+  result.graph = builder.build();
+  result.communities = CommunitySet(next_node, std::move(groups));
+  for (CommunityId c = 0; c < result.communities.size(); ++c) {
+    result.communities.set_threshold(c, 2);  // both endpoints needed
+    // unit benefit (default 1.0): c(S) counts influenced edges.
+  }
+  return result;
+}
+
+std::uint64_t dks_edges_inside(const DksInstance& instance,
+                               const std::vector<NodeId>& chosen) {
+  std::vector<std::uint8_t> in_set(instance.nodes, 0);
+  for (const NodeId v : chosen) in_set.at(v) = 1;
+  std::uint64_t inside = 0;
+  for (const auto& [a, b] : instance.edges) {
+    if (in_set[a] && in_set[b]) ++inside;
+  }
+  return inside;
+}
+
+std::vector<NodeId> project_seeds_to_dks(const DksToImcResult& reduction,
+                                         const std::vector<NodeId>& imc_seeds) {
+  std::vector<NodeId> projected;
+  projected.reserve(imc_seeds.size());
+  for (const NodeId v : imc_seeds) {
+    projected.push_back(reduction.copy_of.at(v));
+  }
+  std::sort(projected.begin(), projected.end());
+  projected.erase(std::unique(projected.begin(), projected.end()),
+                  projected.end());
+  return projected;
+}
+
+std::vector<NodeId> lift_seeds_to_imc(const DksToImcResult& reduction,
+                                      const std::vector<NodeId>& dks_nodes) {
+  std::vector<NodeId> lifted;
+  lifted.reserve(dks_nodes.size());
+  for (const NodeId a : dks_nodes) {
+    const auto& copies = reduction.copies_of.at(a);
+    if (copies.empty()) {
+      throw std::invalid_argument(
+          "lift_seeds_to_imc: DkS node has no incident edge / copies");
+    }
+    lifted.push_back(copies.front());
+  }
+  return lifted;
+}
+
+}  // namespace imc

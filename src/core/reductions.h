@@ -1,0 +1,60 @@
+// The Densest-k-Subgraph → IMC reduction from the paper's Theorem 1
+// (inapproximability): given an undirected DkS instance G_D, build an IMC
+// instance where
+//   * every edge e = {a, b} of G_D becomes a community C_e = {a_e, b_e}
+//     with threshold 2 and unit benefit,
+//   * all copies of the same original node a (the set U_a) are wired into
+//     a strongly-connected cluster with weight-1 edges,
+// so that seeding any one copy of a activates every copy, and a community
+// C_e is influenced iff both endpoints of e were selected — hence
+// e(S_D) = c(S_I) and any IMC approximation transfers to DkS.
+//
+// Exposed as a library component so tests can machine-check the proof's
+// equality on concrete instances (and as a worked example of encoding
+// combinatorial problems in IMC).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// An undirected DkS instance: n nodes, edge list (unordered pairs).
+struct DksInstance {
+  NodeId nodes = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/// The constructed IMC instance plus the bookkeeping needed to map
+/// solutions back and forth.
+struct DksToImcResult {
+  Graph graph;               // deterministic (weight-1) IMC graph
+  CommunitySet communities;  // one 2-member community per DkS edge, h = 2
+  /// copy_of[v] = original DkS node of IMC node v.
+  std::vector<NodeId> copy_of;
+  /// copies_of[a] = the IMC nodes U_a representing DkS node a.
+  std::vector<std::vector<NodeId>> copies_of;
+};
+
+/// Builds the Theorem-1 instance. Throws std::invalid_argument on empty
+/// edge sets or out-of-range endpoints.
+[[nodiscard]] DksToImcResult dks_to_imc(const DksInstance& instance);
+
+/// e(S): number of edges of the DkS instance inside the induced subgraph.
+[[nodiscard]] std::uint64_t dks_edges_inside(
+    const DksInstance& instance, const std::vector<NodeId>& chosen);
+
+/// Maps an IMC seed set back to DkS nodes (corresponding-node projection,
+/// deduplicated).
+[[nodiscard]] std::vector<NodeId> project_seeds_to_dks(
+    const DksToImcResult& reduction, const std::vector<NodeId>& imc_seeds);
+
+/// Lifts a DkS node set to IMC seeds (one arbitrary copy per node).
+[[nodiscard]] std::vector<NodeId> lift_seeds_to_imc(
+    const DksToImcResult& reduction, const std::vector<NodeId>& dks_nodes);
+
+}  // namespace imc

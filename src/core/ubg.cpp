@@ -1,0 +1,24 @@
+#include "core/ubg.h"
+
+namespace imc {
+
+UbgSolution ubg_solve(const RicPool& pool, std::uint32_t k) {
+  UbgSolution solution;
+  solution.from_c_hat = greedy_c_hat(pool, k);
+  solution.from_nu = celf_greedy_nu(pool, k);
+  solution.sandwich_ratio =
+      solution.from_nu.nu > 0.0
+          ? solution.from_nu.c_hat / solution.from_nu.nu
+          : 0.0;
+  // Line 3 of Alg. 2: keep whichever scores higher under ĉ_R.
+  if (solution.from_c_hat.c_hat >= solution.from_nu.c_hat) {
+    solution.seeds = solution.from_c_hat.seeds;
+    solution.c_hat = solution.from_c_hat.c_hat;
+  } else {
+    solution.seeds = solution.from_nu.seeds;
+    solution.c_hat = solution.from_nu.c_hat;
+  }
+  return solution;
+}
+
+}  // namespace imc

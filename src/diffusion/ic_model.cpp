@@ -1,0 +1,52 @@
+#include "diffusion/ic_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imc {
+
+std::size_t simulate_ic_into(const Graph& graph, std::span<const NodeId> seeds,
+                             Rng& rng, std::vector<std::uint8_t>& active,
+                             std::vector<NodeId>& frontier_scratch) {
+  const NodeId n = graph.node_count();
+  active.assign(n, 0);
+  frontier_scratch.clear();
+  std::size_t active_count = 0;
+  for (const NodeId s : seeds) {
+    if (s >= n) throw std::out_of_range("simulate_ic: seed out of range");
+    if (!active[s]) {
+      active[s] = 1;
+      frontier_scratch.push_back(s);
+      ++active_count;
+    }
+  }
+  // Order within the frontier does not affect the final active set under IC
+  // (each edge is tried at most once), so a LIFO stack is fine.
+  while (!frontier_scratch.empty()) {
+    const NodeId u = frontier_scratch.back();
+    frontier_scratch.pop_back();
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (!active[nb.node] &&
+          rng.bernoulli(static_cast<double>(nb.weight))) {
+        active[nb.node] = 1;
+        frontier_scratch.push_back(nb.node);
+        ++active_count;
+      }
+    }
+  }
+  return active_count;
+}
+
+std::vector<NodeId> simulate_ic(const Graph& graph,
+                                std::span<const NodeId> seeds, Rng& rng) {
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> frontier;
+  simulate_ic_into(graph, seeds, rng, active, frontier);
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (active[v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace imc

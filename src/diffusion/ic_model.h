@@ -1,0 +1,29 @@
+// Independent Cascade forward simulation (Kempe–Kleinberg–Tardos), the
+// paper's diffusion model (§II-A): seeds are active at round 0; each newly
+// active u gets one chance to activate each inactive out-neighbor v with
+// probability w(u, v); active nodes stay active.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// One IC realization. Returns the final active set as a sorted node list.
+/// Duplicate seeds are tolerated; out-of-range seeds throw.
+[[nodiscard]] std::vector<NodeId> simulate_ic(const Graph& graph,
+                                              std::span<const NodeId> seeds,
+                                              Rng& rng);
+
+/// Same cascade, but writes into a caller-provided active bitmap (resized
+/// and cleared internally) and returns the number of active nodes — avoids
+/// allocation churn in tight Monte-Carlo loops.
+std::size_t simulate_ic_into(const Graph& graph, std::span<const NodeId> seeds,
+                             Rng& rng, std::vector<std::uint8_t>& active,
+                             std::vector<NodeId>& frontier_scratch);
+
+}  // namespace imc

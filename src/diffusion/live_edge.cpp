@@ -1,0 +1,53 @@
+#include "diffusion/live_edge.h"
+
+#include <algorithm>
+
+namespace imc {
+
+EdgeId LiveEdgeGraph::edge_count() const noexcept {
+  EdgeId total = 0;
+  for (const auto& adjacency : out) total += adjacency.size();
+  return total;
+}
+
+std::vector<NodeId> LiveEdgeGraph::reachable(
+    std::span<const NodeId> sources) const {
+  std::vector<std::uint8_t> seen(out.size(), 0);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> visited;
+  for (const NodeId s : sources) {
+    if (!seen[s]) {
+      seen[s] = 1;
+      stack.push_back(s);
+      visited.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : out[u]) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        stack.push_back(v);
+        visited.push_back(v);
+      }
+    }
+  }
+  std::sort(visited.begin(), visited.end());
+  return visited;
+}
+
+LiveEdgeGraph sample_live_edges(const Graph& graph, Rng& rng) {
+  LiveEdgeGraph sample;
+  sample.out.resize(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (rng.bernoulli(static_cast<double>(nb.weight))) {
+        sample.out[u].push_back(nb.node);
+      }
+    }
+  }
+  return sample;
+}
+
+}  // namespace imc

@@ -1,0 +1,36 @@
+// Live-edge (deterministic sample) graphs.
+//
+// The IC process is distributionally equivalent to: flip every edge once
+// (live with probability w(u,v)), then activate everything reachable from
+// the seeds through live edges (paper §II-A, "sample graph of G"). Tests use
+// this equivalence to validate both the simulator and the RIC sampler.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// A realized deterministic graph: out-adjacency of the surviving edges.
+struct LiveEdgeGraph {
+  std::vector<std::vector<NodeId>> out;
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(out.size());
+  }
+  [[nodiscard]] EdgeId edge_count() const noexcept;
+
+  /// Nodes reachable from `sources` through live edges (sorted, includes
+  /// the sources).
+  [[nodiscard]] std::vector<NodeId> reachable(
+      std::span<const NodeId> sources) const;
+};
+
+/// Flips every edge of `graph` independently.
+[[nodiscard]] LiveEdgeGraph sample_live_edges(const Graph& graph, Rng& rng);
+
+}  // namespace imc

@@ -1,0 +1,110 @@
+#include "diffusion/monte_carlo.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "diffusion/ic_model.h"
+#include "diffusion/lt_model.h"
+#include "util/mathx.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace imc {
+
+namespace {
+
+/// Runs `simulations` replications; `per_run` maps the active bitmap to a
+/// scalar, results are averaged. Each chunk gets an independent RNG stream.
+double mc_average(
+    const Graph& graph, std::span<const NodeId> seeds,
+    const MonteCarloOptions& options,
+    const std::function<double(const std::vector<std::uint8_t>&)>& per_run) {
+  if (options.simulations == 0) return 0.0;
+  const Rng master(options.seed);
+
+  const auto run_chunk = [&](std::uint64_t begin, std::uint64_t end,
+                             unsigned chunk_index) -> double {
+    Rng rng = master.split(chunk_index);
+    std::vector<std::uint8_t> active;
+    std::vector<NodeId> frontier;
+    KahanSum sum;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (options.model == DiffusionModel::kIndependentCascade) {
+        simulate_ic_into(graph, seeds, rng, active, frontier);
+      } else {
+        const std::vector<NodeId> result = simulate_lt(graph, seeds, rng);
+        active.assign(graph.node_count(), 0);
+        for (const NodeId v : result) active[v] = 1;
+      }
+      sum.add(per_run(active));
+    }
+    return sum.value();
+  };
+
+  if (!options.parallel) {
+    return run_chunk(0, options.simulations, 0) /
+           static_cast<double>(options.simulations);
+  }
+
+  std::mutex mutex;
+  KahanSum total;
+  parallel_for(default_pool(), options.simulations,
+               [&](std::uint64_t begin, std::uint64_t end, unsigned chunk) {
+                 const double partial = run_chunk(begin, end, chunk);
+                 const std::lock_guard<std::mutex> lock(mutex);
+                 total.add(partial);
+               });
+  return total.value() / static_cast<double>(options.simulations);
+}
+
+}  // namespace
+
+double mc_expected_spread(const Graph& graph, std::span<const NodeId> seeds,
+                          const MonteCarloOptions& options) {
+  return mc_average(graph, seeds, options,
+                    [](const std::vector<std::uint8_t>& active) {
+                      return static_cast<double>(
+                          std::count(active.begin(), active.end(), 1));
+                    });
+}
+
+double mc_expected_benefit(const Graph& graph,
+                           const CommunitySet& communities,
+                           std::span<const NodeId> seeds,
+                           const MonteCarloOptions& options) {
+  return mc_average(
+      graph, seeds, options, [&](const std::vector<std::uint8_t>& active) {
+        double benefit = 0.0;
+        for (CommunityId c = 0; c < communities.size(); ++c) {
+          std::uint32_t hit = 0;
+          for (const NodeId v : communities.members(c)) hit += active[v];
+          if (hit >= communities.threshold(c)) {
+            benefit += communities.benefit(c);
+          }
+        }
+        return benefit;
+      });
+}
+
+double mc_expected_nu(const Graph& graph, const CommunitySet& communities,
+                      std::span<const NodeId> seeds,
+                      const MonteCarloOptions& options) {
+  return mc_average(
+      graph, seeds, options, [&](const std::vector<std::uint8_t>& active) {
+        double value = 0.0;
+        for (CommunityId c = 0; c < communities.size(); ++c) {
+          std::uint32_t hit = 0;
+          for (const NodeId v : communities.members(c)) hit += active[v];
+          const double fraction =
+              std::min(1.0, static_cast<double>(hit) /
+                                static_cast<double>(communities.threshold(c)));
+          value += communities.benefit(c) * fraction;
+        }
+        return value;
+      });
+}
+
+}  // namespace imc

@@ -1,0 +1,43 @@
+// Monte-Carlo estimators over forward simulations. These are the slow but
+// unbiased ground truth against which the RIC-based estimators are tested,
+// and they implement the paper's final-evaluation step for baseline seeds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
+
+struct MonteCarloOptions {
+  std::uint64_t seed = 7;
+  std::uint32_t simulations = 1000;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  bool parallel = true;  // spread replications across default_pool()
+};
+
+/// Expected influence spread E[|active|] of the seed set.
+[[nodiscard]] double mc_expected_spread(const Graph& graph,
+                                        std::span<const NodeId> seeds,
+                                        const MonteCarloOptions& options = {});
+
+/// Expected benefit of influenced communities, c(S) of the paper
+/// (a community counts iff |active ∩ C_i| >= h_i; contributes b_i).
+[[nodiscard]] double mc_expected_benefit(const Graph& graph,
+                                         const CommunitySet& communities,
+                                         std::span<const NodeId> seeds,
+                                         const MonteCarloOptions& options = {});
+
+/// Expected value of the fractional upper-bound objective ν(S) of the paper
+/// (eq. 6): E[ Σ_i b_i · min(|active ∩ C_i| / h_i, 1) ].
+[[nodiscard]] double mc_expected_nu(const Graph& graph,
+                                    const CommunitySet& communities,
+                                    std::span<const NodeId> seeds,
+                                    const MonteCarloOptions& options = {});
+
+}  // namespace imc

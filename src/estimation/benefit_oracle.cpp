@@ -1,0 +1,3 @@
+// BenefitOracle is header-only; this translation unit exists so the module
+// has a home for future out-of-line additions and keeps the build uniform.
+#include "estimation/benefit_oracle.h"

@@ -1,0 +1,38 @@
+// Uniform façade for evaluating the quality of a seed set, used by the
+// benchmark harness so every algorithm (ours and baselines) is scored by
+// the same estimator, exactly as the paper does ("to evaluate the benefit
+// of influenced communities, we used Dagum estimation with the same ε, δ").
+#pragma once
+
+#include <span>
+
+#include "community/community_set.h"
+#include "estimation/dagum.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+class BenefitOracle {
+ public:
+  BenefitOracle(const Graph& graph, const CommunitySet& communities,
+                DagumOptions options = {})
+      : graph_(&graph), communities_(&communities), options_(options) {}
+
+  /// Dagum-estimated c(S); falls back to the running mean when T_max hits.
+  [[nodiscard]] double benefit(std::span<const NodeId> seeds) const {
+    return dagum_estimate_benefit(*graph_, *communities_, seeds, options_)
+        .value;
+  }
+
+  [[nodiscard]] const DagumOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const Graph* graph_;
+  const CommunitySet* communities_;
+  DagumOptions options_;
+};
+
+}  // namespace imc

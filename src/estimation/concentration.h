@@ -1,0 +1,64 @@
+// Sample-complexity bounds from the paper §V-A:
+//   * Lemma 6 martingale tail bounds on ĉ_R vs c,
+//   * Corollaries 1 & 2 minimum |R| values,
+//   * Theorem 6 / eq. (22): the hard cap Ψ on the number of RIC samples,
+//     using the optimum lower bound c(S*) >= β·k/h,
+//   * Λ of Alg. 5 (SSA stop-stage trigger) and Λ' of Alg. 6 (Dagum).
+#pragma once
+
+#include <cstdint>
+
+namespace imc {
+
+/// ε/δ split used by IMCAF. Paper §VI-A uses ε = δ = 0.2,
+/// ε1 = ε2 = ε/2 for the Ψ bound and ε1 = ε2 = ε3 = ε/4 in the SSA loop.
+struct ApproxParams {
+  double epsilon = 0.2;
+  double delta = 0.2;
+
+  [[nodiscard]] double eps1() const noexcept { return epsilon / 2; }
+  [[nodiscard]] double eps2() const noexcept { return epsilon / 2; }
+  [[nodiscard]] double delta1() const noexcept { return delta / 2; }
+  [[nodiscard]] double delta2() const noexcept { return delta / 2; }
+
+  // SSA-loop split (line 3 of Alg. 5): ε >= ε1 + ε2 + ε3 + ε1·ε2.
+  [[nodiscard]] double ssa_eps1() const noexcept { return epsilon / 4; }
+  [[nodiscard]] double ssa_eps2() const noexcept { return epsilon / 4; }
+  [[nodiscard]] double ssa_eps3() const noexcept { return epsilon / 4; }
+};
+
+/// Lemma 6 upper-tail bound: Pr[ĉ(S) > (1+ε)·c(S)] <= exp(−R ε² c(S) / (3b)).
+[[nodiscard]] double lemma6_upper_tail(double samples, double eps, double b,
+                                       double c_of_s);
+
+/// Lemma 6 lower-tail bound: Pr[ĉ(S) < (1−ε)·c(S)] <= exp(−R ε² c(S) / (2b)).
+[[nodiscard]] double lemma6_lower_tail(double samples, double eps, double b,
+                                       double c_of_s);
+
+/// Corollary 1: |R| >= 2 b ln(1/δ1) / (ε1² c(S*)).
+[[nodiscard]] double corollary1_samples(double b, double c_opt_lower,
+                                        double eps1, double delta1);
+
+/// Corollary 2: |R| >= 3 b ln(C(n,k)/δ2) / (α² ε2² c(S*)).
+[[nodiscard]] double corollary2_samples(std::uint64_t n, std::uint32_t k,
+                                        double b, double c_opt_lower,
+                                        double alpha, double eps2,
+                                        double delta2);
+
+/// Ψ of eq. (22): the max of the two corollary bounds with the optimum
+/// replaced by its lower bound c(S*) >= β·k/h (β = min benefit, h = max
+/// threshold). Requires k >= 1; saturates instead of overflowing.
+[[nodiscard]] std::uint64_t psi_sample_cap(std::uint64_t n, std::uint32_t k,
+                                           double b, double beta,
+                                           std::uint32_t h, double alpha,
+                                           const ApproxParams& params);
+
+/// Λ of Alg. 5 line 4: (1+ε1)(1+ε2) · (3/ε3²) · ln(3/(2δ)); the minimum
+/// number of INFLUENCED samples required before a stop-stage check fires.
+[[nodiscard]] double ssa_lambda(const ApproxParams& params);
+
+/// Λ' of Alg. 6 (Dagum stopping rule):
+/// 1 + 4(e−2)·ln(2/δ')·(1+ε')/ε'².
+[[nodiscard]] double dagum_lambda_prime(double eps_prime, double delta_prime);
+
+}  // namespace imc

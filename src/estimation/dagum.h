@@ -1,0 +1,44 @@
+// Dagum–Karp–Luby–Ross optimal Monte-Carlo estimation (their Stopping Rule
+// Algorithm), instantiated for the expected community benefit c(S) — the
+// paper's Estimate procedure (Alg. 6).
+//
+// Fresh RIC samples are drawn one at a time; we stop when the number of
+// samples influenced by S reaches Λ' = 1 + 4(e−2)·ln(2/δ')·(1+ε')/ε'².
+// The estimate b·Λ'/T is then within (1±ε')·c(S) with probability >= 1−δ'.
+// (Alg. 6 in the paper prints rΛ'/T; the scale factor must be the total
+// benefit b by Lemma 1 — with the paper's population benefits and unit
+// community sizes the two coincide, so we treat `r` as a typo for `b`.)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "community/community_set.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+struct DagumOptions {
+  double eps_prime = 0.1;
+  double delta_prime = 0.1;
+  std::uint64_t max_samples = 2'000'000;  // T_max of Alg. 6
+  std::uint64_t seed = 99;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+};
+
+struct DagumEstimate {
+  double value = 0.0;        // estimated c(S)
+  std::uint64_t samples = 0; // T, samples actually drawn
+  bool converged = false;    // false iff T_max hit first (paper returns -1)
+};
+
+/// Runs the stopping-rule estimator for c(S). A failure to converge leaves
+/// `value` at the best running estimate (b·Inf/T) with converged == false.
+[[nodiscard]] DagumEstimate dagum_estimate_benefit(
+    const Graph& graph, const CommunitySet& communities,
+    std::span<const NodeId> seeds, const DagumOptions& options = {});
+
+}  // namespace imc

@@ -1,0 +1,170 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace imc {
+
+namespace {
+
+/// Shared BFS over a direction-selectable adjacency.
+template <typename NeighborsFn>
+std::vector<NodeId> reachable_from(const Graph& graph,
+                                   std::span<const NodeId> roots,
+                                   NeighborsFn&& neighbors_of) {
+  std::vector<bool> seen(graph.node_count(), false);
+  std::vector<NodeId> frontier;
+  std::vector<NodeId> visited;
+  for (const NodeId r : roots) {
+    if (!seen[r]) {
+      seen[r] = true;
+      frontier.push_back(r);
+      visited.push_back(r);
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (const Neighbor& nb : neighbors_of(u)) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = true;
+        frontier.push_back(nb.node);
+        visited.push_back(nb.node);
+      }
+    }
+  }
+  std::sort(visited.begin(), visited.end());
+  return visited;
+}
+
+}  // namespace
+
+std::vector<NodeId> forward_reachable(const Graph& graph,
+                                      std::span<const NodeId> sources) {
+  return reachable_from(graph, sources,
+                        [&](NodeId u) { return graph.out_neighbors(u); });
+}
+
+std::vector<NodeId> backward_reachable(const Graph& graph,
+                                       std::span<const NodeId> targets) {
+  return reachable_from(graph, targets,
+                        [&](NodeId u) { return graph.in_neighbors(u); });
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& graph, NodeId source) {
+  std::vector<std::uint32_t> dist(graph.node_count(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (dist[nb.node] == kUnreachable) {
+        dist[nb.node] = dist[u] + 1;
+        queue.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<NodeId>> Components::groups() const {
+  std::vector<std::vector<NodeId>> result(count);
+  for (NodeId v = 0; v < component_of.size(); ++v) {
+    result[component_of[v]].push_back(v);
+  }
+  return result;
+}
+
+Components strongly_connected_components(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  Components result;
+  result.component_of.assign(n, kInvalidCommunity);
+  if (n == 0) return result;
+
+  constexpr std::uint32_t kUnvisited = 0xffffffffU;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+
+  // Explicit DFS frame: node + position within its neighbor list.
+  struct Frame {
+    NodeId node;
+    std::uint32_t next_neighbor;
+  };
+  std::vector<Frame> call_stack;
+  std::uint32_t next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto neighbors = graph.out_neighbors(frame.node);
+      if (frame.next_neighbor < neighbors.size()) {
+        const NodeId w = neighbors[frame.next_neighbor++].node;
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[w]);
+        }
+        continue;
+      }
+      // Post-order: pop frame, fold lowlink into parent, emit SCC if root.
+      const NodeId v = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink[call_stack.back().node] =
+            std::min(lowlink[call_stack.back().node], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        const CommunityId id = result.count++;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          result.component_of[w] = id;
+        } while (w != v);
+      }
+    }
+  }
+  return result;
+}
+
+Components weakly_connected_components(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  Components result;
+  result.component_of.assign(n, kInvalidCommunity);
+  std::vector<NodeId> frontier;
+  for (NodeId root = 0; root < n; ++root) {
+    if (result.component_of[root] != kInvalidCommunity) continue;
+    const CommunityId id = result.count++;
+    result.component_of[root] = id;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.back();
+      frontier.pop_back();
+      const auto visit = [&](NodeId w) {
+        if (result.component_of[w] == kInvalidCommunity) {
+          result.component_of[w] = id;
+          frontier.push_back(w);
+        }
+      };
+      for (const Neighbor& nb : graph.out_neighbors(u)) visit(nb.node);
+      for (const Neighbor& nb : graph.in_neighbors(u)) visit(nb.node);
+    }
+  }
+  return result;
+}
+
+}  // namespace imc

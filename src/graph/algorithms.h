@@ -1,0 +1,45 @@
+// Classic graph algorithms used as substrates: traversal, reachability,
+// strongly/weakly connected components. All iterative (no recursion) so they
+// handle million-node graphs without stack growth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// Nodes reachable from `sources` following OUT-edges (ignores weights —
+/// structural reachability). Result includes the sources, sorted ascending.
+[[nodiscard]] std::vector<NodeId> forward_reachable(
+    const Graph& graph, std::span<const NodeId> sources);
+
+/// Nodes that can REACH `targets` following edges forward (i.e. reachable
+/// from `targets` along IN-edges). Includes the targets, sorted ascending.
+[[nodiscard]] std::vector<NodeId> backward_reachable(
+    const Graph& graph, std::span<const NodeId> targets);
+
+/// BFS hop distance from `source` to every node; kUnreachable if unreached.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffU;
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& graph,
+                                                       NodeId source);
+
+/// Result of a components decomposition.
+struct Components {
+  std::vector<CommunityId> component_of;  // node -> component id
+  std::uint32_t count = 0;
+
+  [[nodiscard]] std::vector<std::vector<NodeId>> groups() const;
+};
+
+/// Strongly connected components via iterative Tarjan. Component ids are in
+/// reverse topological order of the condensation (Tarjan's natural order).
+[[nodiscard]] Components strongly_connected_components(const Graph& graph);
+
+/// Weakly connected components (treat all edges as undirected).
+[[nodiscard]] Components weakly_connected_components(const Graph& graph);
+
+}  // namespace imc

@@ -1,0 +1,35 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "graph/weights.h"
+
+namespace imc {
+
+void GraphBuilder::reserve_nodes(NodeId count) {
+  node_count_ = std::max(node_count_, count);
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId source, NodeId target,
+                                     double weight) {
+  node_count_ = std::max(node_count_, std::max(source, target) + 1);
+  edges_.push_back(WeightedEdge{source, target, weight});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_undirected_edge(NodeId a, NodeId b,
+                                                double weight) {
+  add_edge(a, b, weight);
+  add_edge(b, a, weight);
+  return *this;
+}
+
+Graph GraphBuilder::build() const { return Graph(node_count_, edges_); }
+
+Graph GraphBuilder::build_weighted_cascade() const {
+  EdgeList weighted = edges_;
+  apply_weighted_cascade(weighted, node_count_);
+  return Graph(node_count_, weighted);
+}
+
+}  // namespace imc

@@ -1,0 +1,46 @@
+// Incremental construction of Graphs from arbitrary edge streams.
+//
+// The builder tolerates out-of-order node discovery (it grows the node count
+// as edges arrive), supports undirected input (each undirected edge becomes
+// two directed edges, matching the paper's treatment of Facebook/DBLP), and
+// defers weight assignment so a weighting scheme (graph/weights.h) can be
+// applied after the topology is known.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares at least `count` nodes (ids [0, count)).
+  void reserve_nodes(NodeId count);
+
+  /// Adds a directed edge; nodes are created on demand.
+  GraphBuilder& add_edge(NodeId source, NodeId target, double weight = 1.0);
+
+  /// Adds both directions with the same weight.
+  GraphBuilder& add_undirected_edge(NodeId a, NodeId b, double weight = 1.0);
+
+  [[nodiscard]] NodeId node_count() const noexcept { return node_count_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] const EdgeList& edges() const noexcept { return edges_; }
+
+  /// Finalizes into an immutable Graph (the builder can be reused after).
+  [[nodiscard]] Graph build() const;
+
+  /// Finalizes after replacing every weight via the weighted-cascade scheme
+  /// w(u, v) = 1 / indeg(v) used throughout the paper's experiments (§VI-A).
+  [[nodiscard]] Graph build_weighted_cascade() const;
+
+ private:
+  NodeId node_count_ = 0;
+  EdgeList edges_;
+};
+
+}  // namespace imc

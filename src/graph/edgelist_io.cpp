@@ -1,0 +1,149 @@
+#include "graph/edgelist_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace imc {
+
+namespace {
+
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Splits on any run of spaces/tabs; returns up to 3 fields.
+[[nodiscard]] std::vector<std::string_view> split_fields(
+    std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size() && fields.size() < 4) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+[[nodiscard]] std::uint64_t parse_id(std::string_view field,
+                                     std::size_t line_number) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error("edge list: bad node id at line " +
+                             std::to_string(line_number));
+  }
+  return value;
+}
+
+[[nodiscard]] double parse_weight(std::string_view field,
+                                  std::size_t line_number) {
+  // std::from_chars for double is flaky pre-GCC11 for some locales; use stod.
+  try {
+    return std::stod(std::string(field));
+  } catch (const std::exception&) {
+    throw std::runtime_error("edge list: bad weight at line " +
+                             std::to_string(line_number));
+  }
+}
+
+}  // namespace
+
+LoadedEdgeList read_edge_list(std::istream& in,
+                              const EdgeListOptions& options) {
+  LoadedEdgeList result;
+  std::string line;
+  std::size_t line_number = 0;
+  std::uint64_t max_raw_id = 0;
+  bool saw_edge = false;
+
+  struct RawEdge {
+    std::uint64_t src, dst;
+    double weight;
+  };
+  std::vector<RawEdge> raw;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == '#' || body.front() == '%') continue;
+    const auto fields = split_fields(body);
+    if (fields.size() < 2 || fields.size() > 3) {
+      throw std::runtime_error("edge list: expected 2-3 fields at line " +
+                               std::to_string(line_number));
+    }
+    const std::uint64_t src = parse_id(fields[0], line_number);
+    const std::uint64_t dst = parse_id(fields[1], line_number);
+    const double weight = fields.size() == 3
+                              ? parse_weight(fields[2], line_number)
+                              : options.default_weight;
+    raw.push_back(RawEdge{src, dst, weight});
+    max_raw_id = std::max(max_raw_id, std::max(src, dst));
+    saw_edge = true;
+  }
+
+  if (!saw_edge) return result;
+
+  // Densify ids. If ids are already compact we keep them verbatim so tests
+  // and round-trips are intuitive; otherwise assign in order of appearance.
+  const bool dense = max_raw_id < raw.size() * 4 + 16;
+  const auto map_id = [&](std::uint64_t raw_id) -> NodeId {
+    if (dense) {
+      result.node_count =
+          std::max<NodeId>(result.node_count, static_cast<NodeId>(raw_id) + 1);
+      return static_cast<NodeId>(raw_id);
+    }
+    const auto [it, inserted] =
+        result.id_map.try_emplace(raw_id, result.node_count);
+    if (inserted) ++result.node_count;
+    return it->second;
+  };
+
+  result.edges.reserve(raw.size() * (options.undirected ? 2 : 1));
+  for (const RawEdge& e : raw) {
+    const NodeId s = map_id(e.src);
+    const NodeId t = map_id(e.dst);
+    result.edges.push_back(WeightedEdge{s, t, e.weight});
+    if (options.undirected) {
+      result.edges.push_back(WeightedEdge{t, s, e.weight});
+    }
+  }
+  return result;
+}
+
+LoadedEdgeList load_edge_list(const std::string& path,
+                              const EdgeListOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in, options);
+}
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      out << u << '\t' << nb.node << '\t' << nb.weight << '\n';
+    }
+  }
+}
+
+void save_edge_list(const std::string& path, const Graph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, graph);
+  if (!out) throw std::runtime_error("save_edge_list: write failed " + path);
+}
+
+}  // namespace imc

@@ -1,0 +1,50 @@
+// SNAP-compatible edge-list I/O.
+//
+// Reads the plain-text format used by the Stanford Network Analysis Project
+// datasets the paper evaluates on (one "src<ws>dst[<ws>weight]" pair per
+// line, '#' comment lines). Node ids in the file may be arbitrary integers;
+// the loader densifies them and returns the id mapping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+struct LoadedEdgeList {
+  NodeId node_count = 0;
+  EdgeList edges;
+  /// original file id -> dense id (only populated when densification ran).
+  std::unordered_map<std::uint64_t, NodeId> id_map;
+};
+
+struct EdgeListOptions {
+  /// Treat each line as an undirected edge (emit both directions).
+  bool undirected = false;
+  /// Weight for lines without an explicit third column.
+  double default_weight = 1.0;
+};
+
+/// Parses a SNAP edge list from a stream. Throws std::runtime_error with the
+/// offending line number on malformed input.
+[[nodiscard]] LoadedEdgeList read_edge_list(std::istream& in,
+                                            const EdgeListOptions& options = {});
+
+/// Parses a SNAP edge list file. Throws std::runtime_error if unreadable.
+[[nodiscard]] LoadedEdgeList load_edge_list(const std::string& path,
+                                            const EdgeListOptions& options = {});
+
+/// Writes "src\tdst\tweight" lines (no comments). Round-trips with the
+/// reader when ids are already dense.
+void write_edge_list(std::ostream& out, const Graph& graph);
+
+/// Writes an edge-list file; throws std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const Graph& graph);
+
+}  // namespace imc

@@ -1,0 +1,69 @@
+#include <stdexcept>
+#include <vector>
+
+#include "graph/generators/generators.h"
+
+namespace imc {
+
+EdgeList barabasi_albert_edges(const BarabasiAlbertConfig& config, Rng& rng) {
+  if (config.attach == 0) {
+    throw std::invalid_argument("barabasi_albert_edges: attach must be >= 1");
+  }
+  if (config.nodes <= config.attach) {
+    throw std::invalid_argument(
+        "barabasi_albert_edges: nodes must exceed attach");
+  }
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(config.nodes) * config.attach * 2);
+
+  // `endpoints` holds every edge endpoint seen so far; drawing a uniform
+  // element of it realizes preferential attachment ∝ degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(edges.capacity());
+
+  const auto add = [&](NodeId from, NodeId to) {
+    edges.push_back(WeightedEdge{from, to, 1.0});
+    if (!config.directed) edges.push_back(WeightedEdge{to, from, 1.0});
+    endpoints.push_back(from);
+    endpoints.push_back(to);
+  };
+
+  // Seed clique over the first (attach + 1) nodes so early draws are varied.
+  const NodeId seed_nodes = config.attach + 1;
+  for (NodeId a = 0; a < seed_nodes; ++a) {
+    for (NodeId b = a + 1; b < seed_nodes; ++b) {
+      add(a, b);
+      if (config.directed) edges.push_back(WeightedEdge{b, a, 1.0});
+    }
+  }
+
+  std::vector<NodeId> picks(config.attach);
+  for (NodeId v = seed_nodes; v < config.nodes; ++v) {
+    // Sample `attach` distinct targets by degree; retry on duplicates
+    // (duplicate probability is tiny once the endpoint pool grows).
+    for (std::uint32_t slot = 0; slot < config.attach; ++slot) {
+      NodeId target;
+      bool fresh;
+      do {
+        target = endpoints[rng.below(endpoints.size())];
+        fresh = true;
+        for (std::uint32_t prev = 0; prev < slot; ++prev) {
+          if (picks[prev] == target) {
+            fresh = false;
+            break;
+          }
+        }
+      } while (!fresh || target == v);
+      picks[slot] = target;
+    }
+    for (std::uint32_t slot = 0; slot < config.attach; ++slot) {
+      add(v, picks[slot]);
+      if (config.directed && rng.bernoulli(config.reciprocity)) {
+        edges.push_back(WeightedEdge{picks[slot], v, 1.0});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace imc

@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the five SNAP datasets of the paper's Table I.
+//
+// The evaluation machine has no network access, so instead of downloading
+// facebook/wiki-Vote/epinions/dblp/pokec we synthesize graphs of the same
+// type (directed/undirected) whose degree distributions are heavy-tailed via
+// preferential attachment — see DESIGN.md §3 for the substitution rationale
+// and the scaling table. `scale` multiplies node counts (1.0 = the defaults
+// below); benches read it from the IMC_BENCH_SCALE environment variable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace imc {
+
+enum class DatasetId {
+  kFacebook,   // undirected,   747 nodes at scale 1
+  kWikiVote,   // directed,   7 115 nodes at scale 1
+  kEpinions,   // directed,  15 000 nodes at scale 1 (paper: 76 K)
+  kDblp,       // undirected, 30 000 nodes at scale 1 (paper: 317 K)
+  kPokec,      // directed,  50 000 nodes at scale 1 (paper: 1.6 M)
+};
+
+struct DatasetInfo {
+  DatasetId id;
+  std::string name;        // e.g. "facebook"
+  bool directed;
+  NodeId paper_nodes;      // as reported in Table I
+  EdgeId paper_edges;      // as reported in Table I
+  NodeId standin_nodes;    // our default at scale 1
+};
+
+/// Metadata for all five datasets, in Table I order.
+[[nodiscard]] const std::vector<DatasetInfo>& dataset_catalog();
+
+[[nodiscard]] const DatasetInfo& dataset_info(DatasetId id);
+
+/// Parses "facebook" / "wiki-vote" / "epinions" / "dblp" / "pokec"
+/// (case-insensitive); throws std::invalid_argument otherwise.
+[[nodiscard]] DatasetId dataset_from_name(const std::string& name);
+
+/// Builds the stand-in graph with weighted-cascade IC weights
+/// (w(u,v) = 1/indeg(v), the paper's setting). `scale` in (0, +inf)
+/// multiplies the node count; the generator seed is fixed per dataset so
+/// repeated calls return identical graphs.
+[[nodiscard]] Graph make_dataset(DatasetId id, double scale = 1.0);
+
+}  // namespace imc

@@ -1,0 +1,44 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators/generators.h"
+
+namespace imc {
+
+EdgeList erdos_renyi_edges(NodeId n, double p, Rng& rng) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("erdos_renyi_edges: p outside [0, 1]");
+  }
+  EdgeList edges;
+  if (n == 0 || p == 0.0) return edges;
+  edges.reserve(static_cast<std::size_t>(
+      p * static_cast<double>(n) * static_cast<double>(n)));
+
+  // Enumerate the n*(n-1) ordered non-loop pairs as one index space and do
+  // geometric jumps between successes (Batagelj–Brandes).
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1);
+  const double log_keep = std::log(1.0 - p);
+  std::uint64_t position = 0;
+  const auto emit = [&](std::uint64_t idx) {
+    const auto row = static_cast<NodeId>(idx / (n - 1));
+    auto col = static_cast<NodeId>(idx % (n - 1));
+    if (col >= row) ++col;  // skip the diagonal
+    edges.push_back(WeightedEdge{row, col, 1.0});
+  };
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) emit(i);
+    return edges;
+  }
+  while (true) {
+    const double u = 1.0 - rng.uniform();  // in (0, 1]
+    const double jump = std::floor(std::log(u) / log_keep);
+    if (jump >= static_cast<double>(total - position)) break;
+    position += static_cast<std::uint64_t>(jump);
+    emit(position);
+    if (++position >= total) break;
+  }
+  return edges;
+}
+
+}  // namespace imc

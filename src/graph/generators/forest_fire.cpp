@@ -1,0 +1,69 @@
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/generators/generators.h"
+
+namespace imc {
+
+namespace {
+
+/// Geometric(p) number of "burn" picks: number of successes before the
+/// first failure, mean p / (1 - p).
+std::uint32_t geometric_burn_count(double p, Rng& rng) {
+  std::uint32_t count = 0;
+  while (count < 1024 && rng.bernoulli(p)) ++count;
+  return count;
+}
+
+}  // namespace
+
+EdgeList forest_fire_edges(const ForestFireConfig& config, Rng& rng) {
+  EdgeList edges;
+  if (config.nodes == 0) return edges;
+
+  // Adjacency snapshots maintained incrementally for burning.
+  std::vector<std::vector<NodeId>> out_links(config.nodes);
+  std::vector<std::vector<NodeId>> in_links(config.nodes);
+
+  const auto link = [&](NodeId from, NodeId to) {
+    edges.push_back(WeightedEdge{from, to, 1.0});
+    out_links[from].push_back(to);
+    in_links[to].push_back(from);
+  };
+
+  for (NodeId v = 1; v < config.nodes; ++v) {
+    const NodeId ambassador = static_cast<NodeId>(rng.below(v));
+    std::unordered_set<NodeId> burned{v, ambassador};
+    std::vector<NodeId> frontier{ambassador};
+    link(v, ambassador);
+
+    while (!frontier.empty()) {
+      const NodeId w = frontier.back();
+      frontier.pop_back();
+      // Burn a geometric number of forward (out) and backward (in) links.
+      const std::uint32_t forward =
+          geometric_burn_count(config.p_forward, rng);
+      const std::uint32_t backward =
+          geometric_burn_count(config.p_forward * config.r_backward, rng);
+
+      const auto burn_from = [&](const std::vector<NodeId>& pool,
+                                 std::uint32_t want) {
+        if (pool.empty() || want == 0) return;
+        for (std::uint32_t attempt = 0; attempt < want * 2; ++attempt) {
+          const NodeId candidate = pool[rng.below(pool.size())];
+          if (burned.insert(candidate).second) {
+            link(v, candidate);
+            frontier.push_back(candidate);
+            if (--want == 0) break;
+          }
+        }
+      };
+      burn_from(out_links[w], forward);
+      burn_from(in_links[w], backward);
+    }
+  }
+  return edges;
+}
+
+}  // namespace imc

@@ -1,0 +1,76 @@
+// Random graph generators.
+//
+// These stand in for the SNAP datasets of the paper's Table I (the build
+// machine is offline — see DESIGN.md §3 for the substitution argument) and
+// provide controlled topologies for tests and ablations. Every generator is
+// deterministic given the seed. Edges are emitted with weight 1.0; apply a
+// scheme from graph/weights.h (the experiments use weighted cascade).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// G(n, p) Erdős–Rényi digraph (each ordered pair independently with
+/// probability p). Uses geometric skipping, O(m) expected time.
+[[nodiscard]] EdgeList erdos_renyi_edges(NodeId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment. Each new node attaches to
+/// `attach` existing nodes chosen ∝ current degree (repeat-sampling without
+/// replacement). `directed == false` emits both directions;
+/// `directed == true` points each new edge from the new node to the chosen
+/// target AND adds a reciprocal edge with probability `reciprocity`
+/// (heavy-tailed IN-degree as in Wiki-Vote/Epinions/Pokec).
+struct BarabasiAlbertConfig {
+  NodeId nodes = 1000;
+  std::uint32_t attach = 4;  // edges added per new node (>= 1)
+  bool directed = false;
+  double reciprocity = 0.2;  // only used when directed
+};
+[[nodiscard]] EdgeList barabasi_albert_edges(const BarabasiAlbertConfig& config,
+                                             Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `neighbors_each_side`,
+/// rewired with probability `rewire`. Undirected (both directions emitted).
+struct WattsStrogatzConfig {
+  NodeId nodes = 1000;
+  std::uint32_t neighbors_each_side = 4;
+  double rewire = 0.1;
+};
+[[nodiscard]] EdgeList watts_strogatz_edges(const WattsStrogatzConfig& config,
+                                            Rng& rng);
+
+/// Stochastic block model: `blocks` planted groups of near-equal size;
+/// within-block pairs connect with p_in, across with p_out. Undirected.
+/// `block_of(v)` = v % blocks, so the planted partition is recoverable.
+struct SbmConfig {
+  NodeId nodes = 1000;
+  std::uint32_t blocks = 10;
+  double p_in = 0.05;
+  double p_out = 0.001;
+};
+[[nodiscard]] EdgeList sbm_edges(const SbmConfig& config, Rng& rng);
+
+/// Planted block of node v under SbmConfig.
+[[nodiscard]] constexpr CommunityId sbm_block_of(NodeId v,
+                                                 std::uint32_t blocks) noexcept {
+  return v % blocks;
+}
+
+/// Forest-fire model (Leskovec et al.): new node picks an ambassador and
+/// burns through the graph with forward probability `p_forward` and backward
+/// ratio `r_backward`. Produces densifying, heavy-tailed, community-rich
+/// digraphs similar to citation/social networks.
+struct ForestFireConfig {
+  NodeId nodes = 1000;
+  double p_forward = 0.35;
+  double r_backward = 0.3;
+};
+[[nodiscard]] EdgeList forest_fire_edges(const ForestFireConfig& config,
+                                         Rng& rng);
+
+}  // namespace imc

@@ -1,0 +1,96 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators/generators.h"
+
+namespace imc {
+
+namespace {
+
+/// Emits each unordered pair {a, b} with a < b, a%blocks==..., using
+/// geometric skipping over the pair universe restricted by the predicate
+/// "same block" / "different block". For simplicity and correctness we scan
+/// pairs with per-pair skip sampling over the two rates; the expected cost
+/// is O(n * blocks + m) using row-wise geometric jumps.
+class PairSampler {
+ public:
+  PairSampler(double probability, Rng& rng)
+      : log_keep_(probability < 1.0 ? std::log(1.0 - probability) : 0.0),
+        probability_(probability),
+        rng_(rng) {}
+
+  /// Next success offset >= `from` in a virtual Bernoulli row of length
+  /// `length`; returns length if none.
+  std::uint64_t next(std::uint64_t from, std::uint64_t length) {
+    if (probability_ <= 0.0) return length;
+    if (probability_ >= 1.0) return from;
+    const double u = 1.0 - rng_.uniform();
+    const double jump = std::floor(std::log(u) / log_keep_);
+    if (jump >= static_cast<double>(length - from)) return length;
+    return from + static_cast<std::uint64_t>(jump);
+  }
+
+ private:
+  double log_keep_;
+  double probability_;
+  Rng& rng_;
+};
+
+}  // namespace
+
+EdgeList sbm_edges(const SbmConfig& config, Rng& rng) {
+  if (config.blocks == 0 || config.nodes == 0) {
+    throw std::invalid_argument("sbm_edges: empty model");
+  }
+  if (config.p_in < 0 || config.p_in > 1 || config.p_out < 0 ||
+      config.p_out > 1) {
+    throw std::invalid_argument("sbm_edges: probabilities outside [0, 1]");
+  }
+
+  EdgeList edges;
+  PairSampler in_sampler(config.p_in, rng);
+  PairSampler out_sampler(config.p_out, rng);
+
+  // For each node v, scan candidate partners u > v in two virtual rows:
+  // same-block partners and cross-block partners. Blocks are v % blocks.
+  const std::uint32_t blocks = config.blocks;
+  for (NodeId v = 0; v + 1 < config.nodes; ++v) {
+    // Same-block: u = v + blocks, v + 2*blocks, ...
+    const std::uint64_t same_count =
+        (config.nodes - 1 - v) / blocks;  // partners strictly above v
+    for (std::uint64_t i = in_sampler.next(0, same_count); i < same_count;
+         i = in_sampler.next(i + 1, same_count)) {
+      const NodeId u = v + static_cast<NodeId>((i + 1) * blocks);
+      edges.push_back(WeightedEdge{v, u, 1.0});
+      edges.push_back(WeightedEdge{u, v, 1.0});
+    }
+    // Cross-block: all u in (v, nodes) minus the same-block ones. Enumerate
+    // via a virtual row of length (nodes-1-v) - same_count mapping the i-th
+    // cross partner.
+    const std::uint64_t above = config.nodes - 1 - v;
+    const std::uint64_t cross_count = above - same_count;
+    for (std::uint64_t i = out_sampler.next(0, cross_count); i < cross_count;
+         i = out_sampler.next(i + 1, cross_count)) {
+      // Map cross index i -> actual offset: skip offsets divisible by
+      // `blocks` (those are same-block). Offsets run 1..above.
+      // Each window of `blocks` consecutive offsets contains exactly
+      // blocks-1 cross offsets (when blocks > 1).
+      std::uint64_t offset;
+      if (blocks == 1) {
+        offset = i + 1;  // no same-block partners above v
+      } else {
+        const std::uint64_t window = i / (blocks - 1);
+        const std::uint64_t slot = i % (blocks - 1);
+        offset = window * blocks + slot + 1;
+        if (offset % blocks == 0) ++offset;  // never lands, defensive
+      }
+      if (offset > above) continue;  // tail partial window, defensive
+      const NodeId u = v + static_cast<NodeId>(offset);
+      edges.push_back(WeightedEdge{v, u, 1.0});
+      edges.push_back(WeightedEdge{u, v, 1.0});
+    }
+  }
+  return edges;
+}
+
+}  // namespace imc

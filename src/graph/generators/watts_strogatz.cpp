@@ -1,0 +1,45 @@
+#include <stdexcept>
+
+#include "graph/generators/generators.h"
+
+namespace imc {
+
+EdgeList watts_strogatz_edges(const WattsStrogatzConfig& config, Rng& rng) {
+  const NodeId n = config.nodes;
+  const std::uint32_t k = config.neighbors_each_side;
+  if (n < 3 || k == 0 || 2 * k >= n) {
+    throw std::invalid_argument(
+        "watts_strogatz_edges: need nodes >= 3 and 0 < 2*k < nodes");
+  }
+  if (config.rewire < 0.0 || config.rewire > 1.0) {
+    throw std::invalid_argument("watts_strogatz_edges: rewire outside [0,1]");
+  }
+
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * k * 2);
+  const auto add_undirected = [&](NodeId a, NodeId b) {
+    edges.push_back(WeightedEdge{a, b, 1.0});
+    edges.push_back(WeightedEdge{b, a, 1.0});
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t offset = 1; offset <= k; ++offset) {
+      const NodeId ring_target = static_cast<NodeId>((v + offset) % n);
+      if (rng.bernoulli(config.rewire)) {
+        // Rewire to a uniform non-self target. Parallel edges that may
+        // arise are merged (noisy-or) by the Graph constructor; with weight
+        // 1.0 the merge keeps probability 1.0, i.e. a plain simple edge.
+        NodeId other;
+        do {
+          other = static_cast<NodeId>(rng.below(n));
+        } while (other == v);
+        add_undirected(v, other);
+      } else {
+        add_undirected(v, ring_target);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace imc

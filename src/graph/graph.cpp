@@ -1,0 +1,146 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace imc {
+
+namespace {
+
+/// Sorts one adjacency range by neighbor id and merges parallel edges with
+/// noisy-or combination. Returns the new end of the valid range.
+std::vector<Neighbor> merge_parallel(std::vector<Neighbor>&& raw) {
+  std::sort(raw.begin(), raw.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.node < b.node;
+  });
+  std::vector<Neighbor> merged;
+  merged.reserve(raw.size());
+  for (const Neighbor& nb : raw) {
+    if (!merged.empty() && merged.back().node == nb.node) {
+      const double keep = 1.0 - static_cast<double>(merged.back().weight);
+      const double fail = keep * (1.0 - static_cast<double>(nb.weight));
+      merged.back().weight = static_cast<float>(1.0 - fail);
+    } else {
+      merged.push_back(nb);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Graph::Graph(NodeId node_count, const EdgeList& edges) {
+  for (const WeightedEdge& e : edges) {
+    if (e.source >= node_count || e.target >= node_count) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.weight < 0.0 || e.weight > 1.0) {
+      throw std::invalid_argument("Graph: edge weight outside [0, 1]");
+    }
+  }
+
+  // Bucket edges per source / per target, then sort+merge each bucket.
+  std::vector<std::vector<Neighbor>> out_buckets(node_count);
+  std::vector<std::vector<Neighbor>> in_buckets(node_count);
+  for (const WeightedEdge& e : edges) {
+    if (e.source == e.target) continue;  // self-loops are inert under IC
+    out_buckets[e.source].push_back(
+        Neighbor{e.target, static_cast<float>(e.weight)});
+    in_buckets[e.target].push_back(
+        Neighbor{e.source, static_cast<float>(e.weight)});
+  }
+
+  out_offsets_.assign(node_count + 1, 0);
+  in_offsets_.assign(node_count + 1, 0);
+  for (NodeId v = 0; v < node_count; ++v) {
+    out_buckets[v] = merge_parallel(std::move(out_buckets[v]));
+    in_buckets[v] = merge_parallel(std::move(in_buckets[v]));
+    out_offsets_[v + 1] = out_offsets_[v] + out_buckets[v].size();
+    in_offsets_[v + 1] = in_offsets_[v] + in_buckets[v].size();
+  }
+  out_adjacency_.reserve(out_offsets_[node_count]);
+  in_adjacency_.reserve(in_offsets_[node_count]);
+  for (NodeId v = 0; v < node_count; ++v) {
+    out_adjacency_.insert(out_adjacency_.end(), out_buckets[v].begin(),
+                          out_buckets[v].end());
+    in_adjacency_.insert(in_adjacency_.end(), in_buckets[v].begin(),
+                         in_buckets[v].end());
+  }
+}
+
+void Graph::check_node(NodeId v) const {
+  if (v >= node_count()) {
+    throw std::out_of_range("Graph: node id out of range");
+  }
+}
+
+std::span<const Neighbor> Graph::out_neighbors(NodeId u) const {
+  check_node(u);
+  return {out_adjacency_.data() + out_offsets_[u],
+          out_adjacency_.data() + out_offsets_[u + 1]};
+}
+
+std::span<const Neighbor> Graph::in_neighbors(NodeId v) const {
+  check_node(v);
+  return {in_adjacency_.data() + in_offsets_[v],
+          in_adjacency_.data() + in_offsets_[v + 1]};
+}
+
+std::uint32_t Graph::out_degree(NodeId u) const {
+  check_node(u);
+  return static_cast<std::uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+}
+
+std::uint32_t Graph::in_degree(NodeId v) const {
+  check_node(v);
+  return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+double Graph::weight(NodeId u, NodeId v) const {
+  const auto neighbors = out_neighbors(u);
+  const auto it = std::lower_bound(
+      neighbors.begin(), neighbors.end(), v,
+      [](const Neighbor& nb, NodeId target) { return nb.node < target; });
+  if (it != neighbors.end() && it->node == v) {
+    return static_cast<double>(it->weight);
+  }
+  return 0.0;
+}
+
+EdgeList Graph::to_edge_list() const {
+  EdgeList edges;
+  edges.reserve(edge_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const Neighbor& nb : out_neighbors(u)) {
+      edges.push_back(
+          WeightedEdge{u, nb.node, static_cast<double>(nb.weight)});
+    }
+  }
+  return edges;
+}
+
+Graph::DegreeStats Graph::degree_stats() const {
+  DegreeStats stats;
+  const NodeId n = node_count();
+  if (n == 0) return stats;
+  EdgeId total_out = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto dout = out_degree(v);
+    const auto din = in_degree(v);
+    total_out += dout;
+    stats.max_out = std::max(stats.max_out, dout);
+    stats.max_in = std::max(stats.max_in, din);
+    if (dout == 0 && din == 0) ++stats.isolated;
+  }
+  stats.mean_out = static_cast<double>(total_out) / static_cast<double>(n);
+  return stats;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream out;
+  out << "Graph(n=" << node_count() << ", m=" << edge_count() << ")";
+  return out.str();
+}
+
+}  // namespace imc

@@ -1,0 +1,91 @@
+// Immutable directed weighted graph in compressed-sparse-row form.
+//
+// The graph stores BOTH orientations:
+//   * out-adjacency — used by forward diffusion simulation (IC/LT), and
+//   * in-adjacency  — used by reverse sampling (RIS RR-sets, RIC samples).
+// Edge weights are influence probabilities in [0, 1] (IC model); the LT
+// simulator reuses them as incoming weights.
+//
+// Construction goes through GraphBuilder (graph/builder.h), generators
+// (graph/generators/*) or the SNAP edge-list loader (graph/edgelist_io.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace imc {
+
+/// One directed neighbor with the probability of the connecting edge.
+struct Neighbor {
+  NodeId node = 0;
+  float weight = 0.0F;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds CSR from an edge list. Parallel edges are merged by "noisy-or"
+  /// (p = 1 - Π(1-p_i)); self-loops are dropped (they never matter under IC).
+  /// Throws std::invalid_argument on endpoints >= node_count or weights
+  /// outside [0, 1].
+  Graph(NodeId node_count, const EdgeList& edges);
+
+  [[nodiscard]] NodeId node_count() const noexcept {
+    return static_cast<NodeId>(out_offsets_.empty() ? 0
+                                                    : out_offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId edge_count() const noexcept {
+    return static_cast<EdgeId>(out_adjacency_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return node_count() == 0; }
+
+  /// Out-neighbors of u with edge probabilities w(u, v).
+  [[nodiscard]] std::span<const Neighbor> out_neighbors(NodeId u) const;
+  /// In-neighbors of v with edge probabilities w(u, v).
+  [[nodiscard]] std::span<const Neighbor> in_neighbors(NodeId v) const;
+
+  [[nodiscard]] std::uint32_t out_degree(NodeId u) const;
+  [[nodiscard]] std::uint32_t in_degree(NodeId v) const;
+
+  /// Probability w(u, v); 0 if the edge is absent. O(out_degree(u)).
+  [[nodiscard]] double weight(NodeId u, NodeId v) const;
+
+  /// True iff a directed edge u -> v exists.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return weight(u, v) > 0.0;
+  }
+
+  /// Reconstructs the (merged, sorted) edge list — handy for round-trips.
+  [[nodiscard]] EdgeList to_edge_list() const;
+
+  /// Aggregate degree statistics; used by Table I and dataset validation.
+  struct DegreeStats {
+    double mean_out = 0.0;
+    std::uint32_t max_out = 0;
+    std::uint32_t max_in = 0;
+    NodeId isolated = 0;  // nodes with neither in- nor out-edges
+  };
+  [[nodiscard]] DegreeStats degree_stats() const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=747, m=60050)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  // CSR, out direction: out_adjacency_[out_offsets_[u] .. out_offsets_[u+1]),
+  // sorted by target id per node so weight lookup can binary-search.
+  std::vector<EdgeId> out_offsets_;
+  std::vector<Neighbor> out_adjacency_;
+
+  // CSR, in direction (sorted by source id per node).
+  std::vector<EdgeId> in_offsets_;
+  std::vector<Neighbor> in_adjacency_;
+};
+
+}  // namespace imc

@@ -1,0 +1,130 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace imc {
+
+namespace {
+
+/// Distinct undirected neighbors of v (union of in and out), excluding v.
+std::vector<NodeId> undirected_neighbors(const Graph& graph, NodeId v) {
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(graph.out_degree(v) + graph.in_degree(v));
+  for (const Neighbor& nb : graph.out_neighbors(v)) {
+    neighbors.push_back(nb.node);
+  }
+  for (const Neighbor& nb : graph.in_neighbors(v)) {
+    neighbors.push_back(nb.node);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                  neighbors.end());
+  return neighbors;
+}
+
+}  // namespace
+
+double local_clustering_coefficient(const Graph& graph, NodeId v) {
+  const std::vector<NodeId> neighbors = undirected_neighbors(graph, v);
+  const std::size_t degree = neighbors.size();
+  if (degree < 2) return 0.0;
+
+  // Count each *undirected* connected neighbor pair exactly once.
+  std::uint64_t closed = 0;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+      if (graph.has_edge(neighbors[i], neighbors[j]) ||
+          graph.has_edge(neighbors[j], neighbors[i])) {
+        ++closed;
+      }
+    }
+  }
+  const double pairs =
+      static_cast<double>(degree) * static_cast<double>(degree - 1) / 2.0;
+  return static_cast<double>(closed) / pairs;
+}
+
+double average_clustering_coefficient(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    total += local_clustering_coefficient(graph, v);
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<std::uint32_t> core_numbers(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  std::vector<std::vector<NodeId>> adjacency(n);
+  std::vector<std::uint32_t> degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    adjacency[v] = undirected_neighbors(graph, v);
+    degree[v] = static_cast<std::uint32_t>(adjacency[v].size());
+  }
+
+  // Bucket sort nodes by current degree; repeatedly peel the minimum.
+  std::uint32_t max_degree = 0;
+  for (const std::uint32_t d : degree) max_degree = std::max(max_degree, d);
+  std::vector<std::vector<NodeId>> buckets(max_degree + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+
+  std::vector<std::uint32_t> core(n, 0);
+  std::vector<std::uint8_t> removed(n, 0);
+  std::uint32_t current = 0;
+  for (std::uint32_t d = 0; d <= max_degree; ++d) {
+    // Buckets grow as degrees decay; index-based loop tolerates pushes.
+    for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+      const NodeId v = buckets[d][i];
+      if (removed[v] || degree[v] != d) continue;
+      current = std::max(current, d);
+      core[v] = current;
+      removed[v] = 1;
+      for (const NodeId w : adjacency[v]) {
+        if (!removed[w] && degree[w] > d) {
+          --degree[w];
+          buckets[degree[w]].push_back(w);
+        }
+      }
+    }
+  }
+  return core;
+}
+
+std::uint32_t degeneracy(const Graph& graph) {
+  std::uint32_t best = 0;
+  for (const std::uint32_t c : core_numbers(graph)) best = std::max(best, c);
+  return best;
+}
+
+std::vector<std::uint64_t> out_degree_histogram(const Graph& graph) {
+  std::uint32_t max_degree = 0;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    max_degree = std::max(max_degree, graph.out_degree(v));
+  }
+  std::vector<std::uint64_t> histogram(max_degree + 1, 0);
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    ++histogram[graph.out_degree(v)];
+  }
+  return histogram;
+}
+
+double power_law_exponent_mle(const Graph& graph, std::uint32_t xmin) {
+  if (xmin == 0) xmin = 1;
+  double log_sum = 0.0;
+  std::uint64_t count = 0;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const std::uint32_t d = graph.out_degree(v);
+    if (d >= xmin) {
+      log_sum += std::log(static_cast<double>(d) /
+                          (static_cast<double>(xmin) - 0.5));
+      ++count;
+    }
+  }
+  if (count < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+}  // namespace imc

@@ -1,0 +1,40 @@
+// Structural graph metrics: used by the dataset-validation tests, Table I
+// extensions and the CLI `stats` command.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc {
+
+/// Local clustering coefficient of `v` on the UNDERLYING UNDIRECTED graph
+/// (an edge exists between a, b if either direction exists): fraction of
+/// neighbor pairs that are themselves connected. 0 for degree < 2.
+[[nodiscard]] double local_clustering_coefficient(const Graph& graph,
+                                                  NodeId v);
+
+/// Mean local clustering coefficient over all nodes (Watts–Strogatz C).
+[[nodiscard]] double average_clustering_coefficient(const Graph& graph);
+
+/// K-core decomposition on the underlying undirected graph: returns each
+/// node's core number (the largest k such that the node survives in the
+/// k-core). Linear-time bucket algorithm (Batagelj–Zaveršnik).
+[[nodiscard]] std::vector<std::uint32_t> core_numbers(const Graph& graph);
+
+/// Largest core number (the graph's degeneracy).
+[[nodiscard]] std::uint32_t degeneracy(const Graph& graph);
+
+/// Out-degree histogram: bucket[d] = #nodes with out-degree d.
+[[nodiscard]] std::vector<std::uint64_t> out_degree_histogram(
+    const Graph& graph);
+
+/// Estimated power-law exponent of the out-degree tail via the
+/// Clauset–Shalizi–Newman MLE with xmin fixed: 1 + n / Σ ln(d_i / (xmin-½)).
+/// Returns 0 when fewer than 10 nodes have degree >= xmin.
+[[nodiscard]] double power_law_exponent_mle(const Graph& graph,
+                                            std::uint32_t xmin = 4);
+
+}  // namespace imc

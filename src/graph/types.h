@@ -1,0 +1,34 @@
+// Fundamental identifiers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace imc {
+
+/// Node identifier: dense 0-based index into the graph.
+using NodeId = std::uint32_t;
+
+/// Edge identifier: dense 0-based index into the CSR edge arrays.
+using EdgeId = std::uint64_t;
+
+/// Community identifier: dense 0-based index into a CommunitySet.
+using CommunityId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr CommunityId kInvalidCommunity =
+    std::numeric_limits<CommunityId>::max();
+
+/// A directed weighted edge as supplied to the builder / loader.
+struct WeightedEdge {
+  NodeId source = 0;
+  NodeId target = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+using EdgeList = std::vector<WeightedEdge>;
+
+}  // namespace imc

@@ -1,0 +1,33 @@
+#include "graph/weights.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace imc {
+
+void apply_weighted_cascade(EdgeList& edges, NodeId node_count) {
+  std::vector<std::uint32_t> indegree(node_count, 0);
+  for (const WeightedEdge& e : edges) {
+    if (e.target >= node_count) {
+      throw std::invalid_argument("apply_weighted_cascade: target out of range");
+    }
+    ++indegree[e.target];
+  }
+  for (WeightedEdge& e : edges) {
+    e.weight = 1.0 / static_cast<double>(indegree[e.target]);
+  }
+}
+
+void apply_uniform_weights(EdgeList& edges, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("apply_uniform_weights: p outside [0, 1]");
+  }
+  for (WeightedEdge& e : edges) e.weight = p;
+}
+
+void apply_trivalency_weights(EdgeList& edges, Rng& rng) {
+  static constexpr double kLevels[] = {0.1, 0.01, 0.001};
+  for (WeightedEdge& e : edges) e.weight = kLevels[rng.below(3)];
+}
+
+}  // namespace imc

@@ -1,0 +1,24 @@
+// Edge-weighting schemes for the IC model.
+//
+// The paper's experiments use the standard *weighted cascade* scheme:
+// w(u, v) = 1 / indeg(v), so each node is activated by one in-neighbor in
+// expectation. We also provide uniform and trivalency schemes which are
+// common in the IM literature and useful for ablations.
+#pragma once
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// Replaces all weights in-place with 1 / indeg(target) computed on the
+/// multigraph as given (parallel edges each count toward the in-degree).
+void apply_weighted_cascade(EdgeList& edges, NodeId node_count);
+
+/// Sets every weight to `p`. Precondition: 0 <= p <= 1.
+void apply_uniform_weights(EdgeList& edges, double p);
+
+/// Classic trivalency: each weight drawn uniformly from {0.1, 0.01, 0.001}.
+void apply_trivalency_weights(EdgeList& edges, Rng& rng);
+
+}  // namespace imc

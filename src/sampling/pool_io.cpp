@@ -1,0 +1,131 @@
+#include "sampling/pool_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace imc {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("ric pool file, line " + std::to_string(line) +
+                           ": " + what);
+}
+
+const char* model_tag(DiffusionModel model) {
+  return model == DiffusionModel::kIndependentCascade ? "ic" : "lt";
+}
+
+}  // namespace
+
+void write_ric_pool(std::ostream& out, const RicPool& pool) {
+  out << "imc-ric-pool v1\n";
+  out << "nodes " << pool.graph().node_count() << " samples " << pool.size()
+      << " model " << model_tag(pool.model()) << "\n";
+  out << std::hex;
+  for (std::uint32_t g = 0; g < pool.size(); ++g) {
+    const RicSample& sample = pool.sample(g);
+    out << std::dec << "sample " << sample.community << ' '
+        << sample.threshold << ' ' << sample.touching.size();
+    out << std::hex;
+    for (const auto& [node, mask] : sample.touching) {
+      out << ' ' << std::dec << node << ' ' << std::hex << mask;
+    }
+    out << '\n';
+  }
+  out << std::dec;
+}
+
+void save_ric_pool(const std::string& path, const RicPool& pool) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_ric_pool: cannot open " + path);
+  write_ric_pool(out, pool);
+  if (!out) throw std::runtime_error("save_ric_pool: write failed");
+}
+
+RicPool read_ric_pool(std::istream& in, const Graph& graph,
+                      const CommunitySet& communities) {
+  std::string line;
+  std::size_t line_number = 0;
+  const auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line() || line != "imc-ric-pool v1") {
+    fail(line_number, "missing 'imc-ric-pool v1' header");
+  }
+  if (!next_line()) fail(line_number, "missing metadata line");
+  NodeId node_count = 0;
+  std::uint64_t sample_count = 0;
+  std::string model_text;
+  {
+    std::istringstream fields(line);
+    std::string kw_nodes, kw_samples, kw_model;
+    if (!(fields >> kw_nodes >> node_count >> kw_samples >> sample_count >>
+          kw_model >> model_text) ||
+        kw_nodes != "nodes" || kw_samples != "samples" ||
+        kw_model != "model") {
+      fail(line_number, "expected 'nodes <n> samples <m> model <ic|lt>'");
+    }
+  }
+  if (node_count != graph.node_count()) {
+    fail(line_number, "node count does not match the supplied graph");
+  }
+  DiffusionModel model;
+  if (model_text == "ic") {
+    model = DiffusionModel::kIndependentCascade;
+  } else if (model_text == "lt") {
+    model = DiffusionModel::kLinearThreshold;
+  } else {
+    fail(line_number, "unknown model '" + model_text + "'");
+  }
+
+  RicPool pool(graph, communities, model);
+  while (next_line()) {
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "sample") fail(line_number, "expected 'sample ...'");
+    RicSample sample;
+    std::size_t touch_count = 0;
+    if (!(fields >> sample.community >> sample.threshold >> touch_count)) {
+      fail(line_number, "bad sample header");
+    }
+    sample.member_count = static_cast<std::uint32_t>(
+        communities.population(sample.community < communities.size()
+                                   ? sample.community
+                                   : 0));
+    sample.touching.reserve(touch_count);
+    for (std::size_t i = 0; i < touch_count; ++i) {
+      NodeId node = 0;
+      std::uint64_t mask = 0;
+      if (!(fields >> std::dec >> node >> std::hex >> mask)) {
+        fail(line_number, "bad touching pair");
+      }
+      sample.touching.emplace_back(node, mask);
+    }
+    try {
+      pool.append(std::move(sample));
+    } catch (const std::invalid_argument& error) {
+      fail(line_number, error.what());
+    }
+  }
+  if (pool.size() != sample_count) {
+    fail(line_number, "sample count mismatch vs metadata");
+  }
+  return pool;
+}
+
+RicPool load_ric_pool(const std::string& path, const Graph& graph,
+                      const CommunitySet& communities) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_ric_pool: cannot open " + path);
+  return read_ric_pool(in, graph, communities);
+}
+
+}  // namespace imc

@@ -1,0 +1,37 @@
+// RIC pool (de)serialization: generating millions of samples dominates
+// experiment time, so pools can be written once and reloaded across runs
+// (the CLI and long sweeps use this; the text format keeps diffs auditable).
+//
+// Format (line-oriented, '#' comments):
+//   imc-ric-pool v1
+//   nodes <n> samples <m> model <ic|lt>
+//   sample <community> <threshold> <touch-count> v1 m1 v2 m2 ...
+// where (v, m) pairs are node id + member mask (hex). The loader validates
+// against the graph/community structure it is attached to.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sampling/ric_pool.h"
+
+namespace imc {
+
+/// Writes the pool's samples (not the index — it is rebuilt on load).
+void write_ric_pool(std::ostream& out, const RicPool& pool);
+
+/// Saves to a file; throws std::runtime_error on I/O failure.
+void save_ric_pool(const std::string& path, const RicPool& pool);
+
+/// Reads samples into a fresh pool bound to (graph, communities). Throws
+/// std::runtime_error on malformed input or structural mismatch (node
+/// count, community ids, thresholds out of range).
+[[nodiscard]] RicPool read_ric_pool(std::istream& in, const Graph& graph,
+                                    const CommunitySet& communities);
+
+/// Loads from a file; throws std::runtime_error if unreadable.
+[[nodiscard]] RicPool load_ric_pool(const std::string& path,
+                                    const Graph& graph,
+                                    const CommunitySet& communities);
+
+}  // namespace imc

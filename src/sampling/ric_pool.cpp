@@ -1,0 +1,138 @@
+#include "sampling/ric_pool.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/mathx.h"
+#include "util/thread_pool.h"
+
+namespace imc {
+
+RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
+                 DiffusionModel model)
+    : graph_(&graph),
+      communities_(&communities),
+      model_(model),
+      total_benefit_(communities.total_benefit()) {
+  // Validate eagerly so misconfiguration surfaces at pool construction.
+  (void)RicSampler(graph, communities, model);
+  index_.resize(graph.node_count());
+}
+
+void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
+  if (count == 0) return;
+  const std::uint64_t base = samples_.size();
+  std::vector<RicSample> fresh(count);
+
+  const auto generate_range = [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned /*chunk*/) {
+    RicSampler sampler(*graph_, *communities_, model_);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      // One substream per global sample index keeps growth deterministic
+      // and independent of chunking.
+      Rng rng(splitmix_of(seed, base + i));
+      fresh[i] = sampler.generate(rng);
+    }
+  };
+
+  if (parallel && default_pool().size() > 1) {
+    parallel_for(default_pool(), count, generate_range);
+  } else {
+    generate_range(0, count, 0);
+  }
+
+  samples_.reserve(samples_.size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto id = static_cast<std::uint32_t>(samples_.size());
+    samples_.push_back(std::move(fresh[i]));
+    for (const auto& [node, mask] : samples_.back().touching) {
+      index_[node].push_back(Touch{id, mask});
+    }
+  }
+}
+
+void RicPool::append(RicSample sample) {
+  if (sample.community >= communities_->size()) {
+    throw std::invalid_argument("RicPool::append: bad community id");
+  }
+  if (sample.threshold == 0 ||
+      sample.threshold > communities_->population(sample.community)) {
+    throw std::invalid_argument("RicPool::append: threshold out of range");
+  }
+  for (const auto& [node, mask] : sample.touching) {
+    if (node >= graph_->node_count() || mask == 0) {
+      throw std::invalid_argument("RicPool::append: bad touching entry");
+    }
+  }
+  const auto id = static_cast<std::uint32_t>(samples_.size());
+  samples_.push_back(std::move(sample));
+  for (const auto& [node, mask] : samples_.back().touching) {
+    index_[node].push_back(Touch{id, mask});
+  }
+}
+
+std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return splitmix64(state);
+}
+
+std::span<const RicPool::Touch> RicPool::touches_of(NodeId v) const {
+  return index_.at(v);
+}
+
+std::uint32_t RicPool::community_frequency(CommunityId c) const {
+  std::uint32_t frequency = 0;
+  for (const RicSample& g : samples_) {
+    if (g.community == c) ++frequency;
+  }
+  return frequency;
+}
+
+void RicPool::accumulate_masks(std::span<const NodeId> seeds,
+                               std::vector<std::uint64_t>& covered,
+                               std::vector<std::uint32_t>& dirty) const {
+  covered.assign(samples_.size(), 0);
+  dirty.clear();
+  for (const NodeId v : seeds) {
+    for (const Touch& touch : touches_of(v)) {
+      if (covered[touch.sample] == 0) dirty.push_back(touch.sample);
+      covered[touch.sample] |= touch.mask;
+    }
+  }
+}
+
+std::uint64_t RicPool::influenced_count(std::span<const NodeId> seeds) const {
+  std::vector<std::uint64_t> covered;
+  std::vector<std::uint32_t> dirty;
+  accumulate_masks(seeds, covered, dirty);
+  std::uint64_t influenced = 0;
+  for (const std::uint32_t id : dirty) {
+    if (static_cast<std::uint32_t>(popcount64(covered[id])) >=
+        samples_[id].threshold) {
+      ++influenced;
+    }
+  }
+  return influenced;
+}
+
+double RicPool::c_hat(std::span<const NodeId> seeds) const {
+  if (samples_.empty()) return 0.0;
+  return total_benefit_ * static_cast<double>(influenced_count(seeds)) /
+         static_cast<double>(samples_.size());
+}
+
+double RicPool::nu(std::span<const NodeId> seeds) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<std::uint64_t> covered;
+  std::vector<std::uint32_t> dirty;
+  accumulate_masks(seeds, covered, dirty);
+  KahanSum sum;
+  for (const std::uint32_t id : dirty) {
+    const double reached = popcount64(covered[id]);
+    sum.add(std::min(1.0, reached /
+                              static_cast<double>(samples_[id].threshold)));
+  }
+  return total_benefit_ * sum.value() / static_cast<double>(samples_.size());
+}
+
+}  // namespace imc

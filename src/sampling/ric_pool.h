@@ -1,0 +1,99 @@
+// A pool R of RIC samples with the inverted index every MAXR algorithm
+// needs: node -> {(sample id, member mask)}. Supports incremental growth
+// (the SSA-style doubling of IMCAF, Alg. 5) and parallel generation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "community/community_set.h"
+#include "graph/graph.h"
+#include "sampling/ric_sample.h"
+#include "util/rng.h"
+
+namespace imc {
+
+class RicPool {
+ public:
+  /// Index entry: which sample a node touches and which members it reaches.
+  struct Touch {
+    std::uint32_t sample = 0;
+    std::uint64_t mask = 0;
+  };
+
+  RicPool(const Graph& graph, const CommunitySet& communities,
+          DiffusionModel model = DiffusionModel::kIndependentCascade);
+
+  /// Appends `count` fresh samples, deterministically derived from `seed`
+  /// and the current pool size (so grow(a); grow(b) == grow(a+b) given the
+  /// same base seed). Generation is spread across default_pool() workers
+  /// when `parallel` is set.
+  void grow(std::uint64_t count, std::uint64_t seed, bool parallel = true);
+
+  /// Appends one externally produced sample (deserialization, tests).
+  /// Validates community id, threshold and touching node ids; throws
+  /// std::invalid_argument on mismatch with the bound structures.
+  void append(RicSample sample);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] const RicSample& sample(std::uint32_t i) const {
+    return samples_.at(i);
+  }
+  [[nodiscard]] std::span<const RicSample> samples() const noexcept {
+    return samples_;
+  }
+
+  /// Samples touched by node v (empty for untouched nodes).
+  [[nodiscard]] std::span<const Touch> touches_of(NodeId v) const;
+
+  /// Number of samples node v touches (the MAF "appearance" count).
+  [[nodiscard]] std::uint32_t appearance_count(NodeId v) const {
+    return static_cast<std::uint32_t>(touches_of(v).size());
+  }
+
+  /// Number of samples whose source community is c (MAF community
+  /// frequency).
+  [[nodiscard]] std::uint32_t community_frequency(CommunityId c) const;
+
+  /// ĉ_R(S) = (b / |R|) · #influenced samples (paper eq. 3). O(Σ_{v∈S}
+  /// |touches_of(v)| + |R| epoch reset), exact.
+  [[nodiscard]] double c_hat(std::span<const NodeId> seeds) const;
+
+  /// ν_R(S) = (b / |R|) Σ min(|I_g(S)| / h_g, 1) (paper eq. 7).
+  [[nodiscard]] double nu(std::span<const NodeId> seeds) const;
+
+  /// Number of samples influenced by S (the raw MAXR objective).
+  [[nodiscard]] std::uint64_t influenced_count(
+      std::span<const NodeId> seeds) const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const CommunitySet& communities() const noexcept {
+    return *communities_;
+  }
+  [[nodiscard]] double total_benefit() const noexcept {
+    return total_benefit_;
+  }
+  [[nodiscard]] DiffusionModel model() const noexcept { return model_; }
+
+ private:
+  /// Per-sample RNG seed derivation (stable across chunkings).
+  [[nodiscard]] static std::uint64_t splitmix_of(std::uint64_t seed,
+                                                 std::uint64_t index);
+
+  /// OR-accumulates the member masks of `seeds` into `covered`, indexed by
+  /// sample id; records dirtied sample ids in `dirty`.
+  void accumulate_masks(std::span<const NodeId> seeds,
+                        std::vector<std::uint64_t>& covered,
+                        std::vector<std::uint32_t>& dirty) const;
+
+  const Graph* graph_;
+  const CommunitySet* communities_;
+  DiffusionModel model_ = DiffusionModel::kIndependentCascade;
+  double total_benefit_ = 0.0;
+
+  std::vector<RicSample> samples_;
+  std::vector<std::vector<Touch>> index_;  // node -> touches
+};
+
+}  // namespace imc

@@ -1,0 +1,148 @@
+#include "sampling/ric_sample.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "diffusion/lt_model.h"
+
+namespace imc {
+
+std::uint64_t RicSample::mask_of(NodeId v) const {
+  const auto it = std::lower_bound(
+      touching.begin(), touching.end(), v,
+      [](const auto& entry, NodeId node) { return entry.first < node; });
+  if (it != touching.end() && it->first == v) return it->second;
+  return 0;
+}
+
+std::uint32_t RicSample::members_reached(std::span<const NodeId> seeds) const {
+  std::uint64_t covered = 0;
+  for (const NodeId v : seeds) covered |= mask_of(v);
+  return static_cast<std::uint32_t>(__builtin_popcountll(covered));
+}
+
+RicSampler::RicSampler(const Graph& graph, const CommunitySet& communities,
+                       DiffusionModel model)
+    : graph_(&graph), communities_(&communities), model_(model) {
+  if (communities.empty()) {
+    throw std::invalid_argument("RicSampler: no communities");
+  }
+  if (model == DiffusionModel::kLinearThreshold &&
+      !lt_weights_valid(graph)) {
+    throw std::invalid_argument(
+        "RicSampler: LT mode requires per-node incoming weights <= 1");
+  }
+  if (communities.node_count() != graph.node_count()) {
+    throw std::invalid_argument(
+        "RicSampler: community set and graph node counts differ");
+  }
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    if (communities.population(c) > kMaxCommunityPopulation) {
+      throw std::invalid_argument(
+          "RicSampler: community population exceeds 64 (mask width); "
+          "split communities first (community/size_cap.h)");
+    }
+  }
+  rho_ = DiscreteDistribution(communities.benefits());
+  const NodeId n = graph.node_count();
+  visit_epoch_.assign(n, 0);
+  mask_.assign(n, 0);
+  live_in_.resize(n);
+}
+
+RicSample RicSampler::generate(Rng& rng) {
+  return generate_for_community(static_cast<CommunityId>(rho_.sample(rng)),
+                                rng);
+}
+
+RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
+  const auto members = communities_->members(community);  // range-checked
+  RicSample sample;
+  sample.community = community;
+  sample.threshold = communities_->threshold(community);
+  sample.member_count = static_cast<std::uint32_t>(members.size());
+
+  // -- Phase 1: backward BFS from the whole community, flipping each edge
+  // at most once (the st[e] bookkeeping of Alg. 1 is implicit: an edge is
+  // examined exactly when its head is dequeued, which happens once).
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    // Epoch wrap: old marks could alias the restarted counter.
+    std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  queue_.clear();
+  region_.clear();
+  const auto visit = [&](NodeId v) {
+    if (visit_epoch_[v] != epoch_) {
+      visit_epoch_[v] = epoch_;
+      mask_[v] = 0;
+      queue_.push_back(v);
+      region_.push_back(v);
+    }
+  };
+  for (const NodeId u : members) visit(u);
+
+  // live_in lists are stored per head node; remember which heads we touched
+  // so clearing is O(realized edges), not O(n).
+  live_touched_.clear();
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId u = queue_[head++];
+    if (model_ == DiffusionModel::kIndependentCascade) {
+      for (const Neighbor& nb : graph_->in_neighbors(u)) {
+        if (rng.bernoulli(static_cast<double>(nb.weight))) {
+          if (live_in_[u].empty()) live_touched_.push_back(u);
+          live_in_[u].push_back(nb.node);  // live edge nb.node -> u
+          visit(nb.node);
+        }
+      }
+    } else {
+      // LT live-edge: node u keeps exactly one in-edge with probability
+      // equal to its weight (none with the leftover probability).
+      double x = rng.uniform();
+      for (const Neighbor& nb : graph_->in_neighbors(u)) {
+        x -= static_cast<double>(nb.weight);
+        if (x < 0.0) {
+          live_touched_.push_back(u);  // first and only edge into u
+          live_in_[u].push_back(nb.node);
+          visit(nb.node);
+          break;
+        }
+      }
+    }
+  }
+
+  // -- Phase 2: per-member backward DFS over realized edges. Node v gets
+  // bit j iff v can reach member j — this is the transpose of R_g(u_j).
+  std::vector<NodeId> stack;
+  for (std::uint32_t j = 0; j < members.size(); ++j) {
+    const std::uint64_t bit = 1ULL << j;
+    const NodeId root = members[j];
+    if ((mask_[root] & bit) != 0) continue;
+    mask_[root] |= bit;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : live_in_[v]) {  // live edge w -> v
+        if ((mask_[w] & bit) == 0) {
+          mask_[w] |= bit;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  // -- Phase 3: emit (node, mask) pairs sorted by node id; reset scratch.
+  sample.touching.reserve(region_.size());
+  for (const NodeId v : region_) {
+    if (mask_[v] != 0) sample.touching.emplace_back(v, mask_[v]);
+  }
+  std::sort(sample.touching.begin(), sample.touching.end());
+  for (const NodeId u : live_touched_) live_in_[u].clear();
+  return sample;
+}
+
+}  // namespace imc

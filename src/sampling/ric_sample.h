@@ -1,0 +1,101 @@
+// Reverse Influenceable Community (RIC) sampling — the paper's Alg. 1 and
+// the foundation of every IMC algorithm in this library.
+//
+// A RIC sample g is drawn by (1) choosing a source community C_g with
+// probability ρ(C_i) = b_i / b, (2) realizing a live-edge sample graph via
+// a backward BFS seeded with ALL of C_g (each edge flipped at most once),
+// and (3) recording, for every node v in the realized region, WHICH members
+// of C_g it can reach (the transpose of the per-member reverse-reachable
+// sets R_g(u) of the paper). g is influenced by S iff S reaches at least
+// h_g distinct members, i.e. popcount(OR of member masks over S) >= h_g.
+//
+// Member sets are stored as 64-bit masks: the library requires community
+// populations of at most 64, which the paper's experiments always satisfy
+// (communities are size-capped at s = 8 by default and s <= 32 in sweeps).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "community/community_set.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc {
+
+/// Maximum community population supported by the mask representation.
+inline constexpr std::uint32_t kMaxCommunityPopulation = 64;
+
+/// One RIC sample. `touching` lists every node that can reach >= 1 member
+/// of the source community in the realization, with the mask of members it
+/// reaches; sorted by node id; members themselves appear with their own bit
+/// set (u ∈ R_g(u)).
+struct RicSample {
+  CommunityId community = kInvalidCommunity;
+  std::uint32_t threshold = 1;     // h_g
+  std::uint32_t member_count = 0;  // |C_g| (<= 64)
+  std::vector<std::pair<NodeId, std::uint64_t>> touching;
+
+  /// Mask of members reached from `v`, 0 if v does not touch the sample.
+  [[nodiscard]] std::uint64_t mask_of(NodeId v) const;
+
+  /// Number of members of C_g reachable from seed set S = |I_g(S)|.
+  [[nodiscard]] std::uint32_t members_reached(
+      std::span<const NodeId> seeds) const;
+
+  /// X_g(S): 1 iff S reaches >= h_g members.
+  [[nodiscard]] bool influenced_by(std::span<const NodeId> seeds) const {
+    return members_reached(seeds) >= threshold;
+  }
+};
+
+/// Reusable generator (owns scratch buffers; one instance per thread).
+///
+/// Supports both diffusion models (the paper's §II-A remark): under IC each
+/// in-edge of a dequeued node is realized independently; under LT each
+/// node realizes AT MOST ONE live in-edge, chosen with probability equal
+/// to its weight (the classic LT live-edge distribution), so the reverse
+/// region is a union of in-trees.
+class RicSampler {
+ public:
+  /// Requires every community population <= kMaxCommunityPopulation and a
+  /// non-empty community set; throws std::invalid_argument otherwise.
+  /// For kLinearThreshold the incoming weights of every node must sum to
+  /// at most 1 (checked eagerly).
+  RicSampler(const Graph& graph, const CommunitySet& communities,
+             DiffusionModel model = DiffusionModel::kIndependentCascade);
+
+  /// Draws one sample (paper Alg. 1). Deterministic given rng state.
+  [[nodiscard]] RicSample generate(Rng& rng);
+
+  /// Draws a sample with a forced source community (used by tests and by
+  /// stratified ablations).
+  [[nodiscard]] RicSample generate_for_community(CommunityId community,
+                                                 Rng& rng);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const CommunitySet& communities() const noexcept {
+    return *communities_;
+  }
+
+  [[nodiscard]] DiffusionModel model() const noexcept { return model_; }
+
+ private:
+  const Graph* graph_;
+  const CommunitySet* communities_;
+  DiffusionModel model_ = DiffusionModel::kIndependentCascade;
+  DiscreteDistribution rho_;  // ρ(C_i) = b_i / b
+
+  // Scratch (cleared per sample via the epoch trick — no O(n) reset).
+  std::vector<std::uint32_t> visit_epoch_;
+  std::vector<std::uint64_t> mask_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> queue_;
+  std::vector<NodeId> region_;
+  std::vector<std::vector<NodeId>> live_in_;  // realized live edges INTO each node (tails)
+  std::vector<NodeId> live_touched_;           // heads with live in-edges
+};
+
+}  // namespace imc

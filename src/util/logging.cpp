@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace imc {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+
+[[nodiscard]] const char* tag_of(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "[%lld.%03lld] [%s] %.*s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), tag_of(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace imc

@@ -1,0 +1,69 @@
+// Minimal leveled logger.
+//
+// The library itself logs sparingly (algorithm progress at kDebug, framework
+// milestones at kInfo). Benchmarks and examples raise/lower the global level.
+// Thread-safe: each log statement is formatted into a local buffer and
+// written with a single mutex-protected call.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace imc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global logger configuration and sink.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Writes one formatted line (timestamp + level tag + message) to stderr.
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(Logger::instance().enabled(level)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (enabled_) Logger::instance().write(level_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+/// Usage: imc::log(imc::LogLevel::kInfo) << "generated " << n << " samples";
+/// The returned object is cheap to discard when the level is filtered out.
+inline detail::LogLine log(LogLevel level) { return detail::LogLine(level); }
+
+}  // namespace imc

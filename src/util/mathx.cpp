@@ -1,0 +1,43 @@
+#include "util/mathx.h"
+
+#include <cmath>
+
+namespace imc {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k == 0 || k >= n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  KahanSum sum;
+  for (const double v : values) sum.add(v);
+  return sum.value() / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  KahanSum sq;
+  for (const double v : values) sq.add((v - m) * (v - m));
+  return std::sqrt(sq.value() / static_cast<double>(values.size() - 1));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  KahanSum sxy, sxx, syy;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy.add((xs[i] - mx) * (ys[i] - my));
+    sxx.add((xs[i] - mx) * (xs[i] - mx));
+    syy.add((ys[i] - my) * (ys[i] - my));
+  }
+  const double denom = std::sqrt(sxx.value() * syy.value());
+  return denom > 0.0 ? sxy.value() / denom : 0.0;
+}
+
+}  // namespace imc

@@ -1,0 +1,54 @@
+// Numeric helpers shared by the sample-complexity bounds (eq. 22, Λ of
+// Alg. 5, Λ' of Alg. 6) and by statistics in tests/benches.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace imc {
+
+/// ln(n choose k), exact-ish via lgamma. Returns 0 for k<=0 or k>=n edges.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Kahan–Babuška compensated summation; tolerates adversarial orderings.
+class KahanSum {
+ public:
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      compensation_ += (sum_ - t) + value;
+    } else {
+      compensation_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+  [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Sample mean.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Unbiased sample standard deviation (n-1 denominator); 0 for n < 2.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Pearson correlation of two equally sized series; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Integer ceil(a / b) for positive b.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Population count of a 64-bit mask (thin wrapper, keeps call sites tidy).
+[[nodiscard]] constexpr int popcount64(std::uint64_t mask) noexcept {
+  return __builtin_popcountll(mask);
+}
+
+}  // namespace imc

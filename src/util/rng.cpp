@@ -1,0 +1,128 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#ifdef __SIZEOF_INT128__
+__extension__ typedef unsigned __int128 uint128;
+#else
+#error "imc::Rng requires 128-bit integer support"
+#endif
+
+namespace imc {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Lemire 2019, "Fast Random Integer Generation in an Interval".
+  std::uint64_t x = next();
+  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(
+    std::uint32_t population, std::uint32_t count) {
+  if (count > population) {
+    throw std::invalid_argument(
+        "sample_without_replacement: count exceeds population");
+  }
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(count);
+  if (count == 0) return chosen;
+
+  // Dense case: shuffle a prefix of the identity permutation.
+  if (count * 4 >= population) {
+    std::vector<std::uint32_t> all(population);
+    std::iota(all.begin(), all.end(), 0U);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto j =
+          i + static_cast<std::uint32_t>(below(population - i));
+      std::swap(all[i], all[j]);
+      chosen.push_back(all[i]);
+    }
+    return chosen;
+  }
+
+  // Sparse case: Floyd's algorithm — expected O(count) inserts.
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(count * 2);
+  for (std::uint32_t j = population - count; j < population; ++j) {
+    auto t = static_cast<std::uint32_t>(below(j + 1));
+    if (!seen.insert(t).second) t = j, seen.insert(j);
+    chosen.push_back(t);
+  }
+  return chosen;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("DiscreteDistribution: empty weights");
+  }
+  for (const double w : weights) {
+    if (w < 0.0) {
+      throw std::invalid_argument("DiscreteDistribution: negative weight");
+    }
+  }
+  total_weight_ = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total_weight_ <= 0.0) {
+    throw std::invalid_argument("DiscreteDistribution: zero total weight");
+  }
+
+  const std::size_t n = weights.size();
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker/Vose alias construction.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total_weight_;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (const std::uint32_t i : large) probability_[i] = 1.0;
+  for (const std::uint32_t i : small) probability_[i] = 1.0;
+}
+
+std::uint32_t DiscreteDistribution::sample(Rng& rng) const noexcept {
+  const auto bucket =
+      static_cast<std::uint32_t>(rng.below(probability_.size()));
+  return rng.uniform() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+double DiscreteDistribution::probability_of(std::uint32_t i) const {
+  if (i >= probability_.size()) {
+    throw std::out_of_range("DiscreteDistribution::probability_of");
+  }
+  double p = probability_[i];
+  for (std::size_t b = 0; b < alias_.size(); ++b) {
+    if (alias_[b] == i && probability_[b] < 1.0) p += 1.0 - probability_[b];
+  }
+  return p / static_cast<double>(probability_.size());
+}
+
+}  // namespace imc

@@ -1,0 +1,50 @@
+// Wall-clock stopwatch used by the benchmark harness and the runtime
+// experiments (paper Fig. 7).
+#pragma once
+
+#include <chrono>
+
+namespace imc {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Soft deadline: algorithms that honour it (e.g. MB on large graphs, which
+/// the paper reports as exceeding the runtime limit on Pokec) poll
+/// `expired()` and abandon work cleanly.
+class Deadline {
+ public:
+  /// A non-positive budget means "no deadline".
+  explicit Deadline(double budget_seconds = 0.0) noexcept
+      : budget_seconds_(budget_seconds) {}
+
+  [[nodiscard]] bool active() const noexcept { return budget_seconds_ > 0.0; }
+  [[nodiscard]] bool expired() const noexcept {
+    return active() && watch_.elapsed_seconds() > budget_seconds_;
+  }
+  [[nodiscard]] double budget_seconds() const noexcept {
+    return budget_seconds_;
+  }
+
+ private:
+  double budget_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace imc

@@ -1,0 +1,155 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace imc {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("Table: at least one column required");
+  }
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render_cell(const TableCell& cell) const {
+  std::ostringstream out;
+  if (const auto* text = std::get_if<std::string>(&cell)) {
+    out << *text;
+  } else if (const auto* integer = std::get_if<long long>(&cell)) {
+    out << *integer;
+  } else {
+    out << std::fixed << std::setprecision(precision_)
+        << std::get<double>(cell);
+  }
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& line = rendered.emplace_back();
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+  }
+
+  out << "== " << title_ << " ==\n";
+  const auto write_line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::left
+          << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    out << '\n';
+  };
+  write_line(columns_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& line : rendered) write_line(line);
+  out.flush();
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string quoted = "\"";
+  for (const char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void Table::write_csv(std::ostream& out) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << csv_escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << csv_escape(render_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+std::string json_escape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          escaped += buffer;
+        } else {
+          escaped += ch;
+        }
+    }
+  }
+  return escaped;
+}
+
+void Table::write_json(std::ostream& out) const {
+  out << "{\"title\":\"" << json_escape(title_) << "\",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << '"' << json_escape(columns_[c]) << '"';
+  }
+  out << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r == 0 ? "" : ",") << '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c != 0) out << ',';
+      const TableCell& cell = rows_[r][c];
+      if (const auto* text = std::get_if<std::string>(&cell)) {
+        out << '"' << json_escape(*text) << '"';
+      } else if (const auto* integer = std::get_if<long long>(&cell)) {
+        out << *integer;
+      } else {
+        out << std::get<double>(cell);
+      }
+    }
+    out << ']';
+  }
+  out << "]}";
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Table::save_csv: cannot open " + path);
+  write_csv(out);
+  if (!out) throw std::runtime_error("Table::save_csv: write failed " + path);
+}
+
+}  // namespace imc

@@ -1,0 +1,59 @@
+// Result-table formatting for the benchmark harness.
+//
+// Each experiment prints an aligned plain-text table (mirroring the rows the
+// paper reports) and can also dump machine-readable CSV next to it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace imc {
+
+/// One cell: text, integer or floating point (floats are printed with a
+/// per-table precision).
+using TableCell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<TableCell> cells);
+
+  void set_float_precision(int digits) noexcept { precision_ = digits; }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Pretty aligned rendering with a title banner and header rule.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& out) const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+  /// JSON rendering: {"title": ..., "columns": [...], "rows": [[...], ...]}
+  /// with numbers emitted as JSON numbers and text as escaped strings.
+  void write_json(std::ostream& out) const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const TableCell& cell) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<TableCell>> rows_;
+  int precision_ = 3;
+};
+
+/// Escapes one CSV field per RFC 4180.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Escapes one JSON string body (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace imc

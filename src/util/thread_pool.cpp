@@ -1,0 +1,99 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace imc {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> result = packaged->get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace([packaged] { (*packaged)(); });
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+  return result;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t, std::uint64_t,
+                                           unsigned)>& body) {
+  if (count == 0) return;
+  const auto workers = static_cast<std::uint64_t>(pool.size());
+  // Over-decompose a little for load balance, but never create empty chunks.
+  const std::uint64_t chunks = std::min<std::uint64_t>(count, workers * 4);
+  const std::uint64_t base = count / chunks;
+  const std::uint64_t remainder = count % chunks;
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  std::uint64_t begin = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t len = base + (c < remainder ? 1 : 0);
+    const std::uint64_t end = begin + len;
+    pending.push_back(pool.submit(
+        [&body, begin, end, c] { body(begin, end, static_cast<unsigned>(c)); }));
+    begin = end;
+  }
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace imc

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking task queue, plus a `parallel_for`
+// helper used for embarrassingly parallel work (RIC/RR sample generation,
+// Monte-Carlo replications). On a single-core host the pool degenerates to
+// one worker and adds negligible overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace imc {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Splits [0, count) into contiguous chunks and runs
+/// `body(begin, end, chunk_index)` on pool workers; blocks until done.
+/// Exceptions from the body propagate to the caller (first one wins).
+void parallel_for(ThreadPool& pool, std::uint64_t count,
+                  const std::function<void(std::uint64_t begin,
+                                           std::uint64_t end,
+                                           unsigned chunk_index)>& body);
+
+/// Shared default pool (lazily constructed, sized to the machine).
+ThreadPool& default_pool();
+
+}  // namespace imc

@@ -1,0 +1,115 @@
+#include "community/community_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imc {
+namespace {
+
+TEST(CommunitySet, BasicConstruction) {
+  CommunitySet set(6, {{0, 1, 2}, {3, 4}});
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_EQ(set.node_count(), 6U);
+  EXPECT_EQ(set.population(0), 3U);
+  EXPECT_EQ(set.population(1), 2U);
+  EXPECT_EQ(set.community_of(1), 0U);
+  EXPECT_EQ(set.community_of(4), 1U);
+  EXPECT_EQ(set.community_of(5), kInvalidCommunity);
+}
+
+TEST(CommunitySet, DefaultsAreUnitThresholdAndBenefit) {
+  CommunitySet set(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(set.threshold(0), 1U);
+  EXPECT_DOUBLE_EQ(set.benefit(0), 1.0);
+  EXPECT_DOUBLE_EQ(set.total_benefit(), 2.0);
+}
+
+TEST(CommunitySet, RejectsEmptyCommunity) {
+  EXPECT_THROW((void)CommunitySet(4, {{0}, {}}), std::invalid_argument);
+}
+
+TEST(CommunitySet, RejectsOutOfRangeMember) {
+  EXPECT_THROW((void)CommunitySet(3, {{0, 5}}), std::invalid_argument);
+}
+
+TEST(CommunitySet, RejectsOverlap) {
+  EXPECT_THROW((void)CommunitySet(4, {{0, 1}, {1, 2}}), std::invalid_argument);
+}
+
+TEST(CommunitySet, ThresholdValidation) {
+  CommunitySet set(4, {{0, 1, 2}});
+  set.set_threshold(0, 3);
+  EXPECT_EQ(set.threshold(0), 3U);
+  EXPECT_THROW((void)set.set_threshold(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)set.set_threshold(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)set.set_threshold(1, 1), std::out_of_range);
+}
+
+TEST(CommunitySet, BenefitValidation) {
+  CommunitySet set(2, {{0, 1}});
+  set.set_benefit(0, 5.5);
+  EXPECT_DOUBLE_EQ(set.benefit(0), 5.5);
+  EXPECT_THROW((void)set.set_benefit(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)set.set_benefit(0, -1.0), std::invalid_argument);
+}
+
+TEST(CommunitySet, Aggregates) {
+  CommunitySet set(8, {{0, 1}, {2, 3, 4}, {5}});
+  set.set_threshold(0, 2);
+  set.set_threshold(1, 3);
+  set.set_benefit(0, 2.0);
+  set.set_benefit(1, 3.0);
+  set.set_benefit(2, 0.5);
+  EXPECT_EQ(set.max_threshold(), 3U);
+  EXPECT_DOUBLE_EQ(set.total_benefit(), 5.5);
+  EXPECT_DOUBLE_EQ(set.min_benefit(), 0.5);
+  EXPECT_DOUBLE_EQ(set.coverage(), 6.0 / 8.0);
+}
+
+TEST(CommunitySet, FromAssignment) {
+  const std::vector<CommunityId> assignment{0, 1, 0, kInvalidCommunity, 1};
+  const CommunitySet set = CommunitySet::from_assignment(5, assignment);
+  EXPECT_EQ(set.size(), 2U);
+  EXPECT_EQ(set.population(0), 2U);
+  EXPECT_EQ(set.population(1), 2U);
+  EXPECT_EQ(set.community_of(3), kInvalidCommunity);
+}
+
+TEST(CommunitySet, FromAssignmentRejectsGaps) {
+  // Community 1 missing -> ids not dense.
+  const std::vector<CommunityId> assignment{0, 2, 0};
+  EXPECT_THROW((void)CommunitySet::from_assignment(3, assignment),
+               std::invalid_argument);
+}
+
+TEST(CommunitySet, FromAssignmentRejectsSizeMismatch) {
+  const std::vector<CommunityId> assignment{0, 0};
+  EXPECT_THROW((void)CommunitySet::from_assignment(3, assignment),
+               std::invalid_argument);
+}
+
+TEST(CommunitySet, EmptySet) {
+  CommunitySet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.max_threshold(), 0U);
+  EXPECT_DOUBLE_EQ(set.total_benefit(), 0.0);
+  EXPECT_DOUBLE_EQ(set.min_benefit(), 0.0);
+}
+
+TEST(CommunitySet, BenefitsSpanMatches) {
+  CommunitySet set(4, {{0}, {1}, {2}});
+  set.set_benefit(1, 7.0);
+  const auto benefits = set.benefits();
+  ASSERT_EQ(benefits.size(), 3U);
+  EXPECT_DOUBLE_EQ(benefits[1], 7.0);
+}
+
+TEST(CommunitySet, SummaryMentionsShape) {
+  CommunitySet set(4, {{0, 1}, {2}});
+  const std::string summary = set.summary();
+  EXPECT_NE(summary.find("r=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imc

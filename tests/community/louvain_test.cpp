@@ -1,0 +1,122 @@
+#include "community/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "community/modularity.h"
+#include "community/random_partition.h"
+#include "graph/generators/generators.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+Graph make_test_graph() {
+  Rng rng(99);
+  SbmConfig config;
+  config.nodes = 150;
+  config.blocks = 5;
+  config.p_in = 0.3;
+  config.p_out = 0.01;
+  return Graph(config.nodes, sbm_edges(config, rng));
+}
+
+void expect_dense_assignment(const std::vector<CommunityId>& assignment) {
+  std::set<CommunityId> ids(assignment.begin(), assignment.end());
+  ASSERT_FALSE(ids.contains(kInvalidCommunity));
+  CommunityId expected = 0;
+  for (const CommunityId id : ids) EXPECT_EQ(id, expected++);
+}
+
+TEST(Louvain, EmptyGraph) {
+  Graph graph;
+  const LouvainResult result = louvain_communities(graph);
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(Louvain, MergesTwoTriangles) {
+  GraphBuilder builder;
+  builder.add_undirected_edge(0, 1).add_undirected_edge(1, 2)
+      .add_undirected_edge(2, 0);
+  builder.add_undirected_edge(3, 4).add_undirected_edge(4, 5)
+      .add_undirected_edge(5, 3);
+  builder.add_undirected_edge(2, 3);
+  const Graph graph = builder.build();
+  const LouvainResult result = louvain_communities(graph);
+  expect_dense_assignment(result.assignment);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[1], result.assignment[2]);
+  EXPECT_EQ(result.assignment[3], result.assignment[4]);
+  EXPECT_EQ(result.assignment[4], result.assignment[5]);
+  EXPECT_NE(result.assignment[0], result.assignment[3]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, RecoversPlantedSbmBlocks) {
+  Rng rng(77);
+  SbmConfig config;
+  config.nodes = 240;
+  config.blocks = 4;
+  config.p_in = 0.25;
+  config.p_out = 0.005;
+  const Graph graph(config.nodes, sbm_edges(config, rng));
+  const LouvainResult result = louvain_communities(graph);
+  expect_dense_assignment(result.assignment);
+
+  // Most pairs within a planted block should share a detected community.
+  std::uint64_t agree = 0, total = 0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (NodeId v = u + 1; v < graph.node_count(); ++v) {
+      if (sbm_block_of(u, 4) != sbm_block_of(v, 4)) continue;
+      ++total;
+      agree += (result.assignment[u] == result.assignment[v]);
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.8);
+}
+
+TEST(Louvain, BeatsRandomPartitionModularity) {
+  const Graph graph = make_test_graph();
+  const LouvainResult louvain = louvain_communities(graph);
+  Rng rng(5);
+  const auto random = random_partition(
+      graph.node_count(),
+      std::max<CommunityId>(
+          1, static_cast<CommunityId>(
+                 *std::max_element(louvain.assignment.begin(),
+                                   louvain.assignment.end()) + 1)),
+      rng);
+  EXPECT_GT(louvain.modularity, directed_modularity(graph, random) + 0.05);
+}
+
+TEST(Louvain, DeterministicGivenSeed) {
+  const Graph graph = make_test_graph();
+  LouvainConfig config;
+  config.seed = 123;
+  const LouvainResult a = louvain_communities(graph, config);
+  const LouvainResult b = louvain_communities(graph, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, ModularityMatchesMetric) {
+  const Graph graph = make_test_graph();
+  const LouvainResult result = louvain_communities(graph);
+  EXPECT_NEAR(result.modularity,
+              directed_modularity(graph, result.assignment), 1e-12);
+}
+
+TEST(Louvain, EdgelessGraphIsSingletons) {
+  GraphBuilder builder;
+  builder.reserve_nodes(5);
+  const LouvainResult result = louvain_communities(builder.build());
+  expect_dense_assignment(result.assignment);
+  std::set<CommunityId> ids(result.assignment.begin(),
+                            result.assignment.end());
+  EXPECT_EQ(ids.size(), 5U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,99 @@
+#include "community/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "community/louvain.h"
+#include "community/random_partition.h"
+#include "graph/generators/generators.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Conductance, IsolatedCommunityIsZero) {
+  // Two disjoint 2-cycles, communities = the cycles: no cut edges.
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(1, 0).add_edge(2, 3).add_edge(3, 2);
+  const Graph graph = builder.build();
+  CommunitySet communities(4, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(conductance(graph, communities, 0), 0.0);
+  EXPECT_DOUBLE_EQ(conductance(graph, communities, 1), 0.0);
+  EXPECT_DOUBLE_EQ(average_conductance(graph, communities), 0.0);
+}
+
+TEST(Conductance, FullyCutCommunityIsHigh) {
+  // 0 -> 1 where {0} and {1} are separate communities: all volume is cut.
+  GraphBuilder builder;
+  builder.add_edge(0, 1);
+  const Graph graph = builder.build();
+  CommunitySet communities(2, {{0}, {1}});
+  EXPECT_DOUBLE_EQ(conductance(graph, communities, 0), 1.0);
+}
+
+TEST(Conductance, HandComputedMixedCase) {
+  // Community {0,1}: internal edge 0->1; cut edges 1->2 and 2->0.
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  const Graph graph = builder.build();
+  CommunitySet communities(3, {{0, 1}, {2}});
+  // vol_inside = outgoing from {0,1} = 2 (0->1, 1->2); cut = 1->2 out plus
+  // 2->0 in = 2; min(vol_in, vol_out) = min(2, 1) = 1 -> conductance 2.
+  EXPECT_DOUBLE_EQ(conductance(graph, communities, 0), 2.0);
+}
+
+TEST(Conductance, LouvainBeatsRandomOnSbm) {
+  Rng rng(3);
+  SbmConfig config;
+  config.nodes = 200;
+  config.blocks = 4;
+  config.p_in = 0.2;
+  config.p_out = 0.01;
+  const Graph graph(config.nodes, sbm_edges(config, rng));
+
+  const CommunitySet louvain = CommunitySet::from_assignment(
+      graph.node_count(), louvain_communities(graph).assignment);
+  const CommunitySet random = CommunitySet::from_assignment(
+      graph.node_count(),
+      random_partition(graph.node_count(), louvain.size(), rng));
+  EXPECT_LT(average_conductance(graph, louvain) + 0.2,
+            average_conductance(graph, random));
+}
+
+TEST(InternalEdgeFraction, AllInternalVsNone) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(1, 0);
+  const Graph graph = builder.build();
+  CommunitySet together(2, {{0, 1}});
+  CommunitySet apart(2, {{0}, {1}});
+  EXPECT_DOUBLE_EQ(internal_edge_fraction(graph, together), 1.0);
+  EXPECT_DOUBLE_EQ(internal_edge_fraction(graph, apart), 0.0);
+}
+
+TEST(InternalEdgeFraction, UnassignedNodesDontCount) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(2, 0);
+  const Graph graph = builder.build();
+  CommunitySet communities(3, {{0, 1}});  // node 2 unassigned
+  EXPECT_DOUBLE_EQ(internal_edge_fraction(graph, communities), 0.5);
+}
+
+TEST(SizeStats, Values) {
+  CommunitySet communities(10, {{0, 1}, {2, 3, 4, 5}, {6}});
+  communities.set_threshold(1, 3);
+  const auto stats = community_size_stats(communities);
+  EXPECT_EQ(stats.min, 1U);
+  EXPECT_EQ(stats.max, 4U);
+  EXPECT_NEAR(stats.mean, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.threshold_mean, 5.0 / 3.0, 1e-12);
+}
+
+TEST(SizeStats, EmptySet) {
+  CommunitySet communities;
+  const auto stats = community_size_stats(communities);
+  EXPECT_EQ(stats.min, 0U);
+  EXPECT_EQ(stats.max, 0U);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,58 @@
+#include "community/modularity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Modularity, EmptyGraphIsZero) {
+  Graph graph;
+  const std::vector<CommunityId> assignment;
+  EXPECT_DOUBLE_EQ(directed_modularity(graph, assignment), 0.0);
+}
+
+TEST(Modularity, TwoDisjointCliquesHandComputed) {
+  // Two 2-cycles: {0,1} and {2,3}; m = 4.
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(1, 0).add_edge(2, 3).add_edge(3, 2);
+  const Graph graph = builder.build();
+  const std::vector<CommunityId> split{0, 0, 1, 1};
+  // Q = Σ_c [internal/m − (out/m)(in/m)] = 2·(2/4 − (2/4)(2/4)) = 0.5.
+  EXPECT_NEAR(directed_modularity(graph, split), 0.5, 1e-12);
+
+  const std::vector<CommunityId> merged{0, 0, 0, 0};
+  // One community: internal = 4/4 = 1, penalty = (4/4)(4/4) = 1 -> Q = 0.
+  EXPECT_NEAR(directed_modularity(graph, merged), 0.0, 1e-12);
+}
+
+TEST(Modularity, SplitBeatsMergeOnModularGraph) {
+  GraphBuilder builder;
+  // Two triangles joined by a single edge.
+  builder.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  builder.add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+  builder.add_edge(2, 3);
+  const Graph graph = builder.build();
+  const std::vector<CommunityId> split{0, 0, 0, 1, 1, 1};
+  std::vector<CommunityId> singletons(6);
+  std::iota(singletons.begin(), singletons.end(), 0U);
+  const std::vector<CommunityId> merged{0, 0, 0, 0, 0, 0};
+  const double q_split = directed_modularity(graph, split);
+  EXPECT_GT(q_split, directed_modularity(graph, merged));
+  EXPECT_GT(q_split, directed_modularity(graph, singletons));
+}
+
+TEST(Modularity, RejectsIncompleteAssignment) {
+  const Graph graph = test::path_graph(3);
+  const std::vector<CommunityId> wrong_size{0, 0};
+  EXPECT_THROW((void)directed_modularity(graph, wrong_size), std::invalid_argument);
+  const std::vector<CommunityId> with_hole{0, kInvalidCommunity, 0};
+  EXPECT_THROW((void)directed_modularity(graph, with_hole), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imc

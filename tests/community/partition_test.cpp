@@ -1,0 +1,98 @@
+// Tests for random_partition and label_propagation_communities.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "community/label_propagation.h"
+#include "community/random_partition.h"
+#include "graph/generators/generators.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(RandomPartition, EveryCommunityNonEmpty) {
+  Rng rng(1);
+  const auto assignment = random_partition(100, 10, rng);
+  std::vector<int> population(10, 0);
+  for (const CommunityId c : assignment) {
+    ASSERT_LT(c, 10U);
+    ++population[c];
+  }
+  for (const int p : population) EXPECT_GE(p, 1);
+}
+
+TEST(RandomPartition, AllNodesAssigned) {
+  Rng rng(2);
+  const auto assignment = random_partition(57, 7, rng);
+  EXPECT_EQ(assignment.size(), 57U);
+}
+
+TEST(RandomPartition, ExactFitOnePerCommunity) {
+  Rng rng(3);
+  const auto assignment = random_partition(5, 5, rng);
+  std::set<CommunityId> ids(assignment.begin(), assignment.end());
+  EXPECT_EQ(ids.size(), 5U);
+}
+
+TEST(RandomPartition, RejectsBadCounts) {
+  Rng rng(4);
+  EXPECT_THROW((void)random_partition(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_partition(5, 6, rng), std::invalid_argument);
+}
+
+TEST(RandomPartition, RoughlyBalanced) {
+  Rng rng(5);
+  const auto assignment = random_partition(10000, 10, rng);
+  std::vector<int> population(10, 0);
+  for (const CommunityId c : assignment) ++population[c];
+  for (const int p : population) EXPECT_NEAR(p, 1000, 150);
+}
+
+TEST(LabelPropagation, DenseAssignment) {
+  Rng rng(6);
+  SbmConfig config;
+  config.nodes = 120;
+  config.blocks = 3;
+  config.p_in = 0.3;
+  config.p_out = 0.01;
+  const Graph graph(config.nodes, sbm_edges(config, rng));
+  const auto assignment = label_propagation_communities(graph);
+  ASSERT_EQ(assignment.size(), graph.node_count());
+  std::set<CommunityId> ids(assignment.begin(), assignment.end());
+  CommunityId expected = 0;
+  for (const CommunityId id : ids) EXPECT_EQ(id, expected++);
+}
+
+TEST(LabelPropagation, FindsFewerCommunitiesThanNodes) {
+  Rng rng(7);
+  SbmConfig config;
+  config.nodes = 120;
+  config.blocks = 3;
+  config.p_in = 0.4;
+  config.p_out = 0.005;
+  const Graph graph(config.nodes, sbm_edges(config, rng));
+  const auto assignment = label_propagation_communities(graph);
+  std::set<CommunityId> ids(assignment.begin(), assignment.end());
+  EXPECT_LT(ids.size(), 30U);  // strong structure collapses labels
+}
+
+TEST(LabelPropagation, IsolatedNodesKeepOwnLabels) {
+  GraphBuilder builder;
+  builder.reserve_nodes(4);
+  const auto assignment = label_propagation_communities(builder.build());
+  std::set<CommunityId> ids(assignment.begin(), assignment.end());
+  EXPECT_EQ(ids.size(), 4U);
+}
+
+TEST(LabelPropagation, Deterministic) {
+  const Graph graph = test::cycle_graph(30);
+  LabelPropagationConfig config;
+  config.seed = 9;
+  EXPECT_EQ(label_propagation_communities(graph, config),
+            label_propagation_communities(graph, config));
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,79 @@
+#include "community/size_cap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/mathx.h"
+
+namespace imc {
+namespace {
+
+TEST(SizeCap, SmallCommunitiesUntouched) {
+  CommunitySet set(6, {{0, 1}, {2, 3, 4}});
+  Rng rng(1);
+  const CommunitySet capped = cap_community_sizes(set, 4, rng);
+  EXPECT_EQ(capped.size(), 2U);
+  EXPECT_EQ(capped.population(0), 2U);
+  EXPECT_EQ(capped.population(1), 3U);
+}
+
+TEST(SizeCap, SplitsIntoCeilChunks) {
+  // |C| = 10, s = 4 -> ceil(10/4) = 3 chunks (sizes 4, 3, 3).
+  std::vector<NodeId> members(10);
+  for (NodeId v = 0; v < 10; ++v) members[v] = v;
+  CommunitySet set(10, {members});
+  Rng rng(2);
+  const CommunitySet capped = cap_community_sizes(set, 4, rng);
+  EXPECT_EQ(capped.size(), 3U);
+  std::multiset<NodeId> sizes;
+  for (CommunityId c = 0; c < capped.size(); ++c) {
+    sizes.insert(capped.population(c));
+    EXPECT_LE(capped.population(c), 4U);
+  }
+  EXPECT_EQ(sizes, (std::multiset<NodeId>{3, 3, 4}));
+}
+
+TEST(SizeCap, PreservesMembership) {
+  std::vector<NodeId> members(23);
+  for (NodeId v = 0; v < 23; ++v) members[v] = v;
+  CommunitySet set(23, {members});
+  Rng rng(3);
+  const CommunitySet capped = cap_community_sizes(set, 8, rng);
+  std::set<NodeId> seen;
+  for (CommunityId c = 0; c < capped.size(); ++c) {
+    for (const NodeId v : capped.members(c)) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate node " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 23U);
+}
+
+TEST(SizeCap, CapOneMakesSingletons) {
+  CommunitySet set(5, {{0, 1, 2, 3, 4}});
+  Rng rng(4);
+  const CommunitySet capped = cap_community_sizes(set, 1, rng);
+  EXPECT_EQ(capped.size(), 5U);
+  for (CommunityId c = 0; c < 5; ++c) EXPECT_EQ(capped.population(c), 1U);
+}
+
+TEST(SizeCap, RejectsZeroCap) {
+  CommunitySet set(2, {{0, 1}});
+  Rng rng(5);
+  EXPECT_THROW((void)cap_community_sizes(set, 0, rng), std::invalid_argument);
+}
+
+TEST(SizeCap, ResetsThresholdsToDefault) {
+  CommunitySet set(4, {{0, 1, 2, 3}});
+  set.set_threshold(0, 4);
+  set.set_benefit(0, 9.0);
+  Rng rng(6);
+  const CommunitySet capped = cap_community_sizes(set, 2, rng);
+  for (CommunityId c = 0; c < capped.size(); ++c) {
+    EXPECT_EQ(capped.threshold(c), 1U);
+    EXPECT_DOUBLE_EQ(capped.benefit(c), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace imc

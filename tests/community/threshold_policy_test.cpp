@@ -1,0 +1,60 @@
+#include "community/threshold_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace imc {
+namespace {
+
+CommunitySet make_set() {
+  // populations: 1, 2, 5, 8
+  return CommunitySet(16, {{0}, {1, 2}, {3, 4, 5, 6, 7}, {8, 9, 10, 11, 12, 13, 14, 15}});
+}
+
+TEST(ThresholdPolicy, FractionHalfRoundsUp) {
+  CommunitySet set = make_set();
+  apply_fraction_thresholds(set, 0.5);
+  EXPECT_EQ(set.threshold(0), 1U);  // ceil(0.5)
+  EXPECT_EQ(set.threshold(1), 1U);  // ceil(1.0)
+  EXPECT_EQ(set.threshold(2), 3U);  // ceil(2.5)
+  EXPECT_EQ(set.threshold(3), 4U);  // ceil(4.0)
+}
+
+TEST(ThresholdPolicy, FractionOneRequiresEveryone) {
+  CommunitySet set = make_set();
+  apply_fraction_thresholds(set, 1.0);
+  EXPECT_EQ(set.threshold(3), 8U);
+}
+
+TEST(ThresholdPolicy, FractionRejectsBadInput) {
+  CommunitySet set = make_set();
+  EXPECT_THROW((void)apply_fraction_thresholds(set, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)apply_fraction_thresholds(set, 1.2), std::invalid_argument);
+}
+
+TEST(ThresholdPolicy, ConstantCappedByPopulation) {
+  CommunitySet set = make_set();
+  apply_constant_thresholds(set, 2);
+  EXPECT_EQ(set.threshold(0), 1U);  // capped at population 1
+  EXPECT_EQ(set.threshold(1), 2U);
+  EXPECT_EQ(set.threshold(2), 2U);
+  EXPECT_EQ(set.threshold(3), 2U);
+  EXPECT_THROW((void)apply_constant_thresholds(set, 0), std::invalid_argument);
+}
+
+TEST(ThresholdPolicy, PopulationBenefits) {
+  CommunitySet set = make_set();
+  apply_population_benefits(set);
+  EXPECT_DOUBLE_EQ(set.benefit(0), 1.0);
+  EXPECT_DOUBLE_EQ(set.benefit(2), 5.0);
+  EXPECT_DOUBLE_EQ(set.total_benefit(), 16.0);
+}
+
+TEST(ThresholdPolicy, UniformBenefits) {
+  CommunitySet set = make_set();
+  apply_uniform_benefits(set, 2.5);
+  EXPECT_DOUBLE_EQ(set.benefit(0), 2.5);
+  EXPECT_DOUBLE_EQ(set.benefit(3), 2.5);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,63 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "community/threshold_policy.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(BruteForce, SolvesGadgetExactly) {
+  const test::NonSubmodularGadget gadget(0.5);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(500, 1);
+  const BruteForceResult best = brute_force_maxr(pool, 2);
+  EXPECT_EQ(best.seeds.size(), 2U);
+  EXPECT_GT(best.influenced, 0U);
+  // No pair can beat seeding both community members directly (they make
+  // every sample influenced).
+  const std::vector<NodeId> members{2, 3};
+  EXPECT_EQ(best.influenced, pool.influenced_count(members));
+}
+
+TEST(BruteForce, KCoversAllCandidates) {
+  const test::NonSubmodularGadget gadget(0.5);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(100, 2);
+  const BruteForceResult best = brute_force_maxr(pool, 50);
+  EXPECT_EQ(best.influenced, pool.size());  // all candidates seeded
+}
+
+TEST(BruteForce, RejectsHugeInstances) {
+  Rng rng(3);
+  const Graph graph = test::complete_graph(40, 0.3);
+  const CommunitySet communities = test::chunk_communities(40, 4);
+  RicPool pool(graph, communities);
+  pool.grow(50, 3);
+  EXPECT_THROW((void)brute_force_maxr(pool, 15, /*max_subsets=*/1000),
+               std::invalid_argument);
+}
+
+TEST(BruteForce, RejectsZeroK) {
+  const test::NonSubmodularGadget gadget;
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(10, 4);
+  EXPECT_THROW((void)brute_force_maxr(pool, 0), std::invalid_argument);
+}
+
+TEST(BruteForce, BeatsOrMatchesEveryFixedPair) {
+  const test::NonSubmodularGadget gadget(0.3);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(300, 5);
+  const BruteForceResult best = brute_force_maxr(pool, 2);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) {
+      const std::vector<NodeId> pair{a, b};
+      EXPECT_GE(best.influenced, pool.influenced_count(pair));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imc

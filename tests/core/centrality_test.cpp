@@ -1,0 +1,102 @@
+#include "core/baselines/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(PageRank, ScoresSumToOne) {
+  const Graph graph = test::cycle_graph(10, 1.0);
+  const auto scores = pagerank(graph);
+  const double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, SymmetricCycleIsUniform) {
+  const Graph graph = test::cycle_graph(8, 1.0);
+  const auto scores = pagerank(graph);
+  for (const double score : scores) EXPECT_NEAR(score, 1.0 / 8.0, 1e-9);
+}
+
+TEST(PageRank, SinkAttractsMass) {
+  // Star pointing INTO node 0: 0 accumulates rank.
+  GraphBuilder builder;
+  for (NodeId v = 1; v < 6; ++v) builder.add_edge(v, 0, 1.0);
+  const Graph graph = builder.build();
+  const auto scores = pagerank(graph);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_GT(scores[0], scores[v]);
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  // 0 -> 1, 1 dangling: ranks must still sum to 1.
+  GraphBuilder builder;
+  builder.reserve_nodes(3);
+  builder.add_edge(0, 1, 1.0);
+  const auto scores = pagerank(builder.build());
+  EXPECT_NEAR(std::accumulate(scores.begin(), scores.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(scores[1], scores[2]);  // 1 receives from 0, 2 gets nothing
+}
+
+TEST(PageRank, RejectsBadDamping) {
+  const Graph graph = test::path_graph(3, 1.0);
+  PageRankConfig config;
+  config.damping = 1.0;
+  EXPECT_THROW((void)pagerank(graph, config), std::invalid_argument);
+}
+
+TEST(PageRank, SelectTopK) {
+  GraphBuilder builder;
+  for (NodeId v = 1; v < 8; ++v) builder.add_edge(v, 0, 1.0);
+  const Graph graph = builder.build();
+  const auto seeds = pagerank_select(graph, 1);
+  ASSERT_EQ(seeds.size(), 1U);
+  EXPECT_EQ(seeds[0], 0U);
+  EXPECT_THROW((void)pagerank_select(graph, 0), std::invalid_argument);
+}
+
+TEST(DegreeDiscount, FirstPickIsMaxDegree) {
+  const Graph graph = test::star_graph(12, 0.1);
+  const auto seeds = degree_discount_select(graph, 1, 0.1);
+  ASSERT_EQ(seeds.size(), 1U);
+  EXPECT_EQ(seeds[0], 0U);
+}
+
+TEST(DegreeDiscount, DiscountsNeighborsOfChosenSeeds) {
+  // Two stars sharing leaves: after picking hub A, its leaves are
+  // discounted, so the second pick must be hub B rather than a leaf —
+  // construct hubs 0 (degree 6) and 1 (degree 5) over shared leaves.
+  GraphBuilder builder;
+  for (NodeId leaf = 2; leaf < 8; ++leaf) builder.add_edge(0, leaf, 0.1);
+  for (NodeId leaf = 2; leaf < 7; ++leaf) builder.add_edge(1, leaf, 0.1);
+  // Give leaves an out-edge so their degree is nonzero but small.
+  for (NodeId leaf = 2; leaf < 8; ++leaf) builder.add_edge(leaf, 0, 0.1);
+  const Graph graph = builder.build();
+  const auto seeds = degree_discount_select(graph, 2, 0.1);
+  const std::set<NodeId> chosen(seeds.begin(), seeds.end());
+  EXPECT_TRUE(chosen.contains(0));
+  EXPECT_TRUE(chosen.contains(1));
+}
+
+TEST(DegreeDiscount, DistinctSeedsAndTopUp) {
+  GraphBuilder builder;
+  builder.reserve_nodes(6);  // edgeless
+  const auto seeds = degree_discount_select(builder.build(), 4, 0.1);
+  const std::set<NodeId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 4U);
+}
+
+TEST(DegreeDiscount, DefaultProbabilityFromGraph) {
+  const Graph graph = test::star_graph(10, 0.25);
+  // p <= 0 -> derive from mean edge weight; must not throw and must pick
+  // the hub first.
+  const auto seeds = degree_discount_select(graph, 2);
+  EXPECT_EQ(seeds[0], 0U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,151 @@
+#include "core/imcaf.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "community/threshold_policy.h"
+#include "core/maf.h"
+#include "core/maxr_solver.h"
+#include "core/ubg.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+struct Instance {
+  Graph graph;
+  CommunitySet communities;
+};
+
+Instance bounded_instance(NodeId nodes = 64) {
+  Rng rng(7);
+  BarabasiAlbertConfig config;
+  config.nodes = nodes;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, nodes);
+  Instance instance;
+  instance.graph = Graph(nodes, edges);
+  instance.communities = test::chunk_communities(nodes, 4);
+  apply_population_benefits(instance.communities);
+  apply_constant_thresholds(instance.communities, 2);
+  return instance;
+}
+
+TEST(Imcaf, RunsWithEverySolver) {
+  const Instance instance = bounded_instance();
+  for (const MaxrAlgorithm algorithm :
+       {MaxrAlgorithm::kUbg, MaxrAlgorithm::kMaf, MaxrAlgorithm::kBt,
+        MaxrAlgorithm::kMb}) {
+    const auto solver = make_maxr_solver(algorithm);
+    ImcafConfig config;
+    config.max_samples = 4000;
+    const ImcafResult result =
+        imcaf_solve(instance.graph, instance.communities, 4, *solver, config);
+    EXPECT_FALSE(result.seeds.empty()) << to_string(algorithm);
+    EXPECT_LE(result.seeds.size(), 4U);
+    const std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+    EXPECT_EQ(unique.size(), result.seeds.size());
+    EXPECT_GT(result.samples_used, 0U);
+    EXPECT_GE(result.stop_stages, 1U);
+    EXPECT_GT(result.lambda, 0.0);
+  }
+}
+
+TEST(Imcaf, ValidatesArguments) {
+  const Instance instance = bounded_instance();
+  UbgSolver solver;
+  EXPECT_THROW((void)imcaf_solve(instance.graph, CommunitySet{}, 3, solver),
+               std::invalid_argument);
+  EXPECT_THROW((void)imcaf_solve(instance.graph, instance.communities, 0, solver),
+               std::invalid_argument);
+  EXPECT_THROW((void)
+      imcaf_solve(instance.graph, instance.communities, 100000, solver),
+      std::invalid_argument);
+}
+
+TEST(Imcaf, EstimatedBenefitTracksMonteCarlo) {
+  const Instance instance = bounded_instance();
+  UbgSolver solver;
+  ImcafConfig config;
+  config.max_samples = 20000;
+  const ImcafResult result =
+      imcaf_solve(instance.graph, instance.communities, 5, solver, config);
+
+  MonteCarloOptions mc;
+  mc.simulations = 40000;
+  const double truth = mc_expected_benefit(instance.graph,
+                                           instance.communities,
+                                           result.seeds, mc);
+  EXPECT_NEAR(result.estimated_benefit, truth,
+              std::max(1.0, truth * 0.15));
+}
+
+TEST(Imcaf, RespectsSampleCap) {
+  const Instance instance = bounded_instance();
+  MafSolver solver;
+  ImcafConfig config;
+  config.max_samples = 500;
+  const ImcafResult result =
+      imcaf_solve(instance.graph, instance.communities, 4, solver, config);
+  EXPECT_LE(result.samples_used, 500U);
+}
+
+TEST(Imcaf, DeterministicGivenSeed) {
+  const Instance instance = bounded_instance();
+  MafSolver solver;
+  ImcafConfig config;
+  config.max_samples = 2000;
+  config.seed = 77;
+  const ImcafResult a =
+      imcaf_solve(instance.graph, instance.communities, 4, solver, config);
+  const ImcafResult b =
+      imcaf_solve(instance.graph, instance.communities, 4, solver, config);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.samples_used, b.samples_used);
+}
+
+TEST(Imcaf, QualityBeatsRandomSeeds) {
+  const Instance instance = bounded_instance(96);
+  UbgSolver solver;
+  ImcafConfig config;
+  config.max_samples = 8000;
+  const ImcafResult result =
+      imcaf_solve(instance.graph, instance.communities, 6, solver, config);
+
+  MonteCarloOptions mc;
+  mc.simulations = 20000;
+  Rng rng(5);
+  double random_best = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto seeds =
+        rng.sample_without_replacement(instance.graph.node_count(), 6);
+    random_best = std::max(
+        random_best, mc_expected_benefit(instance.graph,
+                                         instance.communities, seeds, mc));
+  }
+  const double ours = mc_expected_benefit(instance.graph,
+                                          instance.communities,
+                                          result.seeds, mc);
+  EXPECT_GE(ours, random_best * 0.95);
+}
+
+TEST(Imcaf, ReportsRuntime) {
+  const Instance instance = bounded_instance();
+  MafSolver solver;
+  ImcafConfig config;
+  config.max_samples = 1000;
+  const ImcafResult result =
+      imcaf_solve(instance.graph, instance.communities, 3, solver, config);
+  EXPECT_GE(result.runtime_seconds, 0.0);
+  EXPECT_LT(result.runtime_seconds, 120.0);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,87 @@
+#include "core/baselines/imm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/baselines/im_ris.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Imm, RejectsBadArguments) {
+  const Graph graph = test::star_graph(5, 0.5);
+  EXPECT_THROW((void)imm_select(graph, 0), std::invalid_argument);
+  EXPECT_THROW((void)imm_select(graph, 9), std::invalid_argument);
+  ImmConfig config;
+  config.epsilon = 0.0;
+  EXPECT_THROW((void)imm_select(graph, 1, config), std::invalid_argument);
+}
+
+TEST(Imm, PicksStarCenter) {
+  const Graph graph = test::star_graph(40, 0.8);
+  const ImmResult result = imm_select(graph, 1);
+  ASSERT_EQ(result.seeds.size(), 1U);
+  EXPECT_EQ(result.seeds[0], 0U);
+  EXPECT_GT(result.rr_sets_used, 0U);
+  EXPECT_GT(result.opt_lower_bound, 1.0);
+}
+
+TEST(Imm, SpreadEstimateMatchesMonteCarlo) {
+  Rng rng(4);
+  BarabasiAlbertConfig config;
+  config.nodes = 200;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+
+  const ImmResult result = imm_select(graph, 5);
+  MonteCarloOptions mc;
+  mc.simulations = 30000;
+  const double truth = mc_expected_spread(graph, result.seeds, mc);
+  EXPECT_NEAR(result.estimated_spread, truth, std::max(2.0, truth * 0.1));
+}
+
+TEST(Imm, DistinctSeeds) {
+  const Graph graph = test::cycle_graph(30, 0.5);
+  const ImmResult result = imm_select(graph, 6);
+  const std::set<NodeId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 6U);
+}
+
+TEST(Imm, ComparableToSsaStyleIm) {
+  // Both IM solvers optimize the same objective; their seed quality should
+  // be near-identical on a mid-size graph.
+  Rng rng(6);
+  BarabasiAlbertConfig config;
+  config.nodes = 300;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+
+  const ImmResult imm = imm_select(graph, 8);
+  const ImRisResult ssa = im_ris_select(graph, 8);
+  MonteCarloOptions mc;
+  mc.simulations = 20000;
+  const double imm_spread = mc_expected_spread(graph, imm.seeds, mc);
+  const double ssa_spread = mc_expected_spread(graph, ssa.seeds, mc);
+  EXPECT_NEAR(imm_spread, ssa_spread, std::max(3.0, ssa_spread * 0.1));
+}
+
+TEST(Imm, RespectsRrSetCap) {
+  const Graph graph = test::cycle_graph(50, 0.3);
+  ImmConfig config;
+  config.max_rr_sets = 2000;
+  const ImmResult result = imm_select(graph, 3, config);
+  EXPECT_LE(result.rr_sets_used, 2000U);
+  EXPECT_EQ(result.seeds.size(), 3U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,138 @@
+#include "core/maf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "community/threshold_policy.h"
+#include "core/brute_force.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+/// The paper's S_2 counterexample (proof of Theorem 3): 6 disjoint
+/// 3-member communities with h = 2; hub u touches one member of C1..C3,
+/// hub v touches one member of C4..C6; no other edges. All edges certain.
+struct S2Counterexample {
+  Graph graph;
+  CommunitySet communities;
+  NodeId u, v;
+
+  S2Counterexample() {
+    GraphBuilder builder;
+    // Members: community i occupies nodes [3i, 3i+3), i in 0..5.
+    // Hubs: u = 18, v = 19.
+    u = 18;
+    v = 19;
+    builder.reserve_nodes(20);
+    for (int i = 0; i < 3; ++i) builder.add_edge(u, 3 * i, 1.0);
+    for (int i = 3; i < 6; ++i) builder.add_edge(v, 3 * i, 1.0);
+    graph = builder.build();
+    std::vector<std::vector<NodeId>> groups;
+    for (NodeId c = 0; c < 6; ++c) {
+      groups.push_back({static_cast<NodeId>(3 * c),
+                        static_cast<NodeId>(3 * c + 1),
+                        static_cast<NodeId>(3 * c + 2)});
+    }
+    communities = CommunitySet(20, std::move(groups));
+    for (CommunityId c = 0; c < 6; ++c) communities.set_threshold(c, 2);
+  }
+};
+
+TEST(Maf, S2AloneHasNoGuarantee) {
+  const S2Counterexample instance;
+  RicPool pool(instance.graph, instance.communities);
+  pool.grow(1200, 1);
+  const MafSolution solution = maf_solve(pool, 2);
+
+  // u and v appear the most (3 communities each vs 1 for members)...
+  ASSERT_EQ(solution.s2.size(), 2U);
+  const std::set<NodeId> s2(solution.s2.begin(), solution.s2.end());
+  EXPECT_TRUE(s2.contains(instance.u));
+  EXPECT_TRUE(s2.contains(instance.v));
+  // ...yet influence nothing (every community needs 2 members).
+  EXPECT_DOUBLE_EQ(pool.c_hat(solution.s2), 0.0);
+
+  // S_1 pays h = 2 seats in one community and scores there — MAF must
+  // return S_1 here.
+  EXPECT_TRUE(solution.chose_s1);
+  EXPECT_GT(solution.c_hat, 0.0);
+}
+
+TEST(Maf, S1FillsSeatsByCommunityFrequency) {
+  const S2Counterexample instance;
+  RicPool pool(instance.graph, instance.communities);
+  pool.grow(600, 2);
+  const MafSolution solution = maf_solve(pool, 4);
+  // k = 4 fits exactly two communities (h = 2 each); all four seeds must be
+  // members (never hubs).
+  ASSERT_EQ(solution.s1.size(), 4U);
+  for (const NodeId seed : solution.s1) {
+    EXPECT_NE(seed, instance.u);
+    EXPECT_NE(seed, instance.v);
+    EXPECT_NE(instance.communities.community_of(seed), kInvalidCommunity);
+  }
+}
+
+TEST(Maf, Theorem3BoundHolds) {
+  // ĉ(MAF) >= (1/r)·⌊k/h⌋·ĉ(OPT) on random small instances.
+  for (const std::uint64_t trial : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    Rng rng(trial);
+    BarabasiAlbertConfig config;
+    config.nodes = 24;
+    config.attach = 2;
+    EdgeList edges = barabasi_albert_edges(config, rng);
+    apply_uniform_weights(edges, 0.4);
+    const Graph graph(config.nodes, edges);
+    CommunitySet communities = test::chunk_communities(24, 4);
+    apply_constant_thresholds(communities, 2);
+    RicPool pool(graph, communities);
+    pool.grow(250, trial * 7);
+
+    const std::uint32_t k = 4;
+    const MafSolution maf = maf_solve(pool, k, trial);
+    const BruteForceResult opt = brute_force_maxr(pool, k, 50'000'000);
+    const double r = communities.size();
+    const double h = communities.max_threshold();
+    const double bound = std::floor(k / h) / r * opt.c_hat;
+    EXPECT_GE(maf.c_hat + 1e-9, bound) << "trial " << trial;
+  }
+}
+
+TEST(Maf, ReturnsAtMostKSeeds) {
+  const S2Counterexample instance;
+  RicPool pool(instance.graph, instance.communities);
+  pool.grow(200, 3);
+  for (const std::uint32_t k : {1U, 2U, 3U, 5U, 8U}) {
+    const MafSolution solution = maf_solve(pool, k);
+    EXPECT_LE(solution.seeds.size(), k);
+    EXPECT_LE(solution.s1.size(), k);
+    EXPECT_LE(solution.s2.size(), k);
+  }
+}
+
+TEST(Maf, DeterministicGivenSeed) {
+  const S2Counterexample instance;
+  RicPool pool(instance.graph, instance.communities);
+  pool.grow(200, 4);
+  const MafSolution a = maf_solve(pool, 4, 99);
+  const MafSolution b = maf_solve(pool, 4, 99);
+  EXPECT_EQ(a.seeds, b.seeds);
+}
+
+TEST(Maf, AlphaFormula) {
+  const S2Counterexample instance;
+  RicPool pool(instance.graph, instance.communities);
+  pool.grow(50, 5);
+  MafSolver solver;
+  // r = 6, h = 2, k = 4 -> α = ⌊4/2⌋/6 = 1/3.
+  EXPECT_NEAR(solver.alpha(pool, 4), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(solver.name(), "MAF");
+}
+
+}  // namespace
+}  // namespace imc

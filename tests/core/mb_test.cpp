@@ -1,0 +1,89 @@
+#include "core/mb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "community/threshold_policy.h"
+#include "core/brute_force.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Mb, KeepsBetterOfMafAndBt) {
+  const test::NonSubmodularGadget gadget(0.4);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(800, 1);
+  const MbSolution solution = mb_solve(pool, 2);
+  EXPECT_GE(solution.c_hat, solution.maf.c_hat - 1e-12);
+  EXPECT_GE(solution.c_hat, solution.bt.c_hat - 1e-12);
+  if (solution.chose_bt) {
+    EXPECT_EQ(solution.seeds, solution.bt.seeds);
+  } else {
+    EXPECT_EQ(solution.seeds, solution.maf.seeds);
+  }
+}
+
+TEST(Mb, Theorem5BoundHolds) {
+  // ĉ(MB) >= sqrt((1 − 1/e)·⌊k/2⌋/(r·k)) · ĉ(OPT) for h <= 2.
+  for (const std::uint64_t trial : {1ULL, 2ULL, 3ULL}) {
+    Rng rng(trial * 13);
+    BarabasiAlbertConfig config;
+    config.nodes = 18;
+    config.attach = 2;
+    EdgeList edges = barabasi_albert_edges(config, rng);
+    apply_uniform_weights(edges, 0.3);
+    const Graph graph(config.nodes, edges);
+    CommunitySet communities = test::chunk_communities(18, 3);
+    apply_constant_thresholds(communities, 2);
+    RicPool pool(graph, communities);
+    pool.grow(200, trial);
+
+    const std::uint32_t k = 4;
+    const MbSolution mb = mb_solve(pool, k);
+    const BruteForceResult opt = brute_force_maxr(pool, k, 50'000'000);
+    const double r = communities.size();
+    const double bound =
+        std::sqrt((1.0 - 1.0 / 2.718281828) * std::floor(k / 2.0) /
+                  (r * k)) *
+        opt.c_hat;
+    EXPECT_GE(mb.c_hat + 1e-9, bound) << "trial " << trial;
+  }
+}
+
+TEST(Mb, AlphaMatchesTheorem5) {
+  const test::NonSubmodularGadget gadget;
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(20, 2);
+  MbSolver solver;
+  // r = 1, k = 4: sqrt((1 − 1/e)·2/4) ≈ 0.562.
+  EXPECT_NEAR(solver.alpha(pool, 4),
+              std::sqrt((1.0 - 1.0 / 2.718281828459045) * 2.0 / 4.0), 1e-9);
+  EXPECT_EQ(solver.name(), "MB");
+}
+
+TEST(Mb, PropagatesBtDeadline) {
+  Rng rng(3);
+  BarabasiAlbertConfig config;
+  config.nodes = 100;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+  CommunitySet communities = test::chunk_communities(100, 4);
+  apply_constant_thresholds(communities, 2);
+  RicPool pool(graph, communities);
+  pool.grow(800, 3);
+
+  BtConfig bt_config;
+  bt_config.deadline_seconds = 1e-7;
+  const MbSolution solution = mb_solve(pool, 4, bt_config);
+  EXPECT_TRUE(solution.bt.timed_out);
+  EXPECT_FALSE(solution.seeds.empty());
+}
+
+}  // namespace
+}  // namespace imc

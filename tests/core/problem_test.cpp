@@ -1,0 +1,109 @@
+#include "core/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators/dataset_catalog.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+class ProblemTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(make_dataset(DatasetId::kFacebook, 0.15));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  static Graph* graph_;
+};
+
+Graph* ProblemTest::graph_ = nullptr;
+
+TEST_F(ProblemTest, LouvainRegularDefaults) {
+  CommunityBuildConfig config;  // Louvain, s = 8, regular 0.5
+  const CommunitySet communities = build_communities(*graph_, config);
+  EXPECT_GT(communities.size(), 1U);
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    EXPECT_LE(communities.population(c), 8U);
+    EXPECT_DOUBLE_EQ(communities.benefit(c),
+                     static_cast<double>(communities.population(c)));
+    // h = ceil(0.5 * population)
+    EXPECT_EQ(communities.threshold(c),
+              (communities.population(c) + 1) / 2);
+  }
+}
+
+TEST_F(ProblemTest, BoundedRegimeSetsConstantThresholds) {
+  CommunityBuildConfig config;
+  config.regime = ThresholdRegime::kConstantBounded;
+  config.threshold_constant = 2;
+  const CommunitySet communities = build_communities(*graph_, config);
+  EXPECT_LE(communities.max_threshold(), 2U);
+}
+
+TEST_F(ProblemTest, RandomMethodHonorsCommunityCount) {
+  CommunityBuildConfig config;
+  config.method = CommunityMethod::kRandom;
+  config.random_communities = 12;
+  config.size_cap = 0;  // no splitting
+  const CommunitySet communities = build_communities(*graph_, config);
+  EXPECT_EQ(communities.size(), 12U);
+  EXPECT_NEAR(communities.coverage(), 1.0, 1e-12);
+}
+
+TEST_F(ProblemTest, RandomMethodDefaultsToNOverS) {
+  CommunityBuildConfig config;
+  config.method = CommunityMethod::kRandom;
+  config.size_cap = 8;
+  const CommunitySet communities = build_communities(*graph_, config);
+  // n/s communities before capping; capping may add a few.
+  EXPECT_GE(communities.size(), graph_->node_count() / 8);
+}
+
+TEST_F(ProblemTest, LabelPropagationMethodWorks) {
+  CommunityBuildConfig config;
+  config.method = CommunityMethod::kLabelPropagation;
+  const CommunitySet communities = build_communities(*graph_, config);
+  EXPECT_GT(communities.size(), 0U);
+  EXPECT_NEAR(communities.coverage(), 1.0, 1e-12);
+}
+
+TEST_F(ProblemTest, DeterministicGivenSeed) {
+  CommunityBuildConfig config;
+  config.seed = 77;
+  const CommunitySet a = build_communities(*graph_, config);
+  const CommunitySet b = build_communities(*graph_, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (CommunityId c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a.population(c), b.population(c));
+    const auto ma = a.members(c);
+    const auto mb = b.members(c);
+    for (std::size_t i = 0; i < ma.size(); ++i) EXPECT_EQ(ma[i], mb[i]);
+  }
+}
+
+TEST_F(ProblemTest, ImcProblemValidity) {
+  ImcProblem problem;
+  EXPECT_FALSE(problem.valid());
+  problem.graph = graph_;
+  EXPECT_FALSE(problem.valid());  // still no communities
+  problem.communities = build_communities(*graph_, {});
+  problem.k = 10;
+  EXPECT_TRUE(problem.valid());
+  problem.k = 0;
+  EXPECT_FALSE(problem.valid());
+}
+
+TEST(ProblemStrings, EnumNames) {
+  EXPECT_EQ(to_string(CommunityMethod::kLouvain), "louvain");
+  EXPECT_EQ(to_string(CommunityMethod::kRandom), "random");
+  EXPECT_EQ(to_string(CommunityMethod::kLabelPropagation), "lpa");
+  EXPECT_EQ(to_string(ThresholdRegime::kFractionOfPopulation), "regular");
+  EXPECT_EQ(to_string(ThresholdRegime::kConstantBounded), "bounded");
+}
+
+}  // namespace
+}  // namespace imc

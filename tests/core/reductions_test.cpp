@@ -1,0 +1,143 @@
+// Machine-checks the Theorem 1 reduction: e(S_D) = c(S'_I) on concrete
+// instances (both directions of the paper's proof), using exact forward
+// evaluation — the constructed graph is deterministic (all weights 1), so
+// c(S) needs a single IC realization.
+#include "core/reductions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diffusion/monte_carlo.h"
+#include "graph/algorithms.h"
+#include "util/rng.h"
+
+namespace imc {
+namespace {
+
+/// Exact c(S) on a deterministic (weight-1) instance: one simulation.
+double exact_benefit(const DksToImcResult& reduction,
+                     const std::vector<NodeId>& seeds) {
+  MonteCarloOptions mc;
+  mc.simulations = 1;  // all edges certain: one run is exact
+  return mc_expected_benefit(reduction.graph, reduction.communities, seeds,
+                             mc);
+}
+
+DksInstance triangle_plus_pendant() {
+  // Nodes 0-1-2 triangle, pendant edge 2-3.
+  DksInstance instance;
+  instance.nodes = 4;
+  instance.edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}};
+  return instance;
+}
+
+TEST(DksReduction, ConstructionShape) {
+  const DksInstance instance = triangle_plus_pendant();
+  const DksToImcResult reduction = dks_to_imc(instance);
+  // 2 copy-nodes per edge.
+  EXPECT_EQ(reduction.graph.node_count(), 8U);
+  EXPECT_EQ(reduction.communities.size(), 4U);
+  for (CommunityId c = 0; c < 4; ++c) {
+    EXPECT_EQ(reduction.communities.population(c), 2U);
+    EXPECT_EQ(reduction.communities.threshold(c), 2U);
+    EXPECT_DOUBLE_EQ(reduction.communities.benefit(c), 1.0);
+  }
+  // Node 2 has 3 incident edges -> 3 copies forming a strongly connected
+  // cluster.
+  EXPECT_EQ(reduction.copies_of[2].size(), 3U);
+  const Components scc = strongly_connected_components(reduction.graph);
+  const CommunityId cluster = scc.component_of[reduction.copies_of[2][0]];
+  for (const NodeId copy : reduction.copies_of[2]) {
+    EXPECT_EQ(scc.component_of[copy], cluster);
+  }
+}
+
+TEST(DksReduction, LiftedSeedsRealizeInducedEdges) {
+  // Forward direction of the proof: e(S_D) = c(lift(S_D)).
+  const DksInstance instance = triangle_plus_pendant();
+  const DksToImcResult reduction = dks_to_imc(instance);
+
+  const std::vector<std::vector<NodeId>> choices = {
+      {0, 1},        // 1 induced edge
+      {0, 1, 2},     // 3 induced edges (the triangle)
+      {2, 3},        // 1 induced edge
+      {0, 3},        // 0 induced edges
+      {0, 1, 2, 3},  // all 4 edges
+  };
+  for (const auto& chosen : choices) {
+    const auto lifted = lift_seeds_to_imc(reduction, chosen);
+    EXPECT_DOUBLE_EQ(exact_benefit(reduction, lifted),
+                     static_cast<double>(dks_edges_inside(instance, chosen)))
+        << "set size " << chosen.size();
+  }
+}
+
+TEST(DksReduction, ProjectionNeverLosesBenefit) {
+  // Backward direction: any IMC seed set's benefit is at most the induced
+  // edge count of its projection (c(S_I) <= e(project(S_I))).
+  const DksInstance instance = triangle_plus_pendant();
+  const DksToImcResult reduction = dks_to_imc(instance);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto seeds = rng.sample_without_replacement(
+        reduction.graph.node_count(),
+        1 + static_cast<std::uint32_t>(rng.below(4)));
+    const std::vector<NodeId> seed_vec(seeds.begin(), seeds.end());
+    const double benefit = exact_benefit(reduction, seed_vec);
+    const auto projected = project_seeds_to_dks(reduction, seed_vec);
+    EXPECT_LE(benefit,
+              static_cast<double>(dks_edges_inside(instance, projected)) +
+                  1e-12);
+  }
+}
+
+TEST(DksReduction, RandomInstancesEquality) {
+  // Property sweep on random DkS instances: equality for lifted sets.
+  for (std::uint64_t trial = 1; trial <= 10; ++trial) {
+    Rng rng(trial * 101);
+    DksInstance instance;
+    instance.nodes = 6 + static_cast<NodeId>(rng.below(5));
+    for (NodeId a = 0; a < instance.nodes; ++a) {
+      for (NodeId b = a + 1; b < instance.nodes; ++b) {
+        if (rng.bernoulli(0.4)) instance.edges.emplace_back(a, b);
+      }
+    }
+    if (instance.edges.empty()) continue;
+    const DksToImcResult reduction = dks_to_imc(instance);
+
+    const auto chosen_raw = rng.sample_without_replacement(
+        instance.nodes, std::min<std::uint32_t>(4, instance.nodes));
+    std::vector<NodeId> chosen(chosen_raw.begin(), chosen_raw.end());
+    // Keep only nodes that have copies (incident edges).
+    chosen.erase(std::remove_if(chosen.begin(), chosen.end(),
+                                [&](NodeId a) {
+                                  return reduction.copies_of[a].empty();
+                                }),
+                 chosen.end());
+    if (chosen.empty()) continue;
+    const auto lifted = lift_seeds_to_imc(reduction, chosen);
+    EXPECT_DOUBLE_EQ(exact_benefit(reduction, lifted),
+                     static_cast<double>(dks_edges_inside(instance, chosen)))
+        << "trial " << trial;
+  }
+}
+
+TEST(DksReduction, RejectsBadInput) {
+  DksInstance empty;
+  empty.nodes = 3;
+  EXPECT_THROW((void)dks_to_imc(empty), std::invalid_argument);
+
+  DksInstance loop;
+  loop.nodes = 2;
+  loop.edges = {{1, 1}};
+  EXPECT_THROW((void)dks_to_imc(loop), std::invalid_argument);
+
+  DksInstance range;
+  range.nodes = 2;
+  range.edges = {{0, 5}};
+  EXPECT_THROW((void)dks_to_imc(range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imc

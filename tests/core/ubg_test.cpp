@@ -1,0 +1,74 @@
+#include "core/ubg.h"
+
+#include <gtest/gtest.h>
+
+#include "community/threshold_policy.h"
+#include "core/brute_force.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Ubg, KeepsBetterOfTwoGreedySolutions) {
+  const test::NonSubmodularGadget gadget(0.4);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(1500, 1);
+  const UbgSolution solution = ubg_solve(pool, 2);
+  EXPECT_GE(solution.c_hat, solution.from_c_hat.c_hat - 1e-12);
+  EXPECT_GE(solution.c_hat, solution.from_nu.c_hat - 1e-12);
+  EXPECT_EQ(solution.seeds.size(), 2U);
+}
+
+TEST(Ubg, SandwichRatioInUnitInterval) {
+  const test::NonSubmodularGadget gadget(0.4);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(800, 2);
+  const UbgSolution solution = ubg_solve(pool, 2);
+  EXPECT_GE(solution.sandwich_ratio, 0.0);
+  EXPECT_LE(solution.sandwich_ratio, 1.0 + 1e-12);
+}
+
+TEST(Ubg, RatioIsOneWhenThresholdsAreOne) {
+  // Lemma 4: ĉ == ν at h = 1, so the sandwich ratio collapses to 1.
+  Rng rng(3);
+  BarabasiAlbertConfig config;
+  config.nodes = 50;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+  const CommunitySet communities = test::chunk_communities(50, 5);  // h = 1
+  RicPool pool(graph, communities);
+  pool.grow(800, 3);
+  const UbgSolution solution = ubg_solve(pool, 5);
+  EXPECT_NEAR(solution.sandwich_ratio, 1.0, 1e-9);
+}
+
+TEST(Ubg, NearOptimalOnSmallInstances) {
+  // Data-dependent sandwich bound sanity: UBG should land well within the
+  // brute-force optimum on small pools.
+  const test::NonSubmodularGadget gadget(0.5);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(400, 4);
+  const UbgSolution ubg = ubg_solve(pool, 2);
+  const BruteForceResult best = brute_force_maxr(pool, 2);
+  EXPECT_GE(ubg.c_hat,
+            best.c_hat * ubg.sandwich_ratio * (1.0 - 1.0 / 2.718281828) -
+                1e-9);
+}
+
+TEST(Ubg, SolverInterface) {
+  UbgSolver solver;
+  EXPECT_EQ(solver.name(), "UBG");
+  const test::NonSubmodularGadget gadget;
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(100, 5);
+  EXPECT_NEAR(solver.alpha(pool, 3), 1.0 - 1.0 / 2.718281828, 1e-6);
+  const MaxrSolution solution = solver.solve(pool, 2);
+  EXPECT_EQ(solution.seeds.size(), 2U);
+}
+
+}  // namespace
+}  // namespace imc

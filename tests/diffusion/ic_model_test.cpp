@@ -1,0 +1,111 @@
+#include "diffusion/ic_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(IcModel, SeedsAlwaysActive) {
+  const Graph graph = test::path_graph(5, 0.0);
+  Rng rng(1);
+  const std::vector<NodeId> seeds{2};
+  EXPECT_EQ(simulate_ic(graph, seeds, rng), seeds);
+}
+
+TEST(IcModel, CertainEdgesEqualReachability) {
+  const Graph graph = test::path_graph(6, 1.0);
+  Rng rng(2);
+  const std::vector<NodeId> seeds{1};
+  EXPECT_EQ(simulate_ic(graph, seeds, rng),
+            forward_reachable(graph, seeds));
+}
+
+TEST(IcModel, MultipleSeedsUnion) {
+  GraphBuilder builder;
+  builder.reserve_nodes(6);
+  builder.add_edge(0, 1, 1.0).add_edge(3, 4, 1.0);
+  const Graph graph = builder.build();
+  Rng rng(3);
+  const std::vector<NodeId> seeds{0, 3};
+  EXPECT_EQ(simulate_ic(graph, seeds, rng),
+            (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(IcModel, DuplicateSeedsTolerated) {
+  const Graph graph = test::path_graph(3, 1.0);
+  Rng rng(4);
+  const std::vector<NodeId> seeds{0, 0, 0};
+  EXPECT_EQ(simulate_ic(graph, seeds, rng).size(), 3U);
+}
+
+TEST(IcModel, OutOfRangeSeedThrows) {
+  const Graph graph = test::path_graph(3);
+  Rng rng(5);
+  const std::vector<NodeId> seeds{7};
+  EXPECT_THROW((void)simulate_ic(graph, seeds, rng), std::out_of_range);
+}
+
+TEST(IcModel, ActivationRateMatchesEdgeProbability) {
+  // Star center seeded: each leaf independently active with p = 0.3.
+  const Graph graph = test::star_graph(101, 0.3);
+  Rng rng(6);
+  const std::vector<NodeId> seeds{0};
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  double total = 0.0;
+  constexpr int kRuns = 3000;
+  for (int run = 0; run < kRuns; ++run) {
+    total += static_cast<double>(
+                 simulate_ic_into(graph, seeds, rng, active, scratch)) -
+             1.0;  // exclude the seed
+  }
+  EXPECT_NEAR(total / kRuns / 100.0, 0.3, 0.01);
+}
+
+TEST(IcModel, TwoHopPathProbability) {
+  // 0 -> 1 -> 2 with p = 0.5: P(2 active | seed 0) = 0.25.
+  const Graph graph = test::path_graph(3, 0.5);
+  Rng rng(7);
+  const std::vector<NodeId> seeds{0};
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  int hits = 0;
+  constexpr int kRuns = 20000;
+  for (int run = 0; run < kRuns; ++run) {
+    simulate_ic_into(graph, seeds, rng, active, scratch);
+    hits += active[2];
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kRuns, 0.25, 0.01);
+}
+
+TEST(IcModel, SimulateIntoReturnsCount) {
+  const Graph graph = test::complete_graph(4, 1.0);
+  Rng rng(8);
+  const std::vector<NodeId> seeds{0};
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  EXPECT_EQ(simulate_ic_into(graph, seeds, rng, active, scratch), 4U);
+}
+
+TEST(IcModel, MonotoneInSeedsOnAverage) {
+  const Graph graph = test::cycle_graph(20, 0.4);
+  Rng rng(9);
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  double small = 0.0, large = 0.0;
+  const std::vector<NodeId> one{0};
+  const std::vector<NodeId> two{0, 10};
+  for (int run = 0; run < 2000; ++run) {
+    small += static_cast<double>(
+        simulate_ic_into(graph, one, rng, active, scratch));
+    large += static_cast<double>(
+        simulate_ic_into(graph, two, rng, active, scratch));
+  }
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,64 @@
+#include "diffusion/live_edge.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/ic_model.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(LiveEdge, CertainGraphKeepsAllEdges) {
+  const Graph graph = test::complete_graph(5, 1.0);
+  Rng rng(1);
+  const LiveEdgeGraph sample = sample_live_edges(graph, rng);
+  EXPECT_EQ(sample.edge_count(), graph.edge_count());
+}
+
+TEST(LiveEdge, ZeroWeightDropsAllEdges) {
+  const Graph graph = test::complete_graph(5, 0.0);
+  Rng rng(2);
+  EXPECT_EQ(sample_live_edges(graph, rng).edge_count(), 0U);
+}
+
+TEST(LiveEdge, SurvivalRateMatchesWeight) {
+  const Graph graph = test::complete_graph(30, 0.3);
+  Rng rng(3);
+  double kept = 0.0;
+  constexpr int kRuns = 200;
+  for (int run = 0; run < kRuns; ++run) {
+    kept += static_cast<double>(sample_live_edges(graph, rng).edge_count());
+  }
+  const double rate = kept / kRuns / static_cast<double>(graph.edge_count());
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(LiveEdge, ReachableMatchesStructure) {
+  const Graph graph = test::path_graph(4, 1.0);
+  Rng rng(4);
+  const LiveEdgeGraph sample = sample_live_edges(graph, rng);
+  const std::vector<NodeId> sources{1};
+  EXPECT_EQ(sample.reachable(sources), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(LiveEdge, SpreadDistributionMatchesIcSimulation) {
+  // The live-edge view and direct IC simulation must agree in expectation
+  // (they are the same distribution — §II-A).
+  const Graph graph = test::cycle_graph(12, 0.5);
+  Rng rng_live(5), rng_ic(5);
+  const std::vector<NodeId> seeds{0};
+  double live_total = 0.0, ic_total = 0.0;
+  std::vector<std::uint8_t> active;
+  std::vector<NodeId> scratch;
+  constexpr int kRuns = 20000;
+  for (int run = 0; run < kRuns; ++run) {
+    live_total += static_cast<double>(
+        sample_live_edges(graph, rng_live).reachable(seeds).size());
+    ic_total += static_cast<double>(
+        simulate_ic_into(graph, seeds, rng_ic, active, scratch));
+  }
+  EXPECT_NEAR(live_total / kRuns, ic_total / kRuns, 0.06);
+}
+
+}  // namespace
+}  // namespace imc

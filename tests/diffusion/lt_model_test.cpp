@@ -1,0 +1,86 @@
+#include "diffusion/lt_model.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(LtModel, WeightValidation) {
+  // In-weights must sum to <= 1.
+  GraphBuilder ok;
+  ok.add_edge(0, 2, 0.5).add_edge(1, 2, 0.5);
+  EXPECT_TRUE(lt_weights_valid(ok.build()));
+
+  GraphBuilder bad;
+  bad.add_edge(0, 2, 0.8).add_edge(1, 2, 0.8);
+  EXPECT_FALSE(lt_weights_valid(bad.build()));
+
+  Rng rng(1);
+  const std::vector<NodeId> seeds{0};
+  EXPECT_THROW((void)simulate_lt(bad.build(), seeds, rng), std::invalid_argument);
+}
+
+TEST(LtModel, SeedsAlwaysActive) {
+  const Graph graph = test::path_graph(4, 0.0);
+  Rng rng(2);
+  const std::vector<NodeId> seeds{1, 3};
+  EXPECT_EQ(simulate_lt(graph, seeds, rng), seeds);
+}
+
+TEST(LtModel, FullWeightMeansCertainActivation) {
+  // Path with weight 1: every threshold θ <= 1 is met once the
+  // predecessor activates, so the cascade reaches the whole suffix.
+  const Graph graph = test::path_graph(5, 1.0);
+  Rng rng(3);
+  const std::vector<NodeId> seeds{0};
+  EXPECT_EQ(simulate_lt(graph, seeds, rng).size(), 5U);
+}
+
+TEST(LtModel, ActivationRateMatchesWeight) {
+  // Single edge 0 -> 1 with w = 0.4: P(1 active) = P(θ_1 <= 0.4) = 0.4.
+  GraphBuilder builder;
+  builder.add_edge(0, 1, 0.4);
+  const Graph graph = builder.build();
+  Rng rng(4);
+  const std::vector<NodeId> seeds{0};
+  int hits = 0;
+  constexpr int kRuns = 20000;
+  for (int run = 0; run < kRuns; ++run) {
+    hits += (simulate_lt(graph, seeds, rng).size() == 2);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kRuns, 0.4, 0.015);
+}
+
+TEST(LtModel, AccumulatesInfluenceAcrossNeighbors) {
+  // 0 and 1 each feed 2 with weight 0.5; with both seeded, incoming = 1.0
+  // >= any θ, so node 2 is always activated.
+  GraphBuilder builder;
+  builder.add_edge(0, 2, 0.5).add_edge(1, 2, 0.5);
+  const Graph graph = builder.build();
+  Rng rng(5);
+  const std::vector<NodeId> both{0, 1};
+  for (int run = 0; run < 200; ++run) {
+    EXPECT_EQ(simulate_lt(graph, both, rng).size(), 3U);
+  }
+  // With only one seed the probability is 0.5.
+  const std::vector<NodeId> one{0};
+  int hits = 0;
+  constexpr int kRuns = 20000;
+  for (int run = 0; run < kRuns; ++run) {
+    hits += (simulate_lt(graph, one, rng).size() == 2);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kRuns, 0.5, 0.015);
+}
+
+TEST(LtModel, OutOfRangeSeedThrows) {
+  const Graph graph = test::path_graph(3, 0.5);
+  Rng rng(6);
+  const std::vector<NodeId> seeds{9};
+  EXPECT_THROW((void)simulate_lt(graph, seeds, rng), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace imc

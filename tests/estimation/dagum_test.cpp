@@ -1,0 +1,110 @@
+#include "estimation/dagum.h"
+
+#include <gtest/gtest.h>
+
+#include "community/threshold_policy.h"
+#include "diffusion/monte_carlo.h"
+#include "estimation/concentration.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Dagum, ExactOnDeterministicInstance) {
+  // Certain path: seeding node 0 influences both singleton communities
+  // every time, so c(S) = total benefit exactly.
+  const Graph graph = test::path_graph(6, 1.0);
+  CommunitySet communities(6, {{2}, {5}});
+  communities.set_benefit(0, 2.0);
+  communities.set_benefit(1, 3.0);
+  const std::vector<NodeId> seeds{0};
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(graph, communities, seeds);
+  EXPECT_TRUE(estimate.converged);
+  // The stopping rule returns b·Λ'/T with T = ceil(Λ') here, so the value
+  // sits a hair below b; allow that quantization.
+  EXPECT_NEAR(estimate.value, 5.0, 0.01);
+}
+
+TEST(Dagum, WithinEpsilonOfMonteCarlo) {
+  const test::NonSubmodularGadget gadget(0.5);
+  MonteCarloOptions mc;
+  mc.simulations = 80000;
+  const std::vector<NodeId> seeds{0, 1};
+  const double truth =
+      mc_expected_benefit(gadget.graph, gadget.communities, seeds, mc);
+
+  DagumOptions options;
+  options.eps_prime = 0.05;
+  options.delta_prime = 0.05;
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(gadget.graph, gadget.communities, seeds, options);
+  ASSERT_TRUE(estimate.converged);
+  EXPECT_NEAR(estimate.value, truth, truth * 0.12);
+}
+
+TEST(Dagum, ZeroBenefitSeedNeverConverges) {
+  // Seeds that influence nothing: the stopping rule cannot accumulate
+  // influenced samples and must hit T_max.
+  const Graph graph = test::path_graph(4, 0.0);
+  CommunitySet communities(4, {{3}});
+  const std::vector<NodeId> seeds{0};  // no way to reach node 3
+  DagumOptions options;
+  options.max_samples = 2000;
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(graph, communities, seeds, options);
+  EXPECT_FALSE(estimate.converged);
+  EXPECT_DOUBLE_EQ(estimate.value, 0.0);
+  EXPECT_EQ(estimate.samples, 2000U);
+}
+
+TEST(Dagum, TinyBudgetFallsBackToRunningMean) {
+  const Graph graph = test::path_graph(4, 1.0);
+  CommunitySet communities(4, {{3}});
+  const std::vector<NodeId> seeds{0};
+  DagumOptions options;
+  options.max_samples = 5;  // far below Λ'
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(graph, communities, seeds, options);
+  EXPECT_FALSE(estimate.converged);
+  // Every sample is influenced, so the running mean is exactly b.
+  EXPECT_NEAR(estimate.value, 1.0, 1e-9);
+}
+
+TEST(Dagum, SampleCountNearLambdaPrimeOverMean) {
+  // For a Bernoulli(p) benefit, T ≈ Λ'/p.
+  GraphBuilder builder;
+  builder.add_edge(0, 1, 0.25);
+  const Graph graph = builder.build();
+  CommunitySet communities(2, {{1}});
+  const std::vector<NodeId> seeds{0};
+  DagumOptions options;
+  options.eps_prime = 0.1;
+  options.delta_prime = 0.1;
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(graph, communities, seeds, options);
+  ASSERT_TRUE(estimate.converged);
+  const double lambda_prime = dagum_lambda_prime(0.1, 0.1);
+  EXPECT_NEAR(static_cast<double>(estimate.samples), lambda_prime / 0.25,
+              lambda_prime / 0.25 * 0.2);
+}
+
+TEST(Dagum, RejectsOutOfRangeSeed) {
+  const Graph graph = test::path_graph(3, 0.5);
+  CommunitySet communities(3, {{2}});
+  const std::vector<NodeId> seeds{10};
+  EXPECT_THROW((void)dagum_estimate_benefit(graph, communities, seeds),
+               std::out_of_range);
+}
+
+TEST(Dagum, EmptyCommunitiesGiveZero) {
+  const Graph graph = test::path_graph(3, 0.5);
+  CommunitySet communities;
+  const std::vector<NodeId> seeds{0};
+  const DagumEstimate estimate =
+      dagum_estimate_benefit(graph, communities, seeds);
+  EXPECT_DOUBLE_EQ(estimate.value, 0.0);
+}
+
+}  // namespace
+}  // namespace imc

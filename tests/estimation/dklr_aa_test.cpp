@@ -1,0 +1,103 @@
+#include "estimation/dklr_aa.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/monte_carlo.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace imc {
+namespace {
+
+TEST(DklrAa, RejectsBadParameters) {
+  const auto draw = [] { return 0.5; };
+  DklrAaOptions options;
+  options.epsilon = 0.0;
+  EXPECT_THROW((void)dklr_aa_estimate(draw, options), std::invalid_argument);
+  options.epsilon = 0.1;
+  options.delta = 1.0;
+  EXPECT_THROW((void)dklr_aa_estimate(draw, options), std::invalid_argument);
+}
+
+TEST(DklrAa, ExactOnConstantVariable) {
+  const auto draw = [] { return 1.0; };
+  DklrAaOptions options;
+  const DklrAaEstimate estimate = dklr_aa_estimate(draw, options);
+  EXPECT_TRUE(estimate.converged);
+  EXPECT_NEAR(estimate.value, 1.0, 1e-12);
+  // Zero variance: rho collapses to the eps·mu floor.
+  EXPECT_LE(estimate.rho_hat, options.epsilon * 1.1);
+}
+
+TEST(DklrAa, BernoulliWithinEpsilon) {
+  Rng rng(5);
+  const double p = 0.3;
+  const auto draw = [&rng, p]() -> double { return rng.bernoulli(p) ? 1 : 0; };
+  DklrAaOptions options;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  const DklrAaEstimate estimate = dklr_aa_estimate(draw, options);
+  ASSERT_TRUE(estimate.converged);
+  EXPECT_NEAR(estimate.value, p, p * 0.1);
+  EXPECT_GT(estimate.samples, 0U);
+}
+
+TEST(DklrAa, LowVarianceNeedsFewerPhase3Samples) {
+  // Same mean 0.5; Bernoulli(0.5) has variance 0.25, the constant 0.5 has
+  // variance 0: the AA should finish the low-variance case with far fewer
+  // samples — the whole point of the variance phase.
+  Rng rng(7);
+  const auto noisy = [&rng]() -> double { return rng.bernoulli(0.5) ? 1 : 0; };
+  const auto quiet = []() -> double { return 0.5; };
+  DklrAaOptions options;
+  options.epsilon = 0.03;
+  options.delta = 0.1;
+  const DklrAaEstimate noisy_estimate = dklr_aa_estimate(noisy, options);
+  const DklrAaEstimate quiet_estimate = dklr_aa_estimate(quiet, options);
+  ASSERT_TRUE(noisy_estimate.converged);
+  ASSERT_TRUE(quiet_estimate.converged);
+  EXPECT_LT(quiet_estimate.samples * 3, noisy_estimate.samples);
+}
+
+TEST(DklrAa, BudgetExhaustionReported) {
+  Rng rng(9);
+  const auto draw = [&rng]() -> double {
+    return rng.bernoulli(0.001) ? 1 : 0;
+  };
+  DklrAaOptions options;
+  options.epsilon = 0.01;
+  options.max_samples = 500;  // far too few for p = 0.001
+  const DklrAaEstimate estimate = dklr_aa_estimate(draw, options);
+  EXPECT_FALSE(estimate.converged);
+  EXPECT_LE(estimate.samples, 500U);
+}
+
+TEST(DklrAa, BenefitMatchesMonteCarlo) {
+  const test::NonSubmodularGadget gadget(0.5);
+  MonteCarloOptions mc;
+  mc.simulations = 80000;
+  const std::vector<NodeId> seeds{0, 1};
+  const double truth =
+      mc_expected_benefit(gadget.graph, gadget.communities, seeds, mc);
+
+  DklrAaOptions options;
+  options.epsilon = 0.05;
+  options.delta = 0.05;
+  const DklrAaEstimate estimate = dklr_aa_estimate_benefit(
+      gadget.graph, gadget.communities, seeds, options);
+  ASSERT_TRUE(estimate.converged);
+  EXPECT_NEAR(estimate.value, truth, truth * 0.12);
+}
+
+TEST(DklrAa, EmptyCommunitiesGiveZero) {
+  const Graph graph = test::path_graph(3, 0.5);
+  CommunitySet communities;
+  const std::vector<NodeId> seeds{0};
+  const DklrAaEstimate estimate =
+      dklr_aa_estimate_benefit(graph, communities, seeds);
+  EXPECT_DOUBLE_EQ(estimate.value, 0.0);
+  EXPECT_FALSE(estimate.converged);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,164 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace imc {
+namespace {
+
+TEST(Reachability, ForwardOnPath) {
+  const Graph graph = test::path_graph(5);
+  const std::vector<NodeId> sources{1};
+  EXPECT_EQ(forward_reachable(graph, sources),
+            (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(Reachability, BackwardOnPath) {
+  const Graph graph = test::path_graph(5);
+  const std::vector<NodeId> targets{3};
+  EXPECT_EQ(backward_reachable(graph, targets),
+            (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Reachability, MultiSourceUnion) {
+  const Graph graph = test::path_graph(6);
+  const std::vector<NodeId> sources{4, 0};
+  const auto reachable = forward_reachable(graph, sources);
+  EXPECT_EQ(reachable.size(), 6U);  // 0 reaches everything
+}
+
+TEST(Reachability, DuplicatedSourcesAreFine) {
+  const Graph graph = test::path_graph(3);
+  const std::vector<NodeId> sources{1, 1, 1};
+  EXPECT_EQ(forward_reachable(graph, sources), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(BfsDistances, PathDistances) {
+  const Graph graph = test::path_graph(4);
+  const auto dist = bfs_distances(graph, 0);
+  EXPECT_EQ(dist, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsDistances, UnreachableMarked) {
+  GraphBuilder builder;
+  builder.reserve_nodes(3);
+  builder.add_edge(0, 1);
+  const auto dist = bfs_distances(builder.build(), 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  const Graph graph = test::cycle_graph(5);
+  const Components scc = strongly_connected_components(graph);
+  EXPECT_EQ(scc.count, 1U);
+}
+
+TEST(Scc, PathIsAllSingletons) {
+  const Graph graph = test::path_graph(5);
+  const Components scc = strongly_connected_components(graph);
+  EXPECT_EQ(scc.count, 5U);
+}
+
+TEST(Scc, TwoCyclesWithBridge) {
+  GraphBuilder builder;
+  // cycle {0,1,2}, cycle {3,4}, bridge 2 -> 3.
+  builder.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+  builder.add_edge(3, 4).add_edge(4, 3);
+  builder.add_edge(2, 3);
+  const Components scc = strongly_connected_components(builder.build());
+  EXPECT_EQ(scc.count, 2U);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[2]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[4]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+}
+
+TEST(Scc, GroupsPartitionNodes) {
+  const Graph graph = test::cycle_graph(4);
+  const Components scc = strongly_connected_components(graph);
+  const auto groups = scc.groups();
+  std::size_t total = 0;
+  for (const auto& group : groups) total += group.size();
+  EXPECT_EQ(total, 4U);
+}
+
+TEST(Wcc, DisconnectedPieces) {
+  GraphBuilder builder;
+  builder.reserve_nodes(6);
+  builder.add_edge(0, 1).add_edge(2, 3);
+  const Components wcc = weakly_connected_components(builder.build());
+  EXPECT_EQ(wcc.count, 4U);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(wcc.component_of[0], wcc.component_of[1]);
+  EXPECT_EQ(wcc.component_of[2], wcc.component_of[3]);
+  EXPECT_NE(wcc.component_of[0], wcc.component_of[2]);
+}
+
+TEST(Wcc, DirectionIgnored) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1).add_edge(2, 1);  // 2 only has an out-edge into 1
+  const Components wcc = weakly_connected_components(builder.build());
+  EXPECT_EQ(wcc.count, 1U);
+}
+
+// --- property sweep: Tarjan vs. brute-force mutual-reachability ------------
+
+/// Brute-force SCC: u ~ v iff u reaches v and v reaches u.
+Components brute_force_scc(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  std::vector<std::set<NodeId>> reach(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<NodeId> single{v};
+    const auto forward = forward_reachable(graph, single);
+    reach[v] = std::set<NodeId>(forward.begin(), forward.end());
+  }
+  Components result;
+  result.component_of.assign(n, kInvalidCommunity);
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.component_of[v] != kInvalidCommunity) continue;
+    const CommunityId id = result.count++;
+    for (NodeId w = v; w < n; ++w) {
+      if (reach[v].contains(w) && reach[w].contains(v)) {
+        result.component_of[w] = id;
+      }
+    }
+  }
+  return result;
+}
+
+class SccRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SccRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const NodeId n = 2 + static_cast<NodeId>(rng.below(30));
+  GraphBuilder builder;
+  builder.reserve_nodes(n);
+  const auto edges = 1 + rng.below(static_cast<std::uint64_t>(n) * 3);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    builder.add_edge(static_cast<NodeId>(rng.below(n)),
+                     static_cast<NodeId>(rng.below(n)));
+  }
+  const Graph graph = builder.build();
+
+  const Components fast = strongly_connected_components(graph);
+  const Components slow = brute_force_scc(graph);
+  ASSERT_EQ(fast.count, slow.count);
+  // Same partition up to relabeling.
+  std::map<CommunityId, CommunityId> mapping;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        mapping.try_emplace(fast.component_of[v], slow.component_of[v]);
+    EXPECT_EQ(it->second, slow.component_of[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SccRandomTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace imc

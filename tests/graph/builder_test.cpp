@@ -1,0 +1,80 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/weights.h"
+
+namespace imc {
+namespace {
+
+TEST(GraphBuilder, GrowsNodeCountOnDemand) {
+  GraphBuilder builder;
+  builder.add_edge(0, 7, 0.5);
+  EXPECT_EQ(builder.node_count(), 8U);
+  builder.add_edge(9, 1, 0.5);
+  EXPECT_EQ(builder.node_count(), 10U);
+}
+
+TEST(GraphBuilder, ReserveNodesNeverShrinks) {
+  GraphBuilder builder;
+  builder.reserve_nodes(10);
+  builder.add_edge(0, 1);
+  EXPECT_EQ(builder.node_count(), 10U);
+  builder.reserve_nodes(5);
+  EXPECT_EQ(builder.node_count(), 10U);
+}
+
+TEST(GraphBuilder, UndirectedEmitsBothDirections) {
+  GraphBuilder builder;
+  builder.add_undirected_edge(0, 1, 0.4);
+  const Graph graph = builder.build();
+  EXPECT_DOUBLE_EQ(graph.weight(0, 1), graph.weight(1, 0));
+  EXPECT_NEAR(graph.weight(0, 1), 0.4, 1e-7);
+}
+
+TEST(GraphBuilder, WeightedCascadeBuild) {
+  // Node 2 has in-degree 2 => both incoming edges weighted 1/2.
+  GraphBuilder builder;
+  builder.add_edge(0, 2).add_edge(1, 2).add_edge(0, 1);
+  const Graph graph = builder.build_weighted_cascade();
+  EXPECT_NEAR(graph.weight(0, 2), 0.5, 1e-7);
+  EXPECT_NEAR(graph.weight(1, 2), 0.5, 1e-7);
+  EXPECT_NEAR(graph.weight(0, 1), 1.0, 1e-7);
+}
+
+TEST(GraphBuilder, BuilderReusableAfterBuild) {
+  GraphBuilder builder;
+  builder.add_edge(0, 1);
+  const Graph first = builder.build();
+  builder.add_edge(1, 2);
+  const Graph second = builder.build();
+  EXPECT_EQ(first.edge_count(), 1U);
+  EXPECT_EQ(second.edge_count(), 2U);
+}
+
+TEST(Weights, WeightedCascadeCountsParallelEdges) {
+  EdgeList edges{{0, 2, 1.0}, {1, 2, 1.0}, {1, 2, 1.0}};
+  apply_weighted_cascade(edges, 3);
+  for (const WeightedEdge& e : edges) {
+    EXPECT_NEAR(e.weight, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(Weights, UniformWeights) {
+  EdgeList edges{{0, 1, 0.9}, {1, 2, 0.1}};
+  apply_uniform_weights(edges, 0.05);
+  for (const WeightedEdge& e : edges) EXPECT_DOUBLE_EQ(e.weight, 0.05);
+  EXPECT_THROW((void)apply_uniform_weights(edges, 1.5), std::invalid_argument);
+}
+
+TEST(Weights, TrivalencyDrawsFromLevels) {
+  EdgeList edges(100, WeightedEdge{0, 1, 0.0});
+  Rng rng(8);
+  apply_trivalency_weights(edges, rng);
+  for (const WeightedEdge& e : edges) {
+    EXPECT_TRUE(e.weight == 0.1 || e.weight == 0.01 || e.weight == 0.001);
+  }
+}
+
+}  // namespace
+}  // namespace imc

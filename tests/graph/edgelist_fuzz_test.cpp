@@ -1,0 +1,75 @@
+// Deterministic fuzzing of the SNAP edge-list parser: random byte soups
+// and near-valid mutations must either parse cleanly or throw
+// std::runtime_error — never crash, hang, or return malformed structures.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "graph/edgelist_io.h"
+#include "util/rng.h"
+
+namespace imc {
+namespace {
+
+/// Random printable-ish line soup.
+std::string random_soup(Rng& rng, int lines) {
+  static constexpr char kAlphabet[] =
+      "0123456789 \t#abcxyz-.\n0123456789 0123456789 ";
+  std::string text;
+  for (int line = 0; line < lines; ++line) {
+    const auto length = rng.below(30);
+    for (std::uint64_t i = 0; i < length; ++i) {
+      text += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+class EdgeListFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeListFuzzTest, NeverCrashesOnSoup) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537);
+  const std::string soup = random_soup(rng, 40);
+  std::istringstream in(soup);
+  try {
+    const LoadedEdgeList loaded = read_edge_list(in);
+    // If it parsed, the result must be structurally sound.
+    for (const WeightedEdge& e : loaded.edges) {
+      EXPECT_LT(e.source, loaded.node_count);
+      EXPECT_LT(e.target, loaded.node_count);
+    }
+  } catch (const std::runtime_error&) {
+    // Rejecting garbage is the expected other outcome.
+  }
+}
+
+TEST_P(EdgeListFuzzTest, MutatedValidInputIsHandled) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 5);
+  // Start from a valid edge list...
+  std::string text = "# header\n";
+  for (int e = 0; e < 20; ++e) {
+    text += std::to_string(rng.below(50)) + "\t" +
+            std::to_string(rng.below(50)) + "\n";
+  }
+  // ...and corrupt a few random bytes.
+  for (int hit = 0; hit < 5; ++hit) {
+    text[rng.below(text.size())] =
+        static_cast<char>('!' + rng.below(90));
+  }
+  std::istringstream in(text);
+  try {
+    const LoadedEdgeList loaded = read_edge_list(in);
+    for (const WeightedEdge& e : loaded.edges) {
+      EXPECT_LT(e.source, loaded.node_count);
+      EXPECT_LT(e.target, loaded.node_count);
+    }
+  } catch (const std::runtime_error&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeListFuzzTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,112 @@
+#include "graph/edgelist_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace imc {
+namespace {
+
+TEST(EdgeListIo, ParsesSnapFormat) {
+  std::istringstream in(
+      "# Directed graph: example\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1 2\n"
+      "2\t0\n");
+  const LoadedEdgeList loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.node_count, 3U);
+  ASSERT_EQ(loaded.edges.size(), 3U);
+  EXPECT_EQ(loaded.edges[0].source, 0U);
+  EXPECT_EQ(loaded.edges[0].target, 1U);
+  EXPECT_DOUBLE_EQ(loaded.edges[0].weight, 1.0);
+}
+
+TEST(EdgeListIo, ParsesExplicitWeights) {
+  std::istringstream in("0 1 0.25\n1 0 0.75\n");
+  const LoadedEdgeList loaded = read_edge_list(in);
+  EXPECT_DOUBLE_EQ(loaded.edges[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(loaded.edges[1].weight, 0.75);
+}
+
+TEST(EdgeListIo, DefaultWeightOption) {
+  std::istringstream in("0 1\n");
+  EdgeListOptions options;
+  options.default_weight = 0.1;
+  const LoadedEdgeList loaded = read_edge_list(in, options);
+  EXPECT_DOUBLE_EQ(loaded.edges[0].weight, 0.1);
+}
+
+TEST(EdgeListIo, UndirectedOptionDoublesEdges) {
+  std::istringstream in("0 1\n1 2\n");
+  EdgeListOptions options;
+  options.undirected = true;
+  const LoadedEdgeList loaded = read_edge_list(in, options);
+  EXPECT_EQ(loaded.edges.size(), 4U);
+}
+
+TEST(EdgeListIo, DensifiesSparseIds) {
+  std::istringstream in("1000000 2000000\n2000000 3000000\n");
+  const LoadedEdgeList loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.node_count, 3U);
+  EXPECT_FALSE(loaded.id_map.empty());
+  EXPECT_EQ(loaded.id_map.at(1000000), 0U);
+  EXPECT_EQ(loaded.id_map.at(2000000), 1U);
+}
+
+TEST(EdgeListIo, KeepsDenseIdsVerbatim) {
+  std::istringstream in("0 5\n5 3\n");
+  const LoadedEdgeList loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.node_count, 6U);
+  EXPECT_TRUE(loaded.id_map.empty());
+  EXPECT_EQ(loaded.edges[0].source, 0U);
+  EXPECT_EQ(loaded.edges[0].target, 5U);
+}
+
+TEST(EdgeListIo, EmptyInput) {
+  std::istringstream in("# only comments\n\n");
+  const LoadedEdgeList loaded = read_edge_list(in);
+  EXPECT_EQ(loaded.node_count, 0U);
+  EXPECT_TRUE(loaded.edges.empty());
+}
+
+TEST(EdgeListIo, RejectsMalformedLines) {
+  std::istringstream one_field("42\n");
+  EXPECT_THROW((void)read_edge_list(one_field), std::runtime_error);
+  std::istringstream bad_id("a b\n");
+  EXPECT_THROW((void)read_edge_list(bad_id), std::runtime_error);
+  std::istringstream bad_weight("0 1 zzz\n");
+  EXPECT_THROW((void)read_edge_list(bad_weight), std::runtime_error);
+}
+
+TEST(EdgeListIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list("/definitely/not/here.txt"),
+               std::runtime_error);
+}
+
+TEST(EdgeListIo, WriteReadRoundTrip) {
+  const EdgeList edges{{0, 1, 0.5}, {1, 2, 0.25}};
+  const Graph graph(3, edges);
+  std::stringstream buffer;
+  write_edge_list(buffer, graph);
+  const LoadedEdgeList loaded = read_edge_list(buffer);
+  const Graph rebuilt(loaded.node_count, loaded.edges);
+  EXPECT_EQ(rebuilt.node_count(), 3U);
+  EXPECT_EQ(rebuilt.edge_count(), 2U);
+  EXPECT_NEAR(rebuilt.weight(0, 1), 0.5, 1e-6);
+  EXPECT_NEAR(rebuilt.weight(1, 2), 0.25, 1e-6);
+}
+
+TEST(EdgeListIo, SaveAndLoadFile) {
+  const EdgeList edges{{0, 1, 1.0}};
+  const Graph graph(2, edges);
+  const std::string path = ::testing::TempDir() + "/imc_edgelist_test.txt";
+  save_edge_list(path, graph);
+  const LoadedEdgeList loaded = load_edge_list(path);
+  EXPECT_EQ(loaded.edges.size(), 1U);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imc

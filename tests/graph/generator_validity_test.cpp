@@ -1,0 +1,113 @@
+// Parameterized validity sweep across every generator: all emitted edges
+// are in range, loop-free where promised, deterministic given the seed,
+// and the resulting Graph round-trips through the CSR constructor.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "graph/generators/generators.h"
+#include "graph/graph.h"
+
+namespace imc {
+namespace {
+
+enum class Generator { kEr, kBa, kBaDirected, kWs, kSbm, kFf };
+
+using Param = std::tuple<Generator, int /*nodes*/, int /*seed*/>;
+
+EdgeList generate(Generator which, NodeId n, Rng& rng) {
+  switch (which) {
+    case Generator::kEr:
+      return erdos_renyi_edges(n, 8.0 / static_cast<double>(n), rng);
+    case Generator::kBa: {
+      BarabasiAlbertConfig config;
+      config.nodes = n;
+      config.attach = 3;
+      return barabasi_albert_edges(config, rng);
+    }
+    case Generator::kBaDirected: {
+      BarabasiAlbertConfig config;
+      config.nodes = n;
+      config.attach = 3;
+      config.directed = true;
+      config.reciprocity = 0.3;
+      return barabasi_albert_edges(config, rng);
+    }
+    case Generator::kWs: {
+      WattsStrogatzConfig config;
+      config.nodes = n;
+      config.neighbors_each_side = 2;
+      config.rewire = 0.2;
+      return watts_strogatz_edges(config, rng);
+    }
+    case Generator::kSbm: {
+      SbmConfig config;
+      config.nodes = n;
+      config.blocks = 4;
+      config.p_in = 0.1;
+      config.p_out = 0.01;
+      return sbm_edges(config, rng);
+    }
+    case Generator::kFf: {
+      ForestFireConfig config;
+      config.nodes = n;
+      return forest_fire_edges(config, rng);
+    }
+  }
+  return {};
+}
+
+class GeneratorValidityTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GeneratorValidityTest, EdgesAreValidAndDeterministic) {
+  const auto [which, nodes, seed] = GetParam();
+  const auto n = static_cast<NodeId>(nodes);
+  Rng rng_a(static_cast<std::uint64_t>(seed));
+  Rng rng_b(static_cast<std::uint64_t>(seed));
+  const EdgeList a = generate(which, n, rng_a);
+  const EdgeList b = generate(which, n, rng_b);
+  EXPECT_EQ(a, b) << "generator must be deterministic";
+  EXPECT_FALSE(a.empty());
+
+  for (const WeightedEdge& e : a) {
+    ASSERT_LT(e.source, n);
+    ASSERT_LT(e.target, n);
+    ASSERT_NE(e.source, e.target);
+    ASSERT_GE(e.weight, 0.0);
+    ASSERT_LE(e.weight, 1.0);
+  }
+
+  // CSR construction must accept the list verbatim.
+  const Graph graph(n, a);
+  EXPECT_EQ(graph.node_count(), n);
+  EXPECT_GT(graph.edge_count(), 0U);
+}
+
+std::string generator_param_name(
+    const ::testing::TestParamInfo<Param>& info) {
+  const char* name = "unknown";
+  switch (std::get<0>(info.param)) {
+    case Generator::kEr: name = "er"; break;
+    case Generator::kBa: name = "ba"; break;
+    case Generator::kBaDirected: name = "badir"; break;
+    case Generator::kWs: name = "ws"; break;
+    case Generator::kSbm: name = "sbm"; break;
+    case Generator::kFf: name = "ff"; break;
+  }
+  return std::string(name) + "_n" + std::to_string(std::get<1>(info.param)) +
+         "_s" + std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorValidityTest,
+    ::testing::Combine(::testing::Values(Generator::kEr, Generator::kBa,
+                                         Generator::kBaDirected,
+                                         Generator::kWs, Generator::kSbm,
+                                         Generator::kFf),
+                       ::testing::Values(40, 150),
+                       ::testing::Values(1, 2)),
+    generator_param_name);
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,247 @@
+#include "graph/generators/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/generators/dataset_catalog.h"
+#include "util/rng.h"
+
+namespace imc {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountConcentrates) {
+  Rng rng(1);
+  const NodeId n = 300;
+  const double p = 0.05;
+  const EdgeList edges = erdos_renyi_edges(n, p, rng);
+  const double expected = p * n * (n - 1);
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, expected * 0.15);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsAndInRange) {
+  Rng rng(2);
+  for (const WeightedEdge& e : erdos_renyi_edges(50, 0.2, rng)) {
+    EXPECT_NE(e.source, e.target);
+    EXPECT_LT(e.source, 50U);
+    EXPECT_LT(e.target, 50U);
+  }
+}
+
+TEST(ErdosRenyi, DegenerateProbabilities) {
+  Rng rng(3);
+  EXPECT_TRUE(erdos_renyi_edges(10, 0.0, rng).empty());
+  EXPECT_EQ(erdos_renyi_edges(10, 1.0, rng).size(), 90U);
+  EXPECT_THROW((void)erdos_renyi_edges(10, 1.5, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  EXPECT_EQ(erdos_renyi_edges(40, 0.1, a), erdos_renyi_edges(40, 0.1, b));
+}
+
+TEST(BarabasiAlbert, UndirectedCounts) {
+  Rng rng(4);
+  BarabasiAlbertConfig config;
+  config.nodes = 500;
+  config.attach = 3;
+  config.directed = false;
+  const EdgeList edges = barabasi_albert_edges(config, rng);
+  const Graph graph(config.nodes, edges);
+  EXPECT_EQ(graph.node_count(), 500U);
+  // Each non-seed node adds `attach` undirected edges (2 directed).
+  const double expected = 2.0 * (500 - 4) * 3 + 4 * 3;  // + seed clique
+  EXPECT_NEAR(static_cast<double>(graph.edge_count()), expected,
+              expected * 0.05);
+}
+
+TEST(BarabasiAlbert, HeavyTail) {
+  Rng rng(5);
+  BarabasiAlbertConfig config;
+  config.nodes = 2000;
+  config.attach = 2;
+  const Graph graph(config.nodes, barabasi_albert_edges(config, rng));
+  const auto stats = graph.degree_stats();
+  // Hubs should be far above the mean degree — the PA signature.
+  EXPECT_GT(stats.max_out, 10 * static_cast<std::uint32_t>(stats.mean_out));
+}
+
+TEST(BarabasiAlbert, DirectedReciprocity) {
+  Rng rng(6);
+  BarabasiAlbertConfig config;
+  config.nodes = 400;
+  config.attach = 4;
+  config.directed = true;
+  config.reciprocity = 0.0;
+  const EdgeList no_recip = barabasi_albert_edges(config, rng);
+  config.reciprocity = 1.0;
+  const EdgeList full_recip = barabasi_albert_edges(config, rng);
+  EXPECT_GT(full_recip.size(), no_recip.size());
+}
+
+TEST(BarabasiAlbert, RejectsBadConfig) {
+  Rng rng(7);
+  BarabasiAlbertConfig config;
+  config.nodes = 3;
+  config.attach = 3;
+  EXPECT_THROW((void)barabasi_albert_edges(config, rng), std::invalid_argument);
+  config.attach = 0;
+  EXPECT_THROW((void)barabasi_albert_edges(config, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, NoRewireIsRingLattice) {
+  Rng rng(8);
+  WattsStrogatzConfig config;
+  config.nodes = 20;
+  config.neighbors_each_side = 2;
+  config.rewire = 0.0;
+  const Graph graph(config.nodes, watts_strogatz_edges(config, rng));
+  // Ring lattice: every node has degree 2k in both directions.
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(graph.out_degree(v), 4U);
+    EXPECT_EQ(graph.in_degree(v), 4U);
+  }
+}
+
+TEST(WattsStrogatz, EdgeCountStable) {
+  Rng rng(9);
+  WattsStrogatzConfig config;
+  config.nodes = 100;
+  config.neighbors_each_side = 3;
+  config.rewire = 0.3;
+  const EdgeList edges = watts_strogatz_edges(config, rng);
+  EXPECT_EQ(edges.size(), 600U);  // n*k directed pairs * 2 directions
+}
+
+TEST(WattsStrogatz, RejectsBadConfig) {
+  Rng rng(10);
+  WattsStrogatzConfig config;
+  config.nodes = 5;
+  config.neighbors_each_side = 3;  // 2k >= n
+  EXPECT_THROW((void)watts_strogatz_edges(config, rng), std::invalid_argument);
+}
+
+TEST(Sbm, PlantedStructureDenserInside) {
+  Rng rng(11);
+  SbmConfig config;
+  config.nodes = 400;
+  config.blocks = 4;
+  config.p_in = 0.2;
+  config.p_out = 0.01;
+  const Graph graph(config.nodes, sbm_edges(config, rng));
+  std::uint64_t internal = 0, external = 0;
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      if (sbm_block_of(u, config.blocks) ==
+          sbm_block_of(nb.node, config.blocks)) {
+        ++internal;
+      } else {
+        ++external;
+      }
+    }
+  }
+  EXPECT_GT(internal, external * 3);
+}
+
+TEST(Sbm, EdgeCountMatchesExpectation) {
+  Rng rng(12);
+  SbmConfig config;
+  config.nodes = 600;
+  config.blocks = 6;
+  config.p_in = 0.1;
+  config.p_out = 0.005;
+  const EdgeList edges = sbm_edges(config, rng);
+  // Within-block pairs: blocks * C(100, 2); cross pairs: the rest.
+  const double within_pairs = 6.0 * 100 * 99 / 2.0;
+  const double total_pairs = 600.0 * 599 / 2.0;
+  const double expected =
+      2.0 * (within_pairs * 0.1 + (total_pairs - within_pairs) * 0.005);
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, expected * 0.1);
+}
+
+TEST(Sbm, SingleBlockIsErdosRenyi) {
+  Rng rng(13);
+  SbmConfig config;
+  config.nodes = 100;
+  config.blocks = 1;
+  config.p_in = 0.1;
+  config.p_out = 0.5;  // unused: there are no cross pairs
+  const EdgeList edges = sbm_edges(config, rng);
+  const double expected = 2.0 * (100.0 * 99 / 2) * 0.1;
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, expected * 0.25);
+}
+
+TEST(ForestFire, ConnectedToEarlierNodes) {
+  Rng rng(14);
+  ForestFireConfig config;
+  config.nodes = 200;
+  const Graph graph(config.nodes, forest_fire_edges(config, rng));
+  // Every node except 0 must have at least one out-edge (its ambassador).
+  for (NodeId v = 1; v < graph.node_count(); ++v) {
+    EXPECT_GE(graph.out_degree(v), 1U) << "node " << v;
+  }
+  // And the whole graph is weakly connected by construction.
+  EXPECT_EQ(weakly_connected_components(graph).count, 1U);
+}
+
+TEST(ForestFire, DensifiesWithForwardProbability) {
+  Rng rng(15);
+  ForestFireConfig sparse;
+  sparse.nodes = 300;
+  sparse.p_forward = 0.1;
+  ForestFireConfig dense = sparse;
+  dense.p_forward = 0.45;
+  const auto sparse_edges = forest_fire_edges(sparse, rng).size();
+  const auto dense_edges = forest_fire_edges(dense, rng).size();
+  EXPECT_GT(dense_edges, sparse_edges);
+}
+
+TEST(DatasetCatalog, HasFiveDatasetsInTableOrder) {
+  const auto& catalog = dataset_catalog();
+  ASSERT_EQ(catalog.size(), 5U);
+  EXPECT_EQ(catalog[0].name, "facebook");
+  EXPECT_EQ(catalog[4].name, "pokec");
+  EXPECT_FALSE(catalog[0].directed);
+  EXPECT_TRUE(catalog[1].directed);
+}
+
+TEST(DatasetCatalog, LookupByName) {
+  EXPECT_EQ(dataset_from_name("FaceBook"), DatasetId::kFacebook);
+  EXPECT_EQ(dataset_from_name("wiki-vote"), DatasetId::kWikiVote);
+  EXPECT_THROW((void)dataset_from_name("orkut"), std::invalid_argument);
+}
+
+TEST(DatasetCatalog, MakeDatasetScalesAndWeights) {
+  const Graph graph = make_dataset(DatasetId::kFacebook, 0.5);
+  EXPECT_NEAR(static_cast<double>(graph.node_count()), 747 * 0.5, 2.0);
+  // Weighted cascade: in-weights of every non-source node sum to ~1.
+  int checked = 0;
+  for (NodeId v = 0; v < graph.node_count() && checked < 50; ++v) {
+    if (graph.in_degree(v) == 0) continue;
+    double total = 0.0;
+    for (const Neighbor& nb : graph.in_neighbors(v)) {
+      total += static_cast<double>(nb.weight);
+    }
+    EXPECT_LE(total, 1.0 + 1e-3);
+    EXPECT_GT(total, 0.2);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DatasetCatalog, DeterministicAcrossCalls) {
+  const Graph a = make_dataset(DatasetId::kWikiVote, 0.1);
+  const Graph b = make_dataset(DatasetId::kWikiVote, 0.1);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+  EXPECT_EQ(a.to_edge_list(), b.to_edge_list());
+}
+
+TEST(DatasetCatalog, RejectsBadScale) {
+  EXPECT_THROW((void)make_dataset(DatasetId::kDblp, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_dataset(DatasetId::kDblp, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imc

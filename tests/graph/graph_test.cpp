@@ -1,0 +1,123 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/types.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph graph;
+  EXPECT_TRUE(graph.empty());
+  EXPECT_EQ(graph.node_count(), 0U);
+  EXPECT_EQ(graph.edge_count(), 0U);
+}
+
+TEST(Graph, BasicConstruction) {
+  const EdgeList edges{{0, 1, 0.5}, {1, 2, 0.25}, {2, 0, 1.0}};
+  Graph graph(3, edges);
+  EXPECT_EQ(graph.node_count(), 3U);
+  EXPECT_EQ(graph.edge_count(), 3U);
+  EXPECT_DOUBLE_EQ(graph.weight(0, 1), 0.5);
+  EXPECT_NEAR(graph.weight(1, 2), 0.25, 1e-7);
+  EXPECT_DOUBLE_EQ(graph.weight(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(graph.weight(1, 0), 0.0);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+}
+
+TEST(Graph, RejectsBadEndpoints) {
+  const EdgeList edges{{0, 5, 0.5}};
+  EXPECT_THROW((void)Graph(3, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadWeights) {
+  EXPECT_THROW((void)Graph(2, EdgeList{{0, 1, 1.5}}), std::invalid_argument);
+  EXPECT_THROW((void)Graph(2, EdgeList{{0, 1, -0.1}}), std::invalid_argument);
+}
+
+TEST(Graph, DropsSelfLoops) {
+  Graph graph(2, EdgeList{{0, 0, 0.5}, {0, 1, 0.5}});
+  EXPECT_EQ(graph.edge_count(), 1U);
+  EXPECT_EQ(graph.out_degree(0), 1U);
+}
+
+TEST(Graph, MergesParallelEdgesNoisyOr) {
+  // Two parallel 0.5 edges -> p = 1 - 0.5*0.5 = 0.75.
+  Graph graph(2, EdgeList{{0, 1, 0.5}, {0, 1, 0.5}});
+  EXPECT_EQ(graph.edge_count(), 1U);
+  EXPECT_NEAR(graph.weight(0, 1), 0.75, 1e-6);
+}
+
+TEST(Graph, InOutDuality) {
+  const EdgeList edges{{0, 1, 0.3}, {2, 1, 0.4}, {1, 2, 0.9}};
+  Graph graph(3, edges);
+  EXPECT_EQ(graph.in_degree(1), 2U);
+  EXPECT_EQ(graph.out_degree(1), 1U);
+  // Every out-edge appears as the matching in-edge.
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Neighbor& nb : graph.out_neighbors(u)) {
+      bool found = false;
+      for (const Neighbor& in : graph.in_neighbors(nb.node)) {
+        if (in.node == u) {
+          EXPECT_FLOAT_EQ(in.weight, nb.weight);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Graph, NeighborsSortedById) {
+  const EdgeList edges{{0, 3, 0.1}, {0, 1, 0.2}, {0, 2, 0.3}};
+  Graph graph(4, edges);
+  const auto neighbors = graph.out_neighbors(0);
+  ASSERT_EQ(neighbors.size(), 3U);
+  EXPECT_EQ(neighbors[0].node, 1U);
+  EXPECT_EQ(neighbors[1].node, 2U);
+  EXPECT_EQ(neighbors[2].node, 3U);
+}
+
+TEST(Graph, OutOfRangeAccessThrows) {
+  Graph graph(2, EdgeList{{0, 1, 0.5}});
+  EXPECT_THROW((void)graph.out_neighbors(2), std::out_of_range);
+  EXPECT_THROW((void)graph.in_neighbors(5), std::out_of_range);
+  EXPECT_THROW((void)graph.out_degree(2), std::out_of_range);
+}
+
+TEST(Graph, ToEdgeListRoundTrip) {
+  const EdgeList edges{{0, 1, 0.5}, {1, 2, 0.25}, {2, 0, 1.0}};
+  Graph graph(3, edges);
+  const EdgeList dumped = graph.to_edge_list();
+  Graph rebuilt(3, dumped);
+  EXPECT_EQ(rebuilt.edge_count(), graph.edge_count());
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 0; v < 3; ++v) {
+      EXPECT_NEAR(rebuilt.weight(u, v), graph.weight(u, v), 1e-7);
+    }
+  }
+}
+
+TEST(Graph, DegreeStats) {
+  // star: 0 -> {1, 2, 3}; node 4 isolated.
+  GraphBuilder builder;
+  builder.reserve_nodes(5);
+  builder.add_edge(0, 1).add_edge(0, 2).add_edge(0, 3);
+  const Graph graph = builder.build();
+  const auto stats = graph.degree_stats();
+  EXPECT_DOUBLE_EQ(stats.mean_out, 3.0 / 5.0);
+  EXPECT_EQ(stats.max_out, 3U);
+  EXPECT_EQ(stats.max_in, 1U);
+  EXPECT_EQ(stats.isolated, 1U);
+}
+
+TEST(Graph, Summary) {
+  const Graph graph = test::path_graph(4);
+  EXPECT_EQ(graph.summary(), "Graph(n=4, m=3)");
+}
+
+}  // namespace
+}  // namespace imc

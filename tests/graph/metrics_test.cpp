@@ -1,0 +1,112 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators/generators.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Clustering, TriangleIsFullyClustered) {
+  GraphBuilder builder;
+  builder.add_undirected_edge(0, 1).add_undirected_edge(1, 2)
+      .add_undirected_edge(2, 0);
+  const Graph graph = builder.build();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(local_clustering_coefficient(graph, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(graph), 1.0);
+}
+
+TEST(Clustering, StarHasNoTriangles) {
+  const Graph graph = test::star_graph(8, 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(graph, 0), 0.0);
+  EXPECT_DOUBLE_EQ(average_clustering_coefficient(graph), 0.0);
+}
+
+TEST(Clustering, HalfOpenTriangle) {
+  // 0-1, 0-2, 0-3, 1-2: node 0 has 3 neighbors, 1 connected pair of 3.
+  GraphBuilder builder;
+  builder.add_undirected_edge(0, 1).add_undirected_edge(0, 2)
+      .add_undirected_edge(0, 3).add_undirected_edge(1, 2);
+  const Graph graph = builder.build();
+  EXPECT_NEAR(local_clustering_coefficient(graph, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(graph, 3), 0.0);
+}
+
+TEST(Clustering, DirectionIgnored) {
+  // Directed triangle counts the same as undirected.
+  const Graph graph = test::cycle_graph(3, 1.0);
+  EXPECT_DOUBLE_EQ(local_clustering_coefficient(graph, 0), 1.0);
+}
+
+TEST(Clustering, WattsStrogatzLatticeIsClustered) {
+  Rng rng(1);
+  WattsStrogatzConfig config;
+  config.nodes = 60;
+  config.neighbors_each_side = 3;
+  config.rewire = 0.0;
+  const Graph lattice(config.nodes, watts_strogatz_edges(config, rng));
+  // Ring lattice with k=3: C = 0.6 exactly.
+  EXPECT_NEAR(average_clustering_coefficient(lattice), 0.6, 1e-9);
+}
+
+TEST(CoreNumbers, PathIsOneCore) {
+  const Graph graph = test::path_graph(6, 1.0);
+  const auto cores = core_numbers(graph);
+  for (const auto c : cores) EXPECT_EQ(c, 1U);
+  EXPECT_EQ(degeneracy(graph), 1U);
+}
+
+TEST(CoreNumbers, CliquePlusTail) {
+  GraphBuilder builder;
+  // K4 on {0..3} plus a tail 3-4-5.
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) builder.add_undirected_edge(a, b);
+  }
+  builder.add_undirected_edge(3, 4).add_undirected_edge(4, 5);
+  const Graph graph = builder.build();
+  const auto cores = core_numbers(graph);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(cores[v], 3U) << "clique node " << v;
+  EXPECT_EQ(cores[4], 1U);
+  EXPECT_EQ(cores[5], 1U);
+  EXPECT_EQ(degeneracy(graph), 3U);
+}
+
+TEST(CoreNumbers, EmptyAndIsolated) {
+  GraphBuilder builder;
+  builder.reserve_nodes(3);
+  const auto cores = core_numbers(builder.build());
+  for (const auto c : cores) EXPECT_EQ(c, 0U);
+}
+
+TEST(DegreeHistogram, CountsMatch) {
+  const Graph graph = test::star_graph(5, 1.0);  // center out-deg 4, leaves 0
+  const auto histogram = out_degree_histogram(graph);
+  ASSERT_EQ(histogram.size(), 5U);
+  EXPECT_EQ(histogram[0], 4U);
+  EXPECT_EQ(histogram[4], 1U);
+}
+
+TEST(PowerLaw, DetectsHeavyTailInBa) {
+  Rng rng(2);
+  BarabasiAlbertConfig config;
+  config.nodes = 3000;
+  config.attach = 4;
+  const Graph graph(config.nodes, barabasi_albert_edges(config, rng));
+  const double exponent = power_law_exponent_mle(graph, 5);
+  // BA degree distribution has exponent ~3.
+  EXPECT_GT(exponent, 1.8);
+  EXPECT_LT(exponent, 4.5);
+}
+
+TEST(PowerLaw, DegenerateReturnsZero) {
+  const Graph graph = test::path_graph(5, 1.0);
+  EXPECT_DOUBLE_EQ(power_law_exponent_mle(graph, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace imc

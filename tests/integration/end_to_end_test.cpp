@@ -1,0 +1,157 @@
+// End-to-end pipeline tests: dataset stand-in -> community formation ->
+// IMCAF with each solver -> independent evaluation, mirroring the paper's
+// experimental flow (§VI) at a miniature scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/baselines/hbc.h"
+#include "core/baselines/im_ris.h"
+#include "core/baselines/ks.h"
+#include "core/imcaf.h"
+#include "core/problem.h"
+#include "core/ubg.h"
+#include "core/maf.h"
+#include "diffusion/monte_carlo.h"
+#include "estimation/benefit_oracle.h"
+#include "graph/generators/dataset_catalog.h"
+
+namespace imc {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(make_dataset(DatasetId::kFacebook, 0.25));
+    CommunityBuildConfig config;
+    config.method = CommunityMethod::kLouvain;
+    config.size_cap = 8;
+    config.regime = ThresholdRegime::kConstantBounded;
+    config.threshold_constant = 2;
+    communities_ = new CommunitySet(build_communities(*graph_, config));
+  }
+  static void TearDownTestSuite() {
+    delete communities_;
+    delete graph_;
+    communities_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static Graph* graph_;
+  static CommunitySet* communities_;
+};
+
+Graph* EndToEndTest::graph_ = nullptr;
+CommunitySet* EndToEndTest::communities_ = nullptr;
+
+TEST_F(EndToEndTest, CommunityPipelineIsValid) {
+  EXPECT_GT(communities_->size(), 10U);
+  EXPECT_EQ(communities_->node_count(), graph_->node_count());
+  EXPECT_EQ(communities_->max_threshold(), 2U);
+  // Population benefits.
+  for (CommunityId c = 0; c < std::min<CommunityId>(communities_->size(), 20);
+       ++c) {
+    EXPECT_DOUBLE_EQ(communities_->benefit(c),
+                     static_cast<double>(communities_->population(c)));
+    EXPECT_LE(communities_->population(c), 8U);
+  }
+  EXPECT_NEAR(communities_->coverage(), 1.0, 1e-12);  // Louvain covers all
+}
+
+TEST_F(EndToEndTest, UbgBeatsHeuristicBaselines) {
+  const std::uint32_t k = 10;
+  UbgSolver solver;
+  ImcafConfig config;
+  config.max_samples = 12000;
+  const ImcafResult ubg =
+      imcaf_solve(*graph_, *communities_, k, solver, config);
+
+  Rng rng(17);
+  const auto hbc = hbc_select(*graph_, *communities_, k);
+  const auto ks = ks_select(*communities_, k, rng);
+
+  MonteCarloOptions mc;
+  mc.simulations = 8000;
+  const double ubg_value =
+      mc_expected_benefit(*graph_, *communities_, ubg.seeds, mc);
+  const double hbc_value =
+      mc_expected_benefit(*graph_, *communities_, hbc, mc);
+  const double ks_value = mc_expected_benefit(*graph_, *communities_, ks, mc);
+
+  // The paper's headline ordering (with slack for MC noise at this scale).
+  EXPECT_GE(ubg_value * 1.05, hbc_value);
+  EXPECT_GE(ubg_value * 1.05, ks_value);
+  EXPECT_GT(ubg_value, 0.0);
+}
+
+TEST_F(EndToEndTest, MafRunsFastAndReasonably) {
+  const std::uint32_t k = 10;
+  MafSolver solver;
+  ImcafConfig config;
+  config.max_samples = 12000;
+  const ImcafResult maf =
+      imcaf_solve(*graph_, *communities_, k, solver, config);
+  EXPECT_FALSE(maf.seeds.empty());
+  MonteCarloOptions mc;
+  mc.simulations = 6000;
+  EXPECT_GT(mc_expected_benefit(*graph_, *communities_, maf.seeds, mc), 0.0);
+}
+
+TEST_F(EndToEndTest, RegularThresholdRegimeWorksToo) {
+  CommunityBuildConfig config;
+  config.method = CommunityMethod::kRandom;
+  config.size_cap = 8;
+  config.regime = ThresholdRegime::kFractionOfPopulation;
+  config.threshold_fraction = 0.5;
+  const CommunitySet regular = build_communities(*graph_, config);
+  EXPECT_GT(regular.size(), 10U);
+
+  UbgSolver solver;
+  ImcafConfig imcaf_config;
+  imcaf_config.max_samples = 8000;
+  const ImcafResult result =
+      imcaf_solve(*graph_, regular, 8, solver, imcaf_config);
+  EXPECT_EQ(result.seeds.size(), 8U);
+  EXPECT_GT(result.estimated_benefit, 0.0);
+}
+
+TEST_F(EndToEndTest, BenefitOracleConsistentWithMonteCarlo) {
+  const auto seeds = hbc_select(*graph_, *communities_, 6);
+  BenefitOracle oracle(*graph_, *communities_);
+  MonteCarloOptions mc;
+  mc.simulations = 20000;
+  const double truth = mc_expected_benefit(*graph_, *communities_, seeds, mc);
+  EXPECT_NEAR(oracle.benefit(seeds), truth, std::max(1.0, truth * 0.2));
+}
+
+TEST_F(EndToEndTest, ImBaselineOptimizesSpreadNotBenefit) {
+  const ImRisConfig config;
+  const ImRisResult im = im_ris_select(*graph_, 10, config);
+  EXPECT_EQ(im.seeds.size(), 10U);
+  EXPECT_GT(im.estimated_spread, 10.0);
+  // Its community benefit is measurable but need not beat UBG.
+  MonteCarloOptions mc;
+  mc.simulations = 4000;
+  EXPECT_GE(mc_expected_benefit(*graph_, *communities_, im.seeds, mc), 0.0);
+}
+
+TEST_F(EndToEndTest, LouvainVersusRandomCommunitiesBothSolvable) {
+  for (const CommunityMethod method :
+       {CommunityMethod::kLouvain, CommunityMethod::kRandom}) {
+    CommunityBuildConfig config;
+    config.method = method;
+    config.size_cap = 6;
+    config.regime = ThresholdRegime::kConstantBounded;
+    const CommunitySet communities = build_communities(*graph_, config);
+    MafSolver solver;
+    ImcafConfig imcaf_config;
+    imcaf_config.max_samples = 4000;
+    const ImcafResult result =
+        imcaf_solve(*graph_, communities, 6, solver, imcaf_config);
+    EXPECT_FALSE(result.seeds.empty()) << to_string(method);
+  }
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,85 @@
+// Property sweep for the recursive BT(d) extension (paper §IV-C):
+// on instances with thresholds <= 3, BT(3) must satisfy
+//   ĉ(BT(3)) >= (1 − 1/e)/k² · ĉ(OPT)
+// and never crash / return malformed seed sets.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "community/threshold_policy.h"
+#include "core/brute_force.h"
+#include "core/bt.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+using Param = std::tuple<int /*seed*/, int /*threshold*/>;
+
+class BtRecursiveTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BtRecursiveTest, DepthBoundHolds) {
+  const auto [seed, threshold] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  BarabasiAlbertConfig config;
+  config.nodes = 15;
+  config.attach = 2;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_uniform_weights(edges, 0.4);
+  const Graph graph(config.nodes, edges);
+  CommunitySet communities = test::chunk_communities(15, 5);
+  apply_constant_thresholds(communities,
+                            static_cast<std::uint32_t>(threshold));
+  RicPool pool(graph, communities);
+  pool.grow(120, static_cast<std::uint64_t>(seed));
+
+  const std::uint32_t k = 3;
+  BtConfig bt_config;
+  bt_config.depth = static_cast<std::uint32_t>(threshold);
+  const BtSolution bt = bt_solve(pool, k, bt_config);
+
+  // Structure checks.
+  EXPECT_LE(bt.seeds.size(), k);
+  const std::set<NodeId> unique(bt.seeds.begin(), bt.seeds.end());
+  EXPECT_EQ(unique.size(), bt.seeds.size());
+
+  // Theoretical bound vs brute force: α = (1 − 1/e)/k^{d−1}.
+  const BruteForceResult opt = brute_force_maxr(pool, k, 50'000'000);
+  double alpha = 1.0 - 1.0 / 2.718281828;
+  for (int d = 2; d <= threshold; ++d) alpha /= static_cast<double>(k);
+  EXPECT_GE(bt.c_hat + 1e-9, alpha * opt.c_hat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BtRecursiveTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 3)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_h" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MaxrFactory, CoversEveryAlgorithm) {
+  const test::NonSubmodularGadget gadget(0.4);
+  RicPool pool(gadget.graph, gadget.communities);
+  pool.grow(200, 3);
+  for (const MaxrAlgorithm algorithm :
+       {MaxrAlgorithm::kUbg, MaxrAlgorithm::kMaf, MaxrAlgorithm::kBt,
+        MaxrAlgorithm::kMb}) {
+    const auto solver = make_maxr_solver(algorithm);
+    ASSERT_NE(solver, nullptr);
+    EXPECT_EQ(solver->name(), to_string(algorithm));
+    const double alpha = solver->alpha(pool, 2);
+    EXPECT_GT(alpha, 0.0);
+    EXPECT_LE(alpha, 1.0);
+    const MaxrSolution solution = solver->solve(pool, 2);
+    EXPECT_FALSE(solution.seeds.empty());
+    EXPECT_NEAR(solution.c_hat, pool.c_hat(solution.seeds), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace imc

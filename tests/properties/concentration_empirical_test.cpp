@@ -1,0 +1,65 @@
+// Empirical validation of the Lemma 6 tail bounds: on the analytic gadget
+// (where c(S) is known in closed form) the fraction of RIC pools whose
+// estimate ĉ_R(S) deviates beyond (1 ± ε)·c(S) must not exceed the
+// martingale bound (plus statistical slack).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimation/concentration.h"
+#include "sampling/ric_pool.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+TEST(Lemma6Empirical, UpperAndLowerTailRates) {
+  const test::NonSubmodularGadget gadget(0.5);
+  // c({a, b}) = (1 - 0.25)² = 0.5625, b = 1.
+  const double c_exact = 0.5625;
+  const std::vector<NodeId> seeds{0, 1};
+
+  constexpr double kEps = 0.2;
+  constexpr std::uint64_t kPoolSize = 300;
+  constexpr int kTrials = 400;
+
+  int upper_violations = 0;
+  int lower_violations = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RicPool pool(gadget.graph, gadget.communities);
+    pool.grow(kPoolSize, 0x1e44a6 + static_cast<std::uint64_t>(trial));
+    const double estimate = pool.c_hat(seeds);
+    if (estimate > (1.0 + kEps) * c_exact) ++upper_violations;
+    if (estimate < (1.0 - kEps) * c_exact) ++lower_violations;
+  }
+
+  const double upper_bound =
+      lemma6_upper_tail(kPoolSize, kEps, 1.0, c_exact);
+  const double lower_bound =
+      lemma6_lower_tail(kPoolSize, kEps, 1.0, c_exact);
+  // Allow 3-sigma binomial slack on the empirical rates.
+  const auto slack = [&](double bound) {
+    return bound + 3.0 * std::sqrt(bound * (1.0 - bound) / kTrials) + 0.01;
+  };
+  EXPECT_LE(static_cast<double>(upper_violations) / kTrials,
+            slack(upper_bound));
+  EXPECT_LE(static_cast<double>(lower_violations) / kTrials,
+            slack(lower_bound));
+}
+
+TEST(Lemma6Empirical, EstimatorIsUnbiasedAcrossPools) {
+  const test::NonSubmodularGadget gadget(0.5);
+  const double c_exact = 0.5625;
+  const std::vector<NodeId> seeds{0, 1};
+  double total = 0.0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RicPool pool(gadget.graph, gadget.communities);
+    pool.grow(200, 0xBAE5 + static_cast<std::uint64_t>(trial) * 7);
+    total += pool.c_hat(seeds);
+  }
+  EXPECT_NEAR(total / kTrials, c_exact, 0.02);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,148 @@
+#include "sampling/pool_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "community/threshold_policy.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  CommunitySet communities;
+
+  Fixture() {
+    graph = test::cycle_graph(12, 0.5);
+    communities = test::chunk_communities(12, 3);
+    apply_population_benefits(communities);
+    apply_constant_thresholds(communities, 2);
+  }
+};
+
+TEST(PoolIo, RoundTripPreservesSamplesAndScores) {
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(250, 9);
+
+  std::stringstream buffer;
+  write_ric_pool(buffer, original);
+  const RicPool loaded =
+      read_ric_pool(buffer, fixture.graph, fixture.communities);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.model(), original.model());
+  for (std::uint32_t g = 0; g < original.size(); ++g) {
+    EXPECT_EQ(loaded.sample(g).community, original.sample(g).community);
+    EXPECT_EQ(loaded.sample(g).threshold, original.sample(g).threshold);
+    EXPECT_EQ(loaded.sample(g).touching, original.sample(g).touching);
+  }
+  // Objectives computed on the reloaded pool are identical.
+  const std::vector<NodeId> seeds{0, 5, 9};
+  EXPECT_DOUBLE_EQ(loaded.c_hat(seeds), original.c_hat(seeds));
+  EXPECT_DOUBLE_EQ(loaded.nu(seeds), original.nu(seeds));
+}
+
+TEST(PoolIo, LtModelTagRoundTrips) {
+  const Graph graph = test::path_graph(6, 1.0);
+  CommunitySet communities = test::chunk_communities(6, 2);
+  RicPool original(graph, communities, DiffusionModel::kLinearThreshold);
+  original.grow(40, 3);
+  std::stringstream buffer;
+  write_ric_pool(buffer, original);
+  const RicPool loaded = read_ric_pool(buffer, graph, communities);
+  EXPECT_EQ(loaded.model(), DiffusionModel::kLinearThreshold);
+  EXPECT_EQ(loaded.size(), 40U);
+}
+
+TEST(PoolIo, RejectsWrongGraph) {
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  pool.grow(20, 2);
+  std::stringstream buffer;
+  write_ric_pool(buffer, pool);
+
+  const Graph other = test::cycle_graph(20, 0.5);
+  const CommunitySet other_coms = test::chunk_communities(20, 4);
+  EXPECT_THROW((void)read_ric_pool(buffer, other, other_coms),
+               std::runtime_error);
+}
+
+TEST(PoolIo, RejectsMalformedInput) {
+  const Fixture fixture;
+  {
+    std::istringstream in("wrong header\n");
+    EXPECT_THROW(
+        (void)read_ric_pool(in, fixture.graph, fixture.communities),
+        std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "imc-ric-pool v1\nnodes 12 samples 1 model zz\n");
+    EXPECT_THROW(
+        (void)read_ric_pool(in, fixture.graph, fixture.communities),
+        std::runtime_error);
+  }
+  {
+    // Metadata says one sample, body has none.
+    std::istringstream in(
+        "imc-ric-pool v1\nnodes 12 samples 1 model ic\n");
+    EXPECT_THROW(
+        (void)read_ric_pool(in, fixture.graph, fixture.communities),
+        std::runtime_error);
+  }
+  {
+    // Touching node out of range.
+    std::istringstream in(
+        "imc-ric-pool v1\nnodes 12 samples 1 model ic\n"
+        "sample 0 2 1 99 1\n");
+    EXPECT_THROW(
+        (void)read_ric_pool(in, fixture.graph, fixture.communities),
+        std::runtime_error);
+  }
+}
+
+TEST(PoolIo, FileRoundTrip) {
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  pool.grow(30, 5);
+  const std::string path = ::testing::TempDir() + "/imc_pool_test.txt";
+  save_ric_pool(path, pool);
+  const RicPool loaded =
+      load_ric_pool(path, fixture.graph, fixture.communities);
+  EXPECT_EQ(loaded.size(), 30U);
+  std::remove(path.c_str());
+  EXPECT_THROW(
+      (void)load_ric_pool("/no/such/pool.txt", fixture.graph,
+                          fixture.communities),
+      std::runtime_error);
+}
+
+TEST(PoolAppend, ValidatesInput) {
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  RicSample bad_community;
+  bad_community.community = 99;
+  bad_community.threshold = 1;
+  EXPECT_THROW(pool.append(bad_community), std::invalid_argument);
+
+  RicSample bad_threshold;
+  bad_threshold.community = 0;
+  bad_threshold.threshold = 0;
+  EXPECT_THROW(pool.append(bad_threshold), std::invalid_argument);
+
+  RicSample good;
+  good.community = 0;
+  good.threshold = 2;
+  good.member_count = 3;
+  good.touching = {{0, 0b1ULL}, {1, 0b10ULL}};
+  pool.append(good);
+  EXPECT_EQ(pool.size(), 1U);
+  EXPECT_EQ(pool.appearance_count(0), 1U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,10 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // Keep test output clean; individual tests may lower the level.
+  imc::Logger::instance().set_level(imc::LogLevel::kError);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,84 @@
+// Shared fixtures and tiny deterministic graphs for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "community/community_set.h"
+#include "community/threshold_policy.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace imc::test {
+
+/// Directed path 0 -> 1 -> ... -> n-1, all weights `w`.
+inline Graph path_graph(NodeId n, double w = 1.0) {
+  GraphBuilder builder;
+  builder.reserve_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder.add_edge(v, v + 1, w);
+  return builder.build();
+}
+
+/// Star with center 0 pointing at leaves 1..n-1, weights `w`.
+inline Graph star_graph(NodeId n, double w = 1.0) {
+  GraphBuilder builder;
+  builder.reserve_nodes(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v, w);
+  return builder.build();
+}
+
+/// Directed cycle over n nodes, weights `w`.
+inline Graph cycle_graph(NodeId n, double w = 1.0) {
+  GraphBuilder builder;
+  builder.reserve_nodes(n);
+  for (NodeId v = 0; v < n; ++v) builder.add_edge(v, (v + 1) % n, w);
+  return builder.build();
+}
+
+/// Complete digraph (all ordered pairs), weights `w`.
+inline Graph complete_graph(NodeId n, double w = 1.0) {
+  GraphBuilder builder;
+  builder.reserve_nodes(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) builder.add_edge(a, b, w);
+    }
+  }
+  return builder.build();
+}
+
+/// Communities by contiguous chunks of `size`, unit benefits, h = 1.
+inline CommunitySet chunk_communities(NodeId node_count, NodeId size) {
+  std::vector<std::vector<NodeId>> groups;
+  for (NodeId begin = 0; begin < node_count; begin += size) {
+    auto& group = groups.emplace_back();
+    for (NodeId v = begin; v < std::min<NodeId>(begin + size, node_count);
+         ++v) {
+      group.push_back(v);
+    }
+  }
+  return CommunitySet(node_count, std::move(groups));
+}
+
+/// The non-submodularity gadget used across objective tests: community
+/// {x=2, y=3} with threshold 2; seeds a=0, b=1 each pointing at both
+/// members with probability `w`.
+///   c({a}) = w²; c({a,b}) = (1-(1-w)²)².
+/// With w = 0.3: c({a}) = 0.09, c({a,b}) = 0.2601 > 2·0.09.
+struct NonSubmodularGadget {
+  Graph graph;
+  CommunitySet communities;
+
+  explicit NonSubmodularGadget(double w = 0.3) {
+    GraphBuilder builder;
+    builder.reserve_nodes(4);
+    builder.add_edge(0, 2, w).add_edge(0, 3, w);
+    builder.add_edge(1, 2, w).add_edge(1, 3, w);
+    graph = builder.build();
+    communities = CommunitySet(4, {{2, 3}});
+    communities.set_threshold(0, 2);
+  }
+};
+
+}  // namespace imc::test

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace imc {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = Logger::instance().level(); }
+  void TearDown() override { Logger::instance().set_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, SetAndGetLevel) {
+  Logger::instance().set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::instance().level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, StreamingDoesNotCrashWhenFiltered) {
+  Logger::instance().set_level(LogLevel::kOff);
+  log(LogLevel::kDebug) << "invisible " << 42 << ' ' << 3.14;
+}
+
+TEST_F(LoggingTest, StreamingDoesNotCrashWhenEnabled) {
+  Logger::instance().set_level(LogLevel::kError);
+  log(LogLevel::kError) << "visible error from logging_test (expected)";
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,94 @@
+#include "util/mathx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace imc {
+namespace {
+
+TEST(LogBinomial, SmallExactValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 3)), 120.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial(6, 3)), 20.0, 1e-9);
+}
+
+TEST(LogBinomial, EdgeCases) {
+  EXPECT_DOUBLE_EQ(log_binomial(10, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(10, 10), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(10, 11), 0.0);
+}
+
+TEST(LogBinomial, Symmetry) {
+  EXPECT_NEAR(log_binomial(100, 30), log_binomial(100, 70), 1e-9);
+}
+
+TEST(LogBinomial, LargeValuesFinite) {
+  const double value = log_binomial(1'000'000, 500);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_GT(value, 0.0);
+}
+
+TEST(KahanSum, ExactForSmallInputs) {
+  KahanSum sum;
+  sum.add(1.0);
+  sum.add(2.0);
+  sum.add(3.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 6.0);
+}
+
+TEST(KahanSum, CompensatesCancellation) {
+  KahanSum sum;
+  sum.add(1.0);
+  for (int i = 0; i < 10'000'000; ++i) sum.add(1e-16);
+  // Naive summation would lose every tiny addend; Kahan keeps them.
+  EXPECT_NEAR(sum.value(), 1.0 + 1e-9, 1e-12);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(values), 5.0);
+  EXPECT_NEAR(stddev(values), 2.13809, 1e-4);  // sample (n-1) stddev
+}
+
+TEST(Stats, DegenerateInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg{-2, -4, -6, -8, -10};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerate) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(xs, empty), 0.0);
+}
+
+TEST(CeilDiv, Values) {
+  EXPECT_EQ(ceil_div(10, 3), 4U);
+  EXPECT_EQ(ceil_div(9, 3), 3U);
+  EXPECT_EQ(ceil_div(1, 100), 1U);
+  EXPECT_EQ(ceil_div(0, 5), 0U);
+}
+
+TEST(Popcount64, Values) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(0xFFFFFFFFFFFFFFFFULL), 64);
+  EXPECT_EQ(popcount64(0b1011), 3);
+}
+
+}  // namespace
+}  // namespace imc

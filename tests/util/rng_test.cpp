@@ -1,0 +1,210 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace imc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(9);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(9);
+  EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(17);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(23);
+  std::vector<int> histogram(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(10)];
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.between(-3, 3);
+    ASSERT_GE(value, -3);
+    ASSERT_LE(value, 3);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 7U);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  const Rng base(7);
+  Rng s0 = base.split(0);
+  Rng s1 = base.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (s0.next() == s1.next());
+  EXPECT_LT(equal, 4);
+  // Splitting is deterministic.
+  Rng again = base.split(0);
+  Rng reference = base.split(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(again.next(), reference.next());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(std::span<int>(values));
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShuffleMovesMass) {
+  Rng rng(13);
+  std::vector<int> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(std::span<int>(values));
+  int fixed_points = 0;
+  for (int i = 0; i < 1000; ++i) fixed_points += (values[i] == i);
+  EXPECT_LT(fixed_points, 20);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  for (std::uint32_t population : {10U, 100U, 10000U}) {
+    for (std::uint32_t count : {0U, 1U, 5U, population / 2}) {
+      const auto sample = rng.sample_without_replacement(population, count);
+      EXPECT_EQ(sample.size(), count);
+      std::set<std::uint32_t> unique(sample.begin(), sample.end());
+      EXPECT_EQ(unique.size(), count);
+      for (const auto v : sample) EXPECT_LT(v, population);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(19);
+  const auto sample = rng.sample_without_replacement(8, 8);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 8U);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(19);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, RejectsBadInput) {
+  EXPECT_THROW((void)DiscreteDistribution{std::span<const double>{}},
+               std::invalid_argument);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW((void)DiscreteDistribution{negative}, std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)DiscreteDistribution{zeros}, std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, MatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  DiscreteDistribution dist(weights);
+  EXPECT_DOUBLE_EQ(dist.total_weight(), 10.0);
+
+  Rng rng(42);
+  std::vector<int> histogram(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[dist.sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(histogram[i]) / kDraws, expected,
+                0.01);
+  }
+}
+
+TEST(DiscreteDistribution, ProbabilityOfReconstructsWeights) {
+  const std::vector<double> weights{0.5, 0.25, 0.25};
+  DiscreteDistribution dist(weights);
+  EXPECT_NEAR(dist.probability_of(0), 0.5, 1e-12);
+  EXPECT_NEAR(dist.probability_of(1), 0.25, 1e-12);
+  EXPECT_NEAR(dist.probability_of(2), 0.25, 1e-12);
+  EXPECT_THROW((void)dist.probability_of(3), std::out_of_range);
+}
+
+TEST(DiscreteDistribution, HandlesZeroWeightEntries) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  DiscreteDistribution dist(weights);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto draw = dist.sample(rng);
+    EXPECT_TRUE(draw == 1 || draw == 3);
+  }
+}
+
+TEST(DiscreteDistribution, SingleBucket) {
+  const std::vector<double> weights{5.0};
+  DiscreteDistribution dist(weights);
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.sample(rng), 0U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,49 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace imc {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous: CI boxes stall
+  EXPECT_NEAR(watch.elapsed_ms(), watch.elapsed_seconds() * 1e3,
+              watch.elapsed_ms() * 0.5);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.elapsed_seconds(), 0.015);
+}
+
+TEST(Deadline, InactiveByDefault) {
+  const Deadline none;
+  EXPECT_FALSE(none.active());
+  EXPECT_FALSE(none.expired());
+  const Deadline negative(-5.0);
+  EXPECT_FALSE(negative.active());
+}
+
+TEST(Deadline, ExpiresAfterBudget) {
+  const Deadline deadline(0.01);
+  EXPECT_TRUE(deadline.active());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(Deadline, NotExpiredEarly) {
+  const Deadline deadline(60.0);
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_DOUBLE_EQ(deadline.budget_seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace imc

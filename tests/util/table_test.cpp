@@ -1,0 +1,118 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace imc {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW((void)Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowSizeMismatch) {
+  Table table("t", {"a", "b"});
+  EXPECT_THROW((void)table.add_row({std::string("x")}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedContent) {
+  Table table("Demo", {"name", "count", "ratio"});
+  table.add_row({std::string("alpha"), 42LL, 0.5});
+  table.add_row({std::string("b"), 7LL, 0.25});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("0.500"), std::string::npos);  // default precision 3
+}
+
+TEST(Table, FloatPrecisionConfigurable) {
+  Table table("t", {"x"});
+  table.set_float_precision(1);
+  table.add_row({0.25});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("0.2"), std::string::npos);
+  EXPECT_EQ(out.str().find("0.25"), std::string::npos);
+}
+
+TEST(CsvEscape, PassesPlainFields) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, WritesCsv) {
+  Table table("t", {"name", "value"});
+  table.add_row({std::string("x,y"), 1LL});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "name,value\n\"x,y\",1\n");
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table table("t", {"a"});
+  table.add_row({3.5});
+  const std::string path = ::testing::TempDir() + "/imc_table_test.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "a");
+  EXPECT_EQ(row, "3.500");
+  std::remove(path.c_str());
+}
+
+TEST(Table, SaveCsvBadPathThrows) {
+  Table table("t", {"a"});
+  EXPECT_THROW((void)table.save_csv("/nonexistent_dir_zzz/file.csv"),
+               std::runtime_error);
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Table, WritesJson) {
+  Table table("Demo", {"name", "count", "ratio"});
+  table.add_row({std::string("a\"b"), 42LL, 0.5});
+  std::ostringstream out;
+  table.write_json(out);
+  EXPECT_EQ(out.str(),
+            "{\"title\":\"Demo\",\"columns\":[\"name\",\"count\","
+            "\"ratio\"],\"rows\":[[\"a\\\"b\",42,0.5]]}");
+}
+
+TEST(Table, WritesJsonEmptyRows) {
+  Table table("t", {"a"});
+  std::ostringstream out;
+  table.write_json(out);
+  EXPECT_EQ(out.str(), "{\"title\":\"t\",\"columns\":[\"a\"],\"rows\":[]}");
+}
+
+TEST(Table, RowCount) {
+  Table table("t", {"a"});
+  EXPECT_EQ(table.row_count(), 0U);
+  table.add_row({1LL});
+  table.add_row({2LL});
+  EXPECT_EQ(table.row_count(), 2U);
+  EXPECT_EQ(table.title(), "t");
+}
+
+}  // namespace
+}  // namespace imc

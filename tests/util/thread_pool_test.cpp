@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace imc {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1U);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 1000,
+               [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                 for (std::uint64_t i = begin; i < end; ++i) ++hits[i];
+               });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0,
+               [&](std::uint64_t, std::uint64_t, unsigned) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeFewerChunksThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  parallel_for(pool, 3,
+               [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                 total += static_cast<int>(end - begin);
+               });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW((void)
+      parallel_for(pool, 100,
+                   [](std::uint64_t begin, std::uint64_t, unsigned) {
+                     if (begin == 0) throw std::runtime_error("chunk failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ChunkIndicesAreDistinct) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<unsigned> chunks;
+  parallel_for(pool, 64,
+               [&](std::uint64_t, std::uint64_t, unsigned chunk) {
+                 const std::lock_guard<std::mutex> lock(mutex);
+                 chunks.push_back(chunk);
+               });
+  std::sort(chunks.begin(), chunks.end());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i], i);
+  }
+}
+
+TEST(DefaultPool, IsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+  EXPECT_GE(default_pool().size(), 1U);
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,296 @@
+// imc_cli — command-line front end for the library.
+//
+// Usage:
+//   imc_cli stats       [--dataset NAME | --graph FILE [--undirected]] [--scale S]
+//   imc_cli communities [graph opts] [--method louvain|random|lpa]
+//                       [--size-cap S] [--regime regular|bounded]
+//   imc_cli solve       [graph opts] [community opts] --algo ubg|maf|bt|mb
+//                       [--k K] [--max-samples N] [--model ic|lt]
+//   imc_cli baseline    [graph opts] [community opts]
+//                       --algo hbc|ks|im|imm|degree|random [--k K]
+//   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
+//                       [--simulations N] [--model ic|lt]
+//
+// Graphs come either from the synthetic Table-I stand-ins (--dataset) or a
+// SNAP edge-list file (--graph; weighted-cascade IC probabilities applied).
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "imc/imc.h"
+
+namespace {
+
+using namespace imc;
+
+Graph load_graph(const ArgParser& args) {
+  if (args.has("graph")) {
+    EdgeListOptions options;
+    options.undirected = args.get_bool("undirected", false);
+    LoadedEdgeList loaded =
+        load_edge_list(args.get_string("graph", ""), options);
+    apply_weighted_cascade(loaded.edges, loaded.node_count);
+    return Graph(loaded.node_count, loaded.edges);
+  }
+  const std::string dataset = args.get_string("dataset", "facebook");
+  const double scale = args.get_double("scale", 0.2);
+  return make_dataset(dataset_from_name(dataset), scale);
+}
+
+CommunitySet load_communities(const ArgParser& args, const Graph& graph) {
+  if (args.has("communities")) {
+    CommunitySet loaded =
+        imc::load_communities(args.get_string("communities", ""));
+    if (loaded.node_count() != graph.node_count()) {
+      throw std::invalid_argument(
+          "--communities file does not match the graph's node count");
+    }
+    return loaded;
+  }
+  CommunityBuildConfig config;
+  const std::string method = args.get_string("method", "louvain");
+  if (method == "louvain") {
+    config.method = CommunityMethod::kLouvain;
+  } else if (method == "random") {
+    config.method = CommunityMethod::kRandom;
+  } else if (method == "lpa") {
+    config.method = CommunityMethod::kLabelPropagation;
+  } else {
+    throw std::invalid_argument("unknown --method " + method);
+  }
+  config.size_cap =
+      static_cast<NodeId>(args.get_int("size-cap", 8));
+  const std::string regime = args.get_string("regime", "regular");
+  if (regime == "regular") {
+    config.regime = ThresholdRegime::kFractionOfPopulation;
+    config.threshold_fraction = args.get_double("threshold-fraction", 0.5);
+  } else if (regime == "bounded") {
+    config.regime = ThresholdRegime::kConstantBounded;
+    config.threshold_constant =
+        static_cast<std::uint32_t>(args.get_int("threshold", 2));
+  } else {
+    throw std::invalid_argument("unknown --regime " + regime);
+  }
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return build_communities(graph, config);
+}
+
+DiffusionModel load_model(const ArgParser& args) {
+  const std::string model = args.get_string("model", "ic");
+  if (model == "ic") return DiffusionModel::kIndependentCascade;
+  if (model == "lt") return DiffusionModel::kLinearThreshold;
+  throw std::invalid_argument("unknown --model " + model);
+}
+
+std::vector<NodeId> parse_seed_list(const std::string& text) {
+  std::vector<NodeId> seeds;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) {
+      seeds.push_back(static_cast<NodeId>(std::stoul(token)));
+    }
+  }
+  return seeds;
+}
+
+void print_seeds(const std::vector<NodeId>& seeds) {
+  std::cout << "seeds:";
+  for (const NodeId v : seeds) std::cout << ' ' << v;
+  std::cout << "\n";
+}
+
+int cmd_stats(const ArgParser& args) {
+  const Graph graph = load_graph(args);
+  const auto stats = graph.degree_stats();
+  Table table("graph statistics", {"metric", "value"});
+  table.add_row({std::string("nodes"),
+                 static_cast<long long>(graph.node_count())});
+  table.add_row({std::string("edges"),
+                 static_cast<long long>(graph.edge_count())});
+  table.add_row({std::string("mean out-degree"), stats.mean_out});
+  table.add_row({std::string("max out-degree"),
+                 static_cast<long long>(stats.max_out)});
+  table.add_row({std::string("max in-degree"),
+                 static_cast<long long>(stats.max_in)});
+  table.add_row({std::string("isolated nodes"),
+                 static_cast<long long>(stats.isolated)});
+  table.add_row({std::string("weak components"),
+                 static_cast<long long>(
+                     weakly_connected_components(graph).count)});
+  table.add_row({std::string("strong components"),
+                 static_cast<long long>(
+                     strongly_connected_components(graph).count)});
+  table.add_row({std::string("avg clustering coeff"),
+                 average_clustering_coefficient(graph)});
+  table.add_row({std::string("degeneracy (max core)"),
+                 static_cast<long long>(degeneracy(graph))});
+  table.add_row({std::string("power-law exponent (MLE)"),
+                 power_law_exponent_mle(graph)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_communities(const ArgParser& args) {
+  const Graph graph = load_graph(args);
+  const CommunitySet communities = load_communities(args, graph);
+  const auto sizes = community_size_stats(communities);
+  Table table("community structure", {"metric", "value"});
+  table.add_row({std::string("communities (r)"),
+                 static_cast<long long>(communities.size())});
+  table.add_row({std::string("coverage"), communities.coverage()});
+  table.add_row({std::string("population min"),
+                 static_cast<long long>(sizes.min)});
+  table.add_row({std::string("population max"),
+                 static_cast<long long>(sizes.max)});
+  table.add_row({std::string("population mean"), sizes.mean});
+  table.add_row({std::string("mean threshold h"), sizes.threshold_mean});
+  table.add_row({std::string("total benefit b"),
+                 communities.total_benefit()});
+  table.add_row({std::string("internal edge fraction"),
+                 internal_edge_fraction(graph, communities)});
+  table.add_row({std::string("avg conductance"),
+                 average_conductance(graph, communities)});
+  table.print(std::cout);
+  if (args.has("save")) {
+    const std::string path = args.get_string("save", "");
+    save_communities(path, communities);
+    std::cout << "saved to " << path
+              << " (reusable via --communities)\n";
+  }
+  return 0;
+}
+
+int cmd_solve(const ArgParser& args) {
+  const Graph graph = load_graph(args);
+  const CommunitySet communities = load_communities(args, graph);
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 10));
+
+  const std::string algo = args.get_string("algo", "ubg");
+  MaxrAlgorithm algorithm;
+  if (algo == "ubg") {
+    algorithm = MaxrAlgorithm::kUbg;
+  } else if (algo == "maf") {
+    algorithm = MaxrAlgorithm::kMaf;
+  } else if (algo == "bt") {
+    algorithm = MaxrAlgorithm::kBt;
+  } else if (algo == "mb") {
+    algorithm = MaxrAlgorithm::kMb;
+  } else {
+    throw std::invalid_argument("unknown --algo " + algo);
+  }
+  const auto solver = make_maxr_solver(algorithm);
+
+  ImcafConfig config;
+  config.max_samples = static_cast<std::uint64_t>(
+      args.get_int("max-samples", 20000));
+  config.model = load_model(args);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  const ImcafResult result =
+      imcaf_solve(graph, communities, k, *solver, config);
+  print_seeds(result.seeds);
+  std::cout << "c_hat on final pool:   " << result.c_hat << "\n"
+            << "independent estimate:  " << result.estimated_benefit << "\n"
+            << "RIC samples used:      " << result.samples_used << "\n"
+            << "stop stages:           " << result.stop_stages << "\n"
+            << "runtime seconds:       " << result.runtime_seconds << "\n"
+            << "total benefit in play: " << communities.total_benefit()
+            << "\n";
+  return 0;
+}
+
+int cmd_baseline(const ArgParser& args) {
+  const Graph graph = load_graph(args);
+  const CommunitySet communities = load_communities(args, graph);
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 10));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  const std::string algo = args.get_string("algo", "hbc");
+  std::vector<NodeId> seeds;
+  if (algo == "hbc") {
+    seeds = hbc_select(graph, communities, k);
+  } else if (algo == "ks") {
+    seeds = ks_select(communities, k, rng);
+  } else if (algo == "im") {
+    seeds = im_ris_select(graph, k).seeds;
+  } else if (algo == "imm") {
+    seeds = imm_select(graph, k).seeds;
+  } else if (algo == "degree") {
+    seeds = degree_select(graph, k);
+  } else if (algo == "pagerank") {
+    seeds = pagerank_select(graph, k);
+  } else if (algo == "degree-discount") {
+    seeds = degree_discount_select(graph, k);
+  } else if (algo == "random") {
+    seeds = random_select(graph, k, rng);
+  } else {
+    throw std::invalid_argument("unknown --algo " + algo);
+  }
+  print_seeds(seeds);
+  std::cout << "estimated benefit: "
+            << BenefitOracle(graph, communities).benefit(seeds) << " of "
+            << communities.total_benefit() << "\n";
+  return 0;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  const Graph graph = load_graph(args);
+  const CommunitySet communities = load_communities(args, graph);
+  const std::vector<NodeId> seeds =
+      parse_seed_list(args.get_string("seeds", "0"));
+
+  MonteCarloOptions mc;
+  mc.simulations = static_cast<std::uint32_t>(
+      args.get_int("simulations", 10000));
+  mc.model = load_model(args);
+  std::cout << "seeds: " << seeds.size() << "\n"
+            << "expected spread:  "
+            << mc_expected_spread(graph, seeds, mc) << "\n"
+            << "expected benefit: "
+            << mc_expected_benefit(graph, communities, seeds, mc) << " of "
+            << communities.total_benefit() << "\n"
+            << "expected nu:      "
+            << mc_expected_nu(graph, communities, seeds, mc) << "\n";
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "imc_cli — Influence Maximization at Community Level\n"
+      "subcommands:\n"
+      "  stats        graph statistics\n"
+      "  communities  community detection + structure metrics\n"
+      "  solve        run IMCAF with UBG/MAF/BT/MB\n"
+      "  baseline     run HBC/KS/IM/IMM/degree/pagerank/degree-discount/"
+      "random\n"
+      "  simulate     Monte-Carlo evaluation of a given seed list\n"
+      "common options: --dataset NAME | --graph FILE [--undirected],\n"
+      "  --scale S, --method louvain|random|lpa, --size-cap S,\n"
+      "  --regime regular|bounded, --k K, --model ic|lt, --seed N\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.positional().empty()) {
+    print_usage();
+    return 2;
+  }
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "stats") return cmd_stats(args);
+    if (command == "communities") return cmd_communities(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "baseline") return cmd_baseline(args);
+    if (command == "simulate") return cmd_simulate(args);
+    std::cerr << "unknown subcommand: " << command << "\n";
+    print_usage();
+    return 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
