@@ -1,6 +1,7 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 
@@ -44,46 +45,78 @@ GreedyResult finish(const RicPool& pool, std::vector<NodeId> seeds) {
   return result;
 }
 
-}  // namespace
+/// Resolves the sweep pool and whether the parallel path applies to a
+/// candidate set of `count` entries.
+[[nodiscard]] ThreadPool* sweep_pool(const GreedyOptions& options,
+                                     std::size_t count) {
+  if (!options.parallel || count < options.min_parallel_candidates) {
+    return nullptr;
+  }
+  return options.pool != nullptr ? options.pool : &default_pool();
+}
 
-GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k) {
+using BestFn = CandidateScore (CoverageState::*)(std::span<const NodeId>,
+                                                 std::size_t,
+                                                 std::size_t) const;
+using BeatsFn = bool (*)(const CandidateScore&,
+                         const CandidateScore&) noexcept;
+
+/// One argmax sweep over `candidates`, serial or chunked on `pool`. The
+/// per-chunk winners are merged under `beats` — a strict total order — so
+/// the merged winner is chunking-independent and equals the serial result.
+[[nodiscard]] CandidateScore sweep_best(const CoverageState& state,
+                                        std::span<const NodeId> candidates,
+                                        ThreadPool* pool, BestFn best_of,
+                                        BeatsFn beats) {
+  if (pool == nullptr) {
+    return (state.*best_of)(candidates, 0, candidates.size());
+  }
+  CandidateScore best;
+  std::mutex merge_mutex;
+  parallel_for(*pool, candidates.size(),
+               [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                 const CandidateScore chunk_best = (state.*best_of)(
+                     candidates, static_cast<std::size_t>(begin),
+                     static_cast<std::size_t>(end));
+                 const std::lock_guard<std::mutex> lock(merge_mutex);
+                 if (beats(chunk_best, best)) best = chunk_best;
+               });
+  return best;
+}
+
+GreedyResult greedy_rounds(const RicPool& pool, std::uint32_t k,
+                           const GreedyOptions& options, BestFn best_of,
+                           BeatsFn beats) {
   check_k(pool, k);
   CoverageState state(pool);
   const std::vector<NodeId> candidates = candidate_nodes(pool);
-  std::vector<std::uint8_t> chosen(pool.graph().node_count(), 0);
+  ThreadPool* sweep = sweep_pool(options, candidates.size());
 
   for (std::uint32_t round = 0;
        round < k && state.seeds().size() < candidates.size(); ++round) {
-    NodeId best = kInvalidNode;
-    std::uint64_t best_primary = 0;
-    double best_secondary = -1.0;
-    std::uint32_t best_appearance = 0;
-    for (const NodeId v : candidates) {
-      if (chosen[v]) continue;
-      const std::uint64_t primary = state.marginal_influenced(v);
-      if (best != kInvalidNode && primary < best_primary) continue;
-      const double secondary = state.marginal_nu(v);
-      const std::uint32_t appearance = pool.appearance_count(v);
-      const bool better =
-          best == kInvalidNode || primary > best_primary ||
-          (primary == best_primary &&
-           (secondary > best_secondary ||
-            (secondary == best_secondary && appearance > best_appearance)));
-      if (better) {
-        best = v;
-        best_primary = primary;
-        best_secondary = secondary;
-        best_appearance = appearance;
-      }
-    }
-    if (best == kInvalidNode) break;
-    chosen[best] = 1;
-    state.add_seed(best);
+    const CandidateScore best =
+        sweep_best(state, candidates, sweep, best_of, beats);
+    if (!best.valid()) break;
+    state.add_seed(best.node);
   }
 
   std::vector<NodeId> seeds = state.seeds();
   fill_to_k(pool, k, seeds);
   return finish(pool, std::move(seeds));
+}
+
+}  // namespace
+
+GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k,
+                          const GreedyOptions& options) {
+  return greedy_rounds(pool, k, options, &CoverageState::best_candidate_c_hat,
+                       &beats_c_hat);
+}
+
+GreedyResult plain_greedy_nu(const RicPool& pool, std::uint32_t k,
+                             const GreedyOptions& options) {
+  return greedy_rounds(pool, k, options, &CoverageState::best_candidate_nu,
+                       &beats_nu);
 }
 
 namespace {
@@ -103,56 +136,74 @@ struct CelfLess {
 
 }  // namespace
 
-GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k) {
-  check_k(pool, k);
-  CoverageState state(pool);
-  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
-  for (const NodeId v : candidate_nodes(pool)) {
-    heap.push(CelfEntry{state.marginal_nu(v), v, 0});
-  }
-
-  std::uint32_t round = 0;
-  while (round < k && !heap.empty()) {
-    CelfEntry top = heap.top();
-    heap.pop();
-    if (top.round != round) {
-      // Stale: submodularity guarantees the true gain only shrank, so a
-      // refreshed entry can be pushed back and the heap order stays valid.
-      top.gain = state.marginal_nu(top.node);
-      top.round = round;
-      heap.push(top);
-      continue;
-    }
-    state.add_seed(top.node);
-    ++round;
-  }
-
-  std::vector<NodeId> seeds = state.seeds();
-  fill_to_k(pool, k, seeds);
-  return finish(pool, std::move(seeds));
-}
-
-GreedyResult plain_greedy_nu(const RicPool& pool, std::uint32_t k) {
+GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
+                            const GreedyOptions& options) {
   check_k(pool, k);
   CoverageState state(pool);
   const std::vector<NodeId> candidates = candidate_nodes(pool);
-  std::vector<std::uint8_t> chosen(pool.graph().node_count(), 0);
+  ThreadPool* sweep = sweep_pool(options, candidates.size());
 
-  for (std::uint32_t round = 0;
-       round < k && state.seeds().size() < candidates.size(); ++round) {
-    NodeId best = kInvalidNode;
-    double best_gain = -1.0;
-    for (const NodeId v : candidates) {
-      if (chosen[v]) continue;
-      const double gain = state.marginal_nu(v);
-      if (best == kInvalidNode || gain > best_gain) {
-        best = v;
-        best_gain = gain;
+  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
+  {
+    // Initial gains are chunking-independent per node, so the parallel
+    // build feeds the heap the exact values the serial build would.
+    std::vector<double> gains(candidates.size(), 0.0);
+    const auto score_range = [&](std::uint64_t begin, std::uint64_t end,
+                                 unsigned) {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        gains[i] = state.marginal_nu(candidates[i]);
       }
+    };
+    if (sweep != nullptr) {
+      parallel_for(*sweep, candidates.size(), score_range);
+    } else {
+      score_range(0, candidates.size(), 0);
     }
-    if (best == kInvalidNode) break;
-    chosen[best] = 1;
-    state.add_seed(best);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      heap.push(CelfEntry{gains[i], candidates[i], 0});
+    }
+  }
+
+  // Refresh burst size: enough stale entries per batch to feed every
+  // worker, small enough to avoid refreshing far below the eventual
+  // winner. Purely a scheduling knob — selection is unaffected.
+  const std::size_t burst =
+      sweep != nullptr ? std::max<std::size_t>(32, sweep->size() * 8) : 1;
+  std::vector<CelfEntry> stale;
+  stale.reserve(burst);
+
+  std::uint32_t round = 0;
+  while (round < k && !heap.empty()) {
+    if (heap.top().round == round) {
+      // Fresh top: stale entries still cache upper bounds (submodularity),
+      // so this is the true argmax; heap order breaks ties by node id.
+      state.add_seed(heap.top().node);
+      heap.pop();
+      ++round;
+      continue;
+    }
+    // Pop a burst of stale tops and recompute their gains — serially one
+    // at a time, or batched across the pool. Re-pushed entries carry
+    // chunking-independent gains, so both paths select identical seeds.
+    stale.clear();
+    while (!heap.empty() && heap.top().round != round &&
+           stale.size() < burst) {
+      stale.push_back(heap.top());
+      heap.pop();
+    }
+    const auto refresh_range = [&](std::uint64_t begin, std::uint64_t end,
+                                   unsigned) {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        stale[i].gain = state.marginal_nu(stale[i].node);
+        stale[i].round = round;
+      }
+    };
+    if (sweep != nullptr && stale.size() >= sweep->size()) {
+      parallel_for(*sweep, stale.size(), refresh_range);
+    } else {
+      refresh_range(0, stale.size(), 0);
+    }
+    for (const CelfEntry& entry : stale) heap.push(entry);
   }
 
   std::vector<NodeId> seeds = state.seeds();

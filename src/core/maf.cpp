@@ -2,19 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 namespace imc {
 
 MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, const GreedyOptions& options) {
   const CommunitySet& communities = pool.communities();
   const NodeId n = pool.graph().node_count();
   Rng rng(seed);
 
   // -- S_1: communities by source frequency ---------------------------------
-  std::vector<std::uint32_t> frequency(communities.size(), 0);
-  for (const RicSample& g : pool.samples()) ++frequency[g.community];
+  // O(r) read of the counters RicPool maintains during growth (was a full
+  // O(|R|) sample scan).
+  const std::span<const std::uint32_t> frequency =
+      pool.community_frequencies();
   std::vector<CommunityId> order(communities.size());
   for (CommunityId c = 0; c < communities.size(); ++c) order[c] = c;
   std::sort(order.begin(), order.end(), [&](CommunityId a, CommunityId b) {
@@ -52,8 +55,19 @@ MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
   solution.s2 = std::move(by_appearance);
 
   // -- Line 8: keep the better under ĉ_R ------------------------------------
-  const double c1 = pool.c_hat(solution.s1);
-  const double c2 = pool.c_hat(solution.s2);
+  double c1 = 0.0;
+  double c2 = 0.0;
+  if (options.parallel) {
+    // The two evaluations are independent full-pool scans; overlap them.
+    ThreadPool& workers =
+        options.pool != nullptr ? *options.pool : default_pool();
+    auto first = workers.submit([&] { c1 = pool.c_hat(solution.s1); });
+    c2 = pool.c_hat(solution.s2);
+    first.get();
+  } else {
+    c1 = pool.c_hat(solution.s1);
+    c2 = pool.c_hat(solution.s2);
+  }
   solution.chose_s1 = c1 >= c2;
   solution.seeds = solution.chose_s1 ? solution.s1 : solution.s2;
   solution.c_hat = solution.chose_s1 ? c1 : c2;

@@ -8,6 +8,7 @@
 // but often wins in practice — both facts are covered by tests).
 #pragma once
 
+#include "core/greedy.h"
 #include "core/maxr_solver.h"
 #include "util/rng.h"
 
@@ -20,23 +21,29 @@ struct MafSolution : MaxrSolution {
 };
 
 /// `seed` drives the random member picks inside communities (line 5).
+/// MAF has no marginal-gain sweep; `options.parallel` only overlaps the
+/// two independent ĉ_R evaluations of line 8 (selection is unaffected).
 [[nodiscard]] MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
-                                    std::uint64_t seed = 1234);
+                                    std::uint64_t seed = 1234,
+                                    const GreedyOptions& options = {});
 
 class MafSolver final : public MaxrSolver {
  public:
-  explicit MafSolver(std::uint64_t seed = 1234) : seed_(seed) {}
+  explicit MafSolver(std::uint64_t seed = 1234,
+                     const GreedyOptions& options = {})
+      : seed_(seed), options_(options) {}
   [[nodiscard]] std::string name() const override { return "MAF"; }
   /// Theorem 3: α = (1/r)·⌊k/h⌋ (clamped into (0, 1]).
   [[nodiscard]] double alpha(const RicPool& pool,
                              std::uint32_t k) const override;
   [[nodiscard]] MaxrSolution solve(const RicPool& pool,
                                    std::uint32_t k) const override {
-    return maf_solve(pool, k, seed_);
+    return maf_solve(pool, k, seed_, options_);
   }
 
  private:
   std::uint64_t seed_;
+  GreedyOptions options_;
 };
 
 }  // namespace imc

@@ -9,10 +9,14 @@
 
 namespace imc {
 
-std::unique_ptr<MaxrSolver> make_maxr_solver(MaxrAlgorithm algorithm) {
+std::unique_ptr<MaxrSolver> make_maxr_solver(MaxrAlgorithm algorithm,
+                                             const MaxrSolverOptions& options) {
+  GreedyOptions greedy;
+  greedy.parallel = options.parallel;
   switch (algorithm) {
-    case MaxrAlgorithm::kUbg: return std::make_unique<UbgSolver>();
-    case MaxrAlgorithm::kMaf: return std::make_unique<MafSolver>();
+    case MaxrAlgorithm::kUbg: return std::make_unique<UbgSolver>(greedy);
+    case MaxrAlgorithm::kMaf:
+      return std::make_unique<MafSolver>(options.maf_seed, greedy);
     case MaxrAlgorithm::kBt: return std::make_unique<BtSolver>();
     case MaxrAlgorithm::kMb: return std::make_unique<MbSolver>();
   }

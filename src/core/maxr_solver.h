@@ -34,10 +34,21 @@ class MaxrSolver {
 
 enum class MaxrAlgorithm { kUbg, kMaf, kBt, kMb };
 
+/// Cross-cutting solver knobs the factory threads into the per-algorithm
+/// configs (UBG's greedy sweeps, MAF's evaluation overlap). Algorithms
+/// without a parallelizable selection step (BT, MB) ignore `parallel`.
+struct MaxrSolverOptions {
+  /// Deterministic-parallel marginal-gain sweeps where supported; seed
+  /// sets are bit-identical to the serial path for any thread count.
+  bool parallel = false;
+  /// MAF's in-community member picks (Alg. 3 line 5).
+  std::uint64_t maf_seed = 1234;
+};
+
 /// Factory with default configurations (see the per-algorithm headers for
 /// tunable variants).
 [[nodiscard]] std::unique_ptr<MaxrSolver> make_maxr_solver(
-    MaxrAlgorithm algorithm);
+    MaxrAlgorithm algorithm, const MaxrSolverOptions& options = {});
 
 [[nodiscard]] std::string to_string(MaxrAlgorithm algorithm);
 

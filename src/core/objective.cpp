@@ -18,6 +18,24 @@ namespace {
 
 }  // namespace
 
+bool beats_c_hat(const CandidateScore& a, const CandidateScore& b) noexcept {
+  if (!b.valid()) return a.valid();
+  if (!a.valid()) return false;
+  if (a.influenced_gain != b.influenced_gain) {
+    return a.influenced_gain > b.influenced_gain;
+  }
+  if (a.nu_gain != b.nu_gain) return a.nu_gain > b.nu_gain;
+  if (a.appearance != b.appearance) return a.appearance > b.appearance;
+  return a.node < b.node;
+}
+
+bool beats_nu(const CandidateScore& a, const CandidateScore& b) noexcept {
+  if (!b.valid()) return a.valid();
+  if (!a.valid()) return false;
+  if (a.nu_gain != b.nu_gain) return a.nu_gain > b.nu_gain;
+  return a.node < b.node;
+}
+
 CoverageState::CoverageState(const RicPool& pool) : pool_(&pool) {
   covered_.assign(pool.size(), 0);
   is_seed_.assign(pool.graph().node_count(), 0);
@@ -28,7 +46,7 @@ void CoverageState::reset() {
   std::fill(is_seed_.begin(), is_seed_.end(), 0);
   seeds_.clear();
   influenced_ = 0;
-  nu_sum_ = 0.0;
+  nu_sum_ = KahanSum{};
 }
 
 void CoverageState::add_seed(NodeId v) {
@@ -44,8 +62,8 @@ void CoverageState::add_seed(NodeId v) {
     const auto old_count = static_cast<std::uint32_t>(popcount64(before));
     const auto new_count = static_cast<std::uint32_t>(popcount64(after));
     if (old_count < threshold && new_count >= threshold) ++influenced_;
-    nu_sum_ += fraction_of(new_count, threshold) -
-               fraction_of(old_count, threshold);
+    nu_sum_.add(fraction_of(new_count, threshold) -
+                fraction_of(old_count, threshold));
   }
 }
 
@@ -57,7 +75,7 @@ double CoverageState::c_hat() const noexcept {
 
 double CoverageState::nu() const noexcept {
   if (pool_->size() == 0) return 0.0;
-  return pool_->total_benefit() * nu_sum_ /
+  return pool_->total_benefit() * nu_sum_.value() /
          static_cast<double>(pool_->size());
 }
 
@@ -74,6 +92,42 @@ std::uint64_t CoverageState::marginal_influenced(NodeId v) const {
     if (old_count < threshold && new_count >= threshold) ++gain;
   }
   return gain;
+}
+
+CandidateScore CoverageState::best_candidate_c_hat(
+    std::span<const NodeId> candidates, std::size_t begin,
+    std::size_t end) const {
+  CandidateScore best;
+  for (std::size_t i = begin; i < end && i < candidates.size(); ++i) {
+    const NodeId v = candidates[i];
+    if (is_seed_[v]) continue;
+    CandidateScore score;
+    score.node = v;
+    score.influenced_gain = marginal_influenced(v);
+    // Cheap reject before the ν sweep, mirroring the serial early-exit.
+    if (best.valid() && score.influenced_gain < best.influenced_gain) {
+      continue;
+    }
+    score.nu_gain = marginal_nu(v);
+    score.appearance = pool_->appearance_count(v);
+    if (beats_c_hat(score, best)) best = score;
+  }
+  return best;
+}
+
+CandidateScore CoverageState::best_candidate_nu(
+    std::span<const NodeId> candidates, std::size_t begin,
+    std::size_t end) const {
+  CandidateScore best;
+  for (std::size_t i = begin; i < end && i < candidates.size(); ++i) {
+    const NodeId v = candidates[i];
+    if (is_seed_[v]) continue;
+    CandidateScore score;
+    score.node = v;
+    score.nu_gain = marginal_nu(v);
+    if (beats_nu(score, best)) best = score;
+  }
+  return best;
 }
 
 double CoverageState::marginal_nu(NodeId v) const {

@@ -7,13 +7,39 @@
 // marginal are both O(#samples the node touches).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
 #include "sampling/ric_pool.h"
+#include "util/mathx.h"
 
 namespace imc {
+
+/// One candidate's marginal gains plus its static tie-break keys. The
+/// comparators below define a strict total order (node ids are distinct),
+/// so combining per-chunk winners in ANY order yields the same argmax the
+/// serial left-to-right sweep finds — the keystone of the deterministic
+/// parallel selection.
+struct CandidateScore {
+  NodeId node = kInvalidNode;
+  std::uint64_t influenced_gain = 0;  // Δ #influenced samples (ĉ primary)
+  double nu_gain = 0.0;               // Δ ν_sum (ĉ tie-break / ν primary)
+  std::uint32_t appearance = 0;       // #samples touched (ĉ tie-break)
+
+  [[nodiscard]] bool valid() const noexcept { return node != kInvalidNode; }
+};
+
+/// ĉ order: influenced gain, then ν gain, then appearance count, then
+/// smaller node id. An invalid score loses to any valid one.
+[[nodiscard]] bool beats_c_hat(const CandidateScore& a,
+                               const CandidateScore& b) noexcept;
+
+/// ν order: ν gain, then smaller node id (matches the CELF heap order).
+[[nodiscard]] bool beats_nu(const CandidateScore& a,
+                            const CandidateScore& b) noexcept;
 
 class CoverageState {
  public:
@@ -35,7 +61,9 @@ class CoverageState {
     return influenced_;
   }
   /// Σ_g min(covered_g / h_g, 1) (unnormalized ν; multiply by b/|R|).
-  [[nodiscard]] double nu_sum() const noexcept { return nu_sum_; }
+  /// Kahan-compensated so hundreds of incremental add_seed deltas stay
+  /// within ~1e-12 relative of a from-scratch recomputation (RicPool::nu).
+  [[nodiscard]] double nu_sum() const noexcept { return nu_sum_.value(); }
 
   /// ĉ_R(current seeds) in benefit units.
   [[nodiscard]] double c_hat() const noexcept;
@@ -47,6 +75,20 @@ class CoverageState {
   [[nodiscard]] std::uint64_t marginal_influenced(NodeId v) const;
   /// Increase of nu_sum() if v were added.
   [[nodiscard]] double marginal_nu(NodeId v) const;
+
+  // -- batch chunk evaluation (no mutation) ---------------------------------
+  /// Scores candidates[begin, end) (current seeds skipped) and returns the
+  /// slice winner under `beats_c_hat`; invalid when the slice is empty or
+  /// all seeds. Each parallel_for chunk runs this over its slice; gains are
+  /// computed per node independent of the chunking, so reducing chunk
+  /// winners with `beats_c_hat` reproduces the serial sweep bit-for-bit.
+  [[nodiscard]] CandidateScore best_candidate_c_hat(
+      std::span<const NodeId> candidates, std::size_t begin,
+      std::size_t end) const;
+  /// Same contract for the ν objective under `beats_nu`.
+  [[nodiscard]] CandidateScore best_candidate_nu(
+      std::span<const NodeId> candidates, std::size_t begin,
+      std::size_t end) const;
 
   /// Member mask currently covered in sample g.
   [[nodiscard]] std::uint64_t covered_mask(std::uint32_t g) const {
@@ -61,7 +103,7 @@ class CoverageState {
   std::vector<std::uint8_t> is_seed_;    // per node
   std::vector<NodeId> seeds_;
   std::uint64_t influenced_ = 0;
-  double nu_sum_ = 0.0;
+  KahanSum nu_sum_;  // compensated: matches RicPool::nu's KahanSum
 };
 
 }  // namespace imc

@@ -2,10 +2,11 @@
 
 namespace imc {
 
-UbgSolution ubg_solve(const RicPool& pool, std::uint32_t k) {
+UbgSolution ubg_solve(const RicPool& pool, std::uint32_t k,
+                      const GreedyOptions& options) {
   UbgSolution solution;
-  solution.from_c_hat = greedy_c_hat(pool, k);
-  solution.from_nu = celf_greedy_nu(pool, k);
+  solution.from_c_hat = greedy_c_hat(pool, k, options);
+  solution.from_nu = celf_greedy_nu(pool, k, options);
   solution.sandwich_ratio =
       solution.from_nu.nu > 0.0
           ? solution.from_nu.c_hat / solution.from_nu.nu

@@ -18,10 +18,14 @@ struct UbgSolution : MaxrSolution {
   GreedyResult from_nu;         // S_ν of Alg. 2
 };
 
-[[nodiscard]] UbgSolution ubg_solve(const RicPool& pool, std::uint32_t k);
+/// `options` drives both greedy sweeps (serial or deterministic-parallel).
+[[nodiscard]] UbgSolution ubg_solve(const RicPool& pool, std::uint32_t k,
+                                    const GreedyOptions& options = {});
 
 class UbgSolver final : public MaxrSolver {
  public:
+  UbgSolver() = default;
+  explicit UbgSolver(const GreedyOptions& options) : options_(options) {}
   [[nodiscard]] std::string name() const override { return "UBG"; }
   /// α of the ν-side analysis: 1 − 1/e (the data-dependent ratio is
   /// reported per solve; see §V-B "How to integrate the MAXR algorithms").
@@ -30,8 +34,11 @@ class UbgSolver final : public MaxrSolver {
   }
   [[nodiscard]] MaxrSolution solve(const RicPool& pool,
                                    std::uint32_t k) const override {
-    return ubg_solve(pool, k);
+    return ubg_solve(pool, k, options_);
   }
+
+ private:
+  GreedyOptions options_;
 };
 
 }  // namespace imc

@@ -17,6 +17,7 @@ RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
   // Validate eagerly so misconfiguration surfaces at pool construction.
   (void)RicSampler(graph, communities, model);
   index_.resize(graph.node_count());
+  community_frequency_.assign(communities.size(), 0);
 }
 
 void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
@@ -45,6 +46,7 @@ void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto id = static_cast<std::uint32_t>(samples_.size());
     samples_.push_back(std::move(fresh[i]));
+    ++community_frequency_[samples_.back().community];
     for (const auto& [node, mask] : samples_.back().touching) {
       index_[node].push_back(Touch{id, mask});
     }
@@ -66,6 +68,7 @@ void RicPool::append(RicSample sample) {
   }
   const auto id = static_cast<std::uint32_t>(samples_.size());
   samples_.push_back(std::move(sample));
+  ++community_frequency_[samples_.back().community];
   for (const auto& [node, mask] : samples_.back().touching) {
     index_[node].push_back(Touch{id, mask});
   }
@@ -78,14 +81,6 @@ std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {
 
 std::span<const RicPool::Touch> RicPool::touches_of(NodeId v) const {
   return index_.at(v);
-}
-
-std::uint32_t RicPool::community_frequency(CommunityId c) const {
-  std::uint32_t frequency = 0;
-  for (const RicSample& g : samples_) {
-    if (g.community == c) ++frequency;
-  }
-  return frequency;
 }
 
 void RicPool::accumulate_masks(std::span<const NodeId> seeds,

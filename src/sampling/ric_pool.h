@@ -53,8 +53,16 @@ class RicPool {
   }
 
   /// Number of samples whose source community is c (MAF community
-  /// frequency).
-  [[nodiscard]] std::uint32_t community_frequency(CommunityId c) const;
+  /// frequency). O(1): counters are maintained during grow/append.
+  [[nodiscard]] std::uint32_t community_frequency(CommunityId c) const {
+    return c < community_frequency_.size() ? community_frequency_[c] : 0;
+  }
+
+  /// All per-community source counts, indexed by community id.
+  [[nodiscard]] std::span<const std::uint32_t> community_frequencies()
+      const noexcept {
+    return community_frequency_;
+  }
 
   /// ĉ_R(S) = (b / |R|) · #influenced samples (paper eq. 3). O(Σ_{v∈S}
   /// |touches_of(v)| + |R| epoch reset), exact.
@@ -94,6 +102,7 @@ class RicPool {
 
   std::vector<RicSample> samples_;
   std::vector<std::vector<Touch>> index_;  // node -> touches
+  std::vector<std::uint32_t> community_frequency_;  // community -> #samples
 };
 
 }  // namespace imc

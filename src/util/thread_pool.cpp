@@ -1,7 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <exception>
+
+#include "util/cli.h"
 
 namespace imc {
 
@@ -35,6 +39,22 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   task_ready_.notify_one();
   return result;
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();  // packaged_task captures exceptions into the future
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (--in_flight_ == 0) idle_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::wait_idle() {
@@ -80,8 +100,22 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
         [&body, begin, end, c] { body(begin, end, static_cast<unsigned>(c)); }));
     begin = end;
   }
+  // Help-run queued tasks while waiting. A chunk is always either done,
+  // running on some worker, or in the queue — and queued chunks get run by
+  // this very loop, so a caller that is itself a pool worker (nested
+  // parallel_for) makes progress instead of deadlocking behind its own
+  // chunks.
   std::exception_ptr first_error;
   for (auto& f : pending) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool.try_run_one()) {
+        // Nothing left to help with: the chunk is running on a worker that
+        // itself never blocks while the queue is non-empty, so this wait
+        // terminates.
+        f.wait();
+      }
+    }
     try {
       f.get();
     } catch (...) {
@@ -91,9 +125,38 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+
+std::atomic<unsigned>& default_pool_override() {
+  static std::atomic<unsigned> threads{0};
+  return threads;
+}
+
+std::atomic<bool>& default_pool_built() {
+  static std::atomic<bool> built{false};
+  return built;
+}
+
+unsigned default_pool_threads() {
+  const unsigned requested = default_pool_override().load();
+  if (requested > 0) return requested;
+  const auto from_env = env_int("IMC_THREADS", 0);
+  if (from_env > 0) return static_cast<unsigned>(from_env);
+  return 0;  // ThreadPool ctor falls back to hardware_concurrency
+}
+
+}  // namespace
+
 ThreadPool& default_pool() {
-  static ThreadPool pool;
+  default_pool_built().store(true);
+  static ThreadPool pool(default_pool_threads());
   return pool;
+}
+
+bool set_default_pool_threads(unsigned threads) {
+  if (default_pool_built().load()) return false;
+  default_pool_override().store(threads);
+  return true;
 }
 
 }  // namespace imc

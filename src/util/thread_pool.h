@@ -1,7 +1,11 @@
 // Fixed-size worker pool with a blocking task queue, plus a `parallel_for`
 // helper used for embarrassingly parallel work (RIC/RR sample generation,
-// Monte-Carlo replications). On a single-core host the pool degenerates to
-// one worker and adds negligible overhead.
+// Monte-Carlo replications, greedy marginal-gain sweeps). On a single-core
+// host the pool degenerates to one worker and adds negligible overhead.
+//
+// Nested use is safe: a `parallel_for` caller (including a pool worker whose
+// task fans out again) help-runs queued tasks instead of blocking, so chunks
+// queued behind the caller can never deadlock it.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +35,12 @@ class ThreadPool {
   /// Enqueues a task; the returned future reports completion/exceptions.
   std::future<void> submit(std::function<void()> task);
 
+  /// Pops and runs one queued task on the calling thread, if any is
+  /// pending. Returns false when the queue was empty. This is the
+  /// help-running primitive `parallel_for` uses while waiting on chunks so
+  /// nested invocations cannot deadlock.
+  bool try_run_one();
+
   /// Blocks until all tasks submitted so far have finished.
   void wait_idle();
 
@@ -54,7 +64,14 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
                                            std::uint64_t end,
                                            unsigned chunk_index)>& body);
 
-/// Shared default pool (lazily constructed, sized to the machine).
+/// Shared default pool. Lazily constructed on first use, sized from (in
+/// priority order) `set_default_pool_threads`, the `IMC_THREADS` environment
+/// variable, then std::thread::hardware_concurrency().
 ThreadPool& default_pool();
+
+/// Overrides the shared pool's thread count. Must be called before the
+/// first `default_pool()` use (CLI startup); later calls are ignored once
+/// the pool exists. Returns false when the override arrived too late.
+bool set_default_pool_threads(unsigned threads);
 
 }  // namespace imc

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "community/threshold_policy.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
 #include "test_support.h"
 
 namespace imc {
@@ -108,6 +112,36 @@ TEST(CoverageState, PartialCoverageCountsInNuOnly) {
   const std::uint64_t c0_samples = pool.community_frequency(0);
   EXPECT_EQ(state.influenced(), 0U);
   EXPECT_NEAR(state.nu_sum(), static_cast<double>(c0_samples) * 0.5, 1e-12);
+}
+
+TEST(CoverageState, NuAccumulationDoesNotDriftOverManySeeds) {
+  // Regression: nu_sum_ used to accumulate raw incremental doubles while
+  // RicPool::nu recomputes with a KahanSum — after hundreds of add_seed
+  // deltas the two drifted apart. Both sides are compensated now.
+  Rng rng(91);
+  BarabasiAlbertConfig config;
+  config.nodes = 400;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+  CommunitySet communities = test::chunk_communities(config.nodes, 5);
+  apply_constant_thresholds(communities, 2);
+  apply_population_benefits(communities);
+  RicPool pool(graph, communities);
+  pool.grow(6000, 92);
+
+  CoverageState state(pool);
+  for (NodeId v = 0; v < config.nodes; ++v) {
+    state.add_seed(v);
+    if (state.seeds().size() % 50 == 0 || v + 1 == config.nodes) {
+      const double reference = pool.nu(state.seeds());
+      const double incremental = state.nu();
+      const double scale = std::max(1.0, std::abs(reference));
+      EXPECT_LE(std::abs(incremental - reference) / scale, 1e-12)
+          << "after " << state.seeds().size() << " seeds";
+    }
+  }
 }
 
 TEST(CoverageState, ThresholdCrossingCounted) {

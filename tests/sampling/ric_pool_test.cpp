@@ -137,6 +137,29 @@ TEST(RicPool, CommunityFrequencyCountsSources) {
   EXPECT_GT(pool.community_frequency(0), pool.community_frequency(1) * 5);
 }
 
+TEST(RicPool, CommunityFrequencyCountersMatchRecount) {
+  // The O(1) counters maintained in grow/append must agree with a full
+  // recount of the sample list, across multiple growth rounds and appends.
+  const Graph graph = test::path_graph(8, 0.3);
+  CommunitySet communities = test::chunk_communities(8, 4);
+  RicPool pool(graph, communities);
+  pool.grow(500, 31);
+  pool.grow(700, 31);  // second round exercises incremental growth
+  RicSample manual;
+  manual.community = 1;
+  manual.threshold = 1;
+  pool.append(manual);
+
+  std::vector<std::uint32_t> recount(communities.size(), 0);
+  for (const RicSample& g : pool.samples()) ++recount[g.community];
+  ASSERT_EQ(pool.community_frequencies().size(), recount.size());
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    EXPECT_EQ(pool.community_frequency(c), recount[c]) << "community " << c;
+  }
+  // Out-of-range community ids keep reporting zero, not throwing.
+  EXPECT_EQ(pool.community_frequency(communities.size() + 5), 0U);
+}
+
 TEST(RicPool, EmptySeedSetScoresZero) {
   const Graph graph = test::path_graph(4, 0.5);
   const CommunitySet communities = test::chunk_communities(4, 2);

@@ -97,6 +97,91 @@ TEST(ParallelFor, ChunkIndicesAreDistinct) {
   }
 }
 
+// Regression: a parallel_for issued from INSIDE a submitted task used to
+// block in future::get() while its own chunks sat behind it in the queue —
+// a guaranteed deadlock on a 1-thread pool. Help-running makes the waiting
+// thread execute queued chunks itself.
+TEST(ParallelFor, NestedInsideSubmittedTaskOneThread) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  auto done = pool.submit([&] {
+    parallel_for(pool, 100,
+                 [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                   total += static_cast<int>(end - begin);
+                 });
+  });
+  done.get();
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelFor, NestedInsideSubmittedTaskManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> outer;
+  // More outer tasks than workers, each fanning out again: every worker is
+  // simultaneously a parallel_for caller.
+  for (int t = 0; t < 8; ++t) {
+    outer.push_back(pool.submit([&] {
+      parallel_for(pool, 50,
+                   [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                     total += static_cast<int>(end - begin);
+                   });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(ParallelFor, TwoLevelNestingInsideBody) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 6, [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      parallel_for(pool, 10,
+                   [&](std::uint64_t b, std::uint64_t e, unsigned) {
+                     total += static_cast<int>(e - b);
+                   });
+    }
+  });
+  EXPECT_EQ(total.load(), 60);
+}
+
+TEST(ParallelFor, NestedBodyExceptionStillPropagates) {
+  ThreadPool pool(1);
+  auto done = pool.submit([&] {
+    parallel_for(pool, 10, [](std::uint64_t begin, std::uint64_t, unsigned) {
+      if (begin == 0) throw std::runtime_error("inner chunk failed");
+    });
+  });
+  EXPECT_THROW(done.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueue) {
+  ThreadPool pool(1);
+  // Park the single worker so submissions stay queued. Wait until the
+  // worker actually OWNS the parked task — otherwise try_run_one below
+  // could pop it onto this thread and spin on `release` forever.
+  std::atomic<bool> parked_started{false};
+  std::atomic<bool> release{false};
+  auto parked = pool.submit([&] {
+    parked_started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked_started.load()) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(counter.load(), 5);
+  release.store(true);
+  parked.get();
+  for (auto& f : futures) f.get();
+  EXPECT_FALSE(pool.try_run_one());
+}
+
 TEST(DefaultPool, IsSingleton) {
   EXPECT_EQ(&default_pool(), &default_pool());
   EXPECT_GE(default_pool().size(), 1U);

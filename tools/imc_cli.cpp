@@ -6,6 +6,7 @@
 //                       [--size-cap S] [--regime regular|bounded]
 //   imc_cli solve       [graph opts] [community opts] --algo ubg|maf|bt|mb
 //                       [--k K] [--max-samples N] [--model ic|lt]
+//                       [--parallel] [--threads N]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
 //   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
@@ -180,13 +181,16 @@ int cmd_solve(const ArgParser& args) {
   } else {
     throw std::invalid_argument("unknown --algo " + algo);
   }
-  const auto solver = make_maxr_solver(algorithm);
+  MaxrSolverOptions solver_options;
+  solver_options.parallel = args.get_bool("parallel", false);
+  const auto solver = make_maxr_solver(algorithm, solver_options);
 
   ImcafConfig config;
   config.max_samples = static_cast<std::uint64_t>(
       args.get_int("max-samples", 20000));
   config.model = load_model(args);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+  config.parallel_sampling = args.get_bool("parallel-sampling", true);
 
   const ImcafResult result =
       imcaf_solve(graph, communities, k, *solver, config);
@@ -268,7 +272,9 @@ void print_usage() {
       "  simulate     Monte-Carlo evaluation of a given seed list\n"
       "common options: --dataset NAME | --graph FILE [--undirected],\n"
       "  --scale S, --method louvain|random|lpa, --size-cap S,\n"
-      "  --regime regular|bounded, --k K, --model ic|lt, --seed N\n";
+      "  --regime regular|bounded, --k K, --model ic|lt, --seed N,\n"
+      "  --threads N (worker count; also via IMC_THREADS env),\n"
+      "  --parallel (deterministic parallel seed selection in solve)\n";
 }
 
 }  // namespace
@@ -281,6 +287,11 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args.positional().front();
   try {
+    // Size the shared pool before anything touches it.
+    const auto threads = args.get_int("threads", 0);
+    if (threads > 0) {
+      set_default_pool_threads(static_cast<unsigned>(threads));
+    }
     if (command == "stats") return cmd_stats(args);
     if (command == "communities") return cmd_communities(args);
     if (command == "solve") return cmd_solve(args);
