@@ -10,10 +10,10 @@
 #include "core/ubg.h"
 #include "sampling/ric_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Ablation — greedy engines (CELF vs plain; c-hat vs nu)");
 
   const Graph graph = load_dataset(DatasetId::kFacebook, ctx);

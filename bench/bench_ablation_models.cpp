@@ -11,10 +11,10 @@
 #include "core/ubg.h"
 #include "diffusion/monte_carlo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Ablation — IC vs LT diffusion model");
 
   const Graph graph = load_dataset(DatasetId::kFacebook, ctx);

@@ -9,10 +9,10 @@
 #include "estimation/concentration.h"
 #include "sampling/ric_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Ablation — RIC sampling budget");
 
   const Graph graph = load_dataset(DatasetId::kFacebook, ctx);

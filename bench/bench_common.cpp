@@ -1,6 +1,9 @@
 #include "bench_common.h"
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "core/baselines/hbc.h"
 #include "core/baselines/im_ris.h"
@@ -13,6 +16,31 @@
 #include "util/rng.h"
 
 namespace imc::bench {
+
+void append_json(const BenchContext& ctx, const Table& table) {
+  if (!ctx.json_path) return;
+  // One process = one JSON document: accumulate the tables emitted so far
+  // and rewrite the whole array each time, so an interrupted run (time
+  // limit, ctrl-C between tables) still leaves parseable JSON behind.
+  static std::vector<std::string> rendered;
+  std::ostringstream body;
+  table.write_json(body);
+  rendered.push_back(body.str());
+
+  std::ofstream out(*ctx.json_path);
+  if (!out) {
+    throw std::runtime_error("append_json: cannot open " + *ctx.json_path);
+  }
+  out << "[\n";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    out << rendered[i] << (i + 1 < rendered.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  if (!out) {
+    throw std::runtime_error("append_json: write failed for " +
+                             *ctx.json_path);
+  }
+}
 
 AlgoOutcome run_algorithm(BenchAlgo algo, const Graph& graph,
                           const CommunitySet& communities, std::uint32_t k,

@@ -1,12 +1,16 @@
 // Shared plumbing for the experiment harness (bench/bench_*.cpp).
 //
-// Every bench binary runs with no arguments; knobs come from the
+// Every bench binary runs with no required arguments; knobs come from the
 // environment so the whole suite can be driven by a single loop:
 //   IMC_BENCH_SCALE        dataset node-count multiplier   (default 0.12)
 //   IMC_BENCH_RUNS         repetitions averaged per cell   (default 2)
 //   IMC_BENCH_MAX_SAMPLES  RIC pool cap inside IMCAF       (default 30000)
 //   IMC_BENCH_TIME_LIMIT   per-algorithm deadline, seconds (default 20)
 //   IMC_BENCH_CSV_DIR      if set, also dump each table as CSV there
+//   IMC_BENCH_JSON         if set, collect every table into this JSON file
+// The one command-line flag is `--json <path>` (equivalent to
+// IMC_BENCH_JSON): emit() then appends each table to a JSON array at that
+// path, rewritten after every table so partial runs still leave valid JSON.
 #pragma once
 
 #include <iostream>
@@ -31,6 +35,7 @@ struct BenchContext {
   std::uint64_t max_samples = 30000;
   double time_limit = 20.0;
   std::optional<std::string> csv_dir;
+  std::optional<std::string> json_path;
 
   static BenchContext from_env() {
     BenchContext ctx;
@@ -40,9 +45,22 @@ struct BenchContext {
         env_int("IMC_BENCH_MAX_SAMPLES", static_cast<std::int64_t>(ctx.max_samples)));
     ctx.time_limit = env_double("IMC_BENCH_TIME_LIMIT", ctx.time_limit);
     ctx.csv_dir = env_string("IMC_BENCH_CSV_DIR");
+    ctx.json_path = env_string("IMC_BENCH_JSON");
+    return ctx;
+  }
+
+  /// from_env() plus command-line overrides (currently `--json <path>`).
+  static BenchContext from_args(int argc, const char* const* argv) {
+    BenchContext ctx = from_env();
+    const ArgParser args(argc, argv);
+    if (args.has("json")) ctx.json_path = args.get_string("json", "");
+    if (ctx.json_path && ctx.json_path->empty()) ctx.json_path.reset();
     return ctx;
   }
 };
+
+/// Appends `table` to the JSON array at ctx.json_path (no-op when unset).
+void append_json(const BenchContext& ctx, const Table& table);
 
 /// Builds the stand-in graph for `id` at the context scale.
 inline Graph load_dataset(DatasetId id, const BenchContext& ctx) {
@@ -76,7 +94,7 @@ inline double evaluate_benefit(const Graph& graph,
   return dagum_estimate_benefit(graph, communities, seeds, options).value;
 }
 
-/// Prints the table and optionally writes CSV next to it.
+/// Prints the table and optionally writes CSV / appends JSON next to it.
 inline void emit(const BenchContext& ctx, const Table& table,
                  const std::string& csv_name) {
   table.print(std::cout);
@@ -84,6 +102,7 @@ inline void emit(const BenchContext& ctx, const Table& table,
   if (ctx.csv_dir) {
     table.save_csv(*ctx.csv_dir + "/" + csv_name + ".csv");
   }
+  append_json(ctx, table);
 }
 
 /// Algorithms compared in the paper's experiments.

@@ -8,10 +8,10 @@
 #include "core/baselines/imm.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Extension — full seeder matrix on the community objective");
 
   const Graph graph = load_dataset(DatasetId::kFacebook, ctx);

@@ -10,10 +10,10 @@
 // regardless of the formation method.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Fig. 4 — Quality of solution vs community structure (k=10)");
 
   struct Panel {

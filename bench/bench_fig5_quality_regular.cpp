@@ -6,10 +6,10 @@
 // blind).
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Fig. 5 — Benefit vs k, regular thresholds (h = 0.5|C|)");
 
   const DatasetId datasets[] = {DatasetId::kFacebook, DatasetId::kWikiVote,

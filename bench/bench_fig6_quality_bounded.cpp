@@ -6,10 +6,10 @@
 // MB's results there, we flag timeouts in the output instead.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Fig. 6 — Benefit vs k, bounded thresholds (h = 2)");
 
   struct Panel {

@@ -7,10 +7,10 @@
 //       UBG's greedy grows with k.
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Fig. 7 — Runtime (seconds) vs k");
 
   Table table("Fig. 7",

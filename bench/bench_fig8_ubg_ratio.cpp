@@ -11,10 +11,10 @@
 #include "diffusion/monte_carlo.h"
 #include "sampling/ric_pool.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Fig. 8 — UBG sandwich ratio c(S_nu)/nu(S_nu) vs k");
 
   Table table("Fig. 8", {"dataset", "regime", "k", "ratio", "c(S_nu)",

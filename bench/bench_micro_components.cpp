@@ -1,7 +1,21 @@
 // Component micro-benchmarks (google-benchmark): substrate hot paths.
+//
+// Besides the console table, the binary writes a machine-readable summary
+// (name, ns/op, iterations, pool_size/threads counters) to BENCH_micro.json
+// — override the path with `--json <path>`, disable with `--json ""`.
+// Fixture knobs:
+//   IMC_BENCH_SCALE        small-fixture dataset scale       (default 0.12)
+//   IMC_MICRO_LARGE_SCALE  large-fixture dataset scale       (default 1.0)
+//   IMC_MICRO_POOL         large-fixture RIC pool size       (default 40000)
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "community/community_set.h"
 #include "community/louvain.h"
@@ -17,6 +31,7 @@
 #include "sampling/ric_sample.h"
 #include "sampling/rr_set.h"
 #include "util/cli.h"
+#include "util/table.h"
 
 namespace {
 
@@ -27,23 +42,59 @@ double micro_scale() {
   return scale;
 }
 
+double micro_large_scale() {
+  static const double scale = env_double("IMC_MICRO_LARGE_SCALE", 1.0);
+  return scale;
+}
+
+std::uint64_t micro_pool_samples() {
+  static const auto samples =
+      static_cast<std::uint64_t>(env_int("IMC_MICRO_POOL", 40000));
+  return samples;
+}
+
+CommunitySet standard_communities(const Graph& graph) {
+  CommunitySet set = CommunitySet::from_assignment(
+      graph.node_count(), louvain_communities(graph).assignment);
+  Rng rng(1);
+  set = cap_community_sizes(set, 8, rng);
+  apply_population_benefits(set);
+  apply_fraction_thresholds(set, 0.5);
+  return set;
+}
+
 const Graph& facebook_graph() {
   static const Graph graph = make_dataset(DatasetId::kFacebook, micro_scale());
   return graph;
 }
 
 const CommunitySet& facebook_communities() {
-  static const CommunitySet communities = [] {
-    CommunitySet set = CommunitySet::from_assignment(
-        facebook_graph().node_count(),
-        louvain_communities(facebook_graph()).assignment);
-    Rng rng(1);
-    set = cap_community_sizes(set, 8, rng);
-    apply_population_benefits(set);
-    apply_fraction_thresholds(set, 0.5);
-    return set;
-  }();
+  static const CommunitySet communities =
+      standard_communities(facebook_graph());
   return communities;
+}
+
+// The "large" fixture: full-scale facebook stand-in with a pool sized so the
+// covered/threshold working set exceeds L1/L2 — this is where the CSR arena
+// layout and prefetching pay; the small fixture above is cache-resident.
+const Graph& large_graph() {
+  static const Graph graph =
+      make_dataset(DatasetId::kFacebook, micro_large_scale());
+  return graph;
+}
+
+const CommunitySet& large_communities() {
+  static const CommunitySet communities = standard_communities(large_graph());
+  return communities;
+}
+
+const RicPool& large_pool() {
+  static const RicPool pool = [] {
+    RicPool p(large_graph(), large_communities());
+    p.grow(micro_pool_samples(), 17);
+    return p;
+  }();
+  return pool;
 }
 
 void BM_GraphBuild(benchmark::State& state) {
@@ -107,8 +158,21 @@ void BM_PoolCHat(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pool.c_hat(seeds));
   }
+  state.counters["pool_size"] = static_cast<double>(pool.size());
 }
 BENCHMARK(BM_PoolCHat);
+
+void BM_PoolCHatLarge(benchmark::State& state) {
+  const RicPool& pool = large_pool();
+  Rng rng(6);
+  const auto seeds =
+      rng.sample_without_replacement(large_graph().node_count(), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.c_hat(seeds));
+  }
+  state.counters["pool_size"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_PoolCHatLarge);
 
 void BM_CoverageMarginal(benchmark::State& state) {
   const Graph& graph = facebook_graph();
@@ -125,6 +189,7 @@ void BM_CoverageMarginal(benchmark::State& state) {
     benchmark::DoNotOptimize(cover.marginal_nu(v));
     v = (v + 1) % graph.node_count();
   }
+  state.counters["pool_size"] = static_cast<double>(pool.size());
 }
 BENCHMARK(BM_CoverageMarginal);
 
@@ -132,17 +197,10 @@ BENCHMARK(BM_CoverageMarginal);
 // Arg 0 runs the serial sweep; Arg N > 0 runs the same selection on an
 // N-thread pool. Seed sets are bit-identical across all variants; compare
 // wall time per iteration to read off the selection speedup.
-void greedy_selection_bench(benchmark::State& state,
+void greedy_selection_bench(benchmark::State& state, const RicPool& pool,
                             GreedyResult (*engine)(const RicPool&,
                                                    std::uint32_t,
                                                    const GreedyOptions&)) {
-  const Graph& graph = facebook_graph();
-  const CommunitySet& communities = facebook_communities();
-  static RicPool pool = [&] {
-    RicPool p(graph, communities);
-    p.grow(8000, 13);
-    return p;
-  }();
   const auto threads = static_cast<unsigned>(state.range(0));
   std::unique_ptr<ThreadPool> workers;
   GreedyOptions options;
@@ -154,17 +212,41 @@ void greedy_selection_bench(benchmark::State& state,
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine(pool, 10, options).seeds.size());
   }
+  state.counters["pool_size"] = static_cast<double>(pool.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+const RicPool& small_greedy_pool() {
+  static const RicPool pool = [] {
+    RicPool p(facebook_graph(), facebook_communities());
+    p.grow(8000, 13);
+    return p;
+  }();
+  return pool;
 }
 
 void BM_GreedyCHatSelect(benchmark::State& state) {
-  greedy_selection_bench(state, &greedy_c_hat);
+  greedy_selection_bench(state, small_greedy_pool(), &greedy_c_hat);
 }
 BENCHMARK(BM_GreedyCHatSelect)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CelfGreedyNuSelect(benchmark::State& state) {
-  greedy_selection_bench(state, &celf_greedy_nu);
+  greedy_selection_bench(state, small_greedy_pool(), &celf_greedy_nu);
 }
 BENCHMARK(BM_CelfGreedyNuSelect)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
+
+// Large-fixture selection: the acceptance benchmark for the CSR/SoA layout.
+void BM_GreedyCHatSelectLarge(benchmark::State& state) {
+  greedy_selection_bench(state, large_pool(), &greedy_c_hat);
+}
+BENCHMARK(BM_GreedyCHatSelectLarge)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CelfGreedyNuSelectLarge(benchmark::State& state) {
+  greedy_selection_bench(state, large_pool(), &celf_greedy_nu);
+}
+BENCHMARK(BM_CelfGreedyNuSelectLarge)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Louvain(benchmark::State& state) {
   const Graph& graph = facebook_graph();
@@ -174,6 +256,81 @@ void BM_Louvain(benchmark::State& state) {
 }
 BENCHMARK(BM_Louvain);
 
+// Console output as usual, plus a JSON record per finished run so perf
+// tracking can diff BENCH_micro.json files across commits.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::ostringstream record;
+      record << "    {\"name\": \"" << json_escape(run.benchmark_name())
+             << "\", \"ns_per_op\": " << to_ns(run.GetAdjustedRealTime(), run)
+             << ", \"cpu_ns_per_op\": " << to_ns(run.GetAdjustedCPUTime(), run)
+             << ", \"iterations\": " << run.iterations;
+      for (const auto& [name, counter] : run.counters) {
+        record << ", \"" << json_escape(name) << "\": " << counter.value;
+      }
+      record << "}";
+      records_.push_back(record.str());
+    }
+  }
+
+  void write(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro_components: cannot open " << path << "\n";
+      return;
+    }
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << records_[i] << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << records_.size() << " benchmark records to "
+              << path << "\n";
+  }
+
+ private:
+  static double to_ns(double time, const Run& run) {
+    switch (run.time_unit) {
+      case benchmark::kNanosecond: return time;
+      case benchmark::kMicrosecond: return time * 1e3;
+      case benchmark::kMillisecond: return time * 1e6;
+      case benchmark::kSecond: return time * 1e9;
+    }
+    return time;
+  }
+
+  std::vector<std::string> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write(json_path);
+  benchmark::Shutdown();
+  return 0;
+}

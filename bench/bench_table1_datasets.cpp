@@ -6,10 +6,10 @@
 
 #include "graph/algorithms.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imc;
   using namespace imc::bench;
-  const BenchContext ctx = BenchContext::from_env();
+  const BenchContext ctx = BenchContext::from_args(argc, argv);
   banner("Table I — Statistics of datasets (synthetic stand-ins, scale=" +
          std::to_string(ctx.scale) + ")");
 

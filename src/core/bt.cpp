@@ -43,16 +43,26 @@ struct BtInstance {
 BtInstance root_instance(const RicPool& pool) {
   BtInstance instance;
   const std::size_t m = pool.size();
-  instance.threshold.resize(m);
+  // Thresholds come from the pool's SoA array (one contiguous copy); the
+  // per-sample touching lists come from the retained samples, and the
+  // inverted index is read straight out of the CSR arena.
+  const std::span<const std::uint32_t> thresholds = pool.thresholds();
+  instance.threshold.assign(thresholds.begin(), thresholds.end());
   instance.covered.assign(m, 0);
   instance.touching.resize(m);
   for (std::uint32_t g = 0; g < m; ++g) {
     const RicSample& sample = pool.sample(g);
-    instance.threshold[g] = sample.threshold;
     instance.touching[g].assign(sample.touching.begin(),
                                 sample.touching.end());
-    for (const auto& [node, mask] : sample.touching) {
-      instance.index[node].emplace_back(g, mask);
+  }
+  const std::span<const std::uint64_t> offsets = pool.touch_offsets();
+  const std::span<const RicPool::Touch> arena = pool.touch_arena();
+  for (NodeId v = 0; v < pool.graph().node_count(); ++v) {
+    if (offsets[v + 1] == offsets[v]) continue;
+    auto& entries = instance.index[v];
+    entries.reserve(offsets[v + 1] - offsets[v]);
+    for (std::uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      entries.emplace_back(arena[i].sample, arena[i].mask);
     }
   }
   return instance;

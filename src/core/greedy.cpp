@@ -12,10 +12,12 @@ namespace imc {
 namespace {
 
 /// Nodes that touch at least one sample — the only useful candidates.
+/// One linear walk over the CSR offsets, no per-node span construction.
 [[nodiscard]] std::vector<NodeId> candidate_nodes(const RicPool& pool) {
+  const std::span<const std::uint64_t> offsets = pool.touch_offsets();
   std::vector<NodeId> candidates;
   for (NodeId v = 0; v < pool.graph().node_count(); ++v) {
-    if (pool.appearance_count(v) > 0) candidates.push_back(v);
+    if (offsets[v + 1] > offsets[v]) candidates.push_back(v);
   }
   return candidates;
 }
@@ -84,6 +86,64 @@ using BeatsFn = bool (*)(const CandidateScore&,
   return best;
 }
 
+/// One ĉ argmax round, sample-major: accumulate every node's influenced
+/// gain in one sequential pass over the samples (or over per-chunk slabs
+/// summed in chunk order — integer adds, so the totals are identical for
+/// any chunking), then run the ν/appearance tie-break only on the nodes
+/// that achieve the maximum gain. Equivalent to the candidate-major sweep:
+/// `beats_c_hat` orders by influenced gain first, so the winner is always
+/// among the max-gain candidates, and their ν gains / appearance counts are
+/// computed exactly as the serial sweep computes them.
+[[nodiscard]] CandidateScore best_c_hat_sample_major(
+    const CoverageState& state, std::span<const NodeId> candidates,
+    ThreadPool* sweep, std::vector<std::uint64_t>& gains,
+    std::vector<std::uint64_t>& scratch) {
+  const RicPool& pool = state.pool();
+  const auto samples = static_cast<std::uint32_t>(pool.size());
+  const std::size_t n = pool.graph().node_count();
+  gains.assign(n, 0);
+  if (sweep == nullptr) {
+    state.accumulate_influenced_gains(0, samples, gains.data());
+  } else {
+    // Each parallel_for chunk owns one zeroed slab of `n` counters
+    // (chunk indices are < workers * 4 by construction); the serial
+    // slab-order reduction below makes the sums chunking-independent.
+    const std::size_t slabs = static_cast<std::size_t>(sweep->size()) * 4;
+    scratch.assign(slabs * n, 0);
+    parallel_for(*sweep, samples,
+                 [&](std::uint64_t begin, std::uint64_t end, unsigned chunk) {
+                   state.accumulate_influenced_gains(
+                       static_cast<std::uint32_t>(begin),
+                       static_cast<std::uint32_t>(end),
+                       scratch.data() + static_cast<std::size_t>(chunk) * n);
+                 });
+    for (std::size_t s = 0; s < slabs; ++s) {
+      const std::uint64_t* slab = scratch.data() + s * n;
+      for (std::size_t v = 0; v < n; ++v) gains[v] += slab[v];
+    }
+  }
+
+  std::uint64_t max_gain = 0;
+  bool any = false;
+  for (const NodeId v : candidates) {
+    if (state.is_seed(v)) continue;
+    any = true;
+    max_gain = std::max(max_gain, gains[v]);
+  }
+  CandidateScore best;
+  if (!any) return best;
+  for (const NodeId v : candidates) {
+    if (state.is_seed(v) || gains[v] != max_gain) continue;
+    CandidateScore score;
+    score.node = v;
+    score.influenced_gain = max_gain;
+    score.nu_gain = state.marginal_nu(v);
+    score.appearance = pool.appearance_count(v);
+    if (beats_c_hat(score, best)) best = score;
+  }
+  return best;
+}
+
 GreedyResult greedy_rounds(const RicPool& pool, std::uint32_t k,
                            const GreedyOptions& options, BestFn best_of,
                            BeatsFn beats) {
@@ -109,8 +169,24 @@ GreedyResult greedy_rounds(const RicPool& pool, std::uint32_t k,
 
 GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k,
                           const GreedyOptions& options) {
-  return greedy_rounds(pool, k, options, &CoverageState::best_candidate_c_hat,
-                       &beats_c_hat);
+  check_k(pool, k);
+  CoverageState state(pool);
+  const std::vector<NodeId> candidates = candidate_nodes(pool);
+  ThreadPool* sweep = sweep_pool(options, candidates.size());
+  std::vector<std::uint64_t> gains;
+  std::vector<std::uint64_t> scratch;
+
+  for (std::uint32_t round = 0;
+       round < k && state.seeds().size() < candidates.size(); ++round) {
+    const CandidateScore best =
+        best_c_hat_sample_major(state, candidates, sweep, gains, scratch);
+    if (!best.valid()) break;
+    state.add_seed(best.node);
+  }
+
+  std::vector<NodeId> seeds = state.seeds();
+  fill_to_k(pool, k, seeds);
+  return finish(pool, std::move(seeds));
 }
 
 GreedyResult plain_greedy_nu(const RicPool& pool, std::uint32_t k,
@@ -146,18 +222,26 @@ GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
   std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
   {
     // Initial gains are chunking-independent per node, so the parallel
-    // build feeds the heap the exact values the serial build would.
+    // build feeds the heap the exact values the serial build would. The
+    // serial build itself goes sample-major — one sequential pass over the
+    // pool instead of a random covered probe per touch — which is
+    // bit-identical to per-node marginal_nu over the full range (see
+    // CoverageState::accumulate_nu_gains).
     std::vector<double> gains(candidates.size(), 0.0);
-    const auto score_range = [&](std::uint64_t begin, std::uint64_t end,
-                                 unsigned) {
-      for (std::uint64_t i = begin; i < end; ++i) {
-        gains[i] = state.marginal_nu(candidates[i]);
-      }
-    };
     if (sweep != nullptr) {
-      parallel_for(*sweep, candidates.size(), score_range);
+      parallel_for(*sweep, candidates.size(),
+                   [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                     for (std::uint64_t i = begin; i < end; ++i) {
+                       gains[i] = state.marginal_nu(candidates[i]);
+                     }
+                   });
     } else {
-      score_range(0, candidates.size(), 0);
+      std::vector<double> node_gains(pool.graph().node_count(), 0.0);
+      state.accumulate_nu_gains(0, static_cast<std::uint32_t>(pool.size()),
+                                node_gains.data());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        gains[i] = node_gains[candidates[i]];
+      }
     }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       heap.push(CelfEntry{gains[i], candidates[i], 0});

@@ -39,15 +39,19 @@ MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
   }
 
   // -- S_2: k nodes with the highest appearance counts ----------------------
+  // Appearance counts are adjacent CSR offset differences; reading the
+  // offsets span directly keeps the sort comparator free of span setup.
+  const std::span<const std::uint64_t> offsets = pool.touch_offsets();
+  const auto appearance = [&](NodeId v) { return offsets[v + 1] - offsets[v]; };
   std::vector<NodeId> by_appearance;
   by_appearance.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
-    if (pool.appearance_count(v) > 0) by_appearance.push_back(v);
+    if (appearance(v) > 0) by_appearance.push_back(v);
   }
   std::sort(by_appearance.begin(), by_appearance.end(),
             [&](NodeId a, NodeId b) {
-              const auto ca = pool.appearance_count(a);
-              const auto cb = pool.appearance_count(b);
+              const auto ca = appearance(a);
+              const auto cb = appearance(b);
               if (ca != cb) return ca > cb;
               return a < b;
             });

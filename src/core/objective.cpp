@@ -8,12 +8,27 @@ namespace imc {
 
 namespace {
 
-/// min(count / h, 1): the per-sample fractional ν term.
-[[nodiscard]] double fraction_of(std::uint32_t count,
-                                 std::uint32_t threshold) noexcept {
-  return count >= threshold
-             ? 1.0
-             : static_cast<double>(count) / static_cast<double>(threshold);
+// Hot-loop skeleton shared by the sweep kernels below: walk a node's
+// contiguous CSR touch span while software-prefetching the random-access
+// `covered[sample]` word a few touches ahead. The prefetch run and the
+// tail are split so the steady-state loop carries no extra bounds check.
+// always_inline matters beyond the call overhead: the callers are
+// IMC_POPCNT_CLONES functions, and only code inlined INTO a clone is
+// compiled with that clone's ISA extensions — an outlined shared copy
+// would pin the loop to the baseline software popcount.
+template <typename Body>
+[[gnu::always_inline]] inline void for_each_touch(
+    std::span<const RicPool::Touch> touches, const std::uint64_t* covered,
+    Body&& body) {
+  const std::size_t size = touches.size();
+  const std::size_t prefetched =
+      size > kCoveredPrefetchDistance ? size - kCoveredPrefetchDistance : 0;
+  std::size_t i = 0;
+  for (; i < prefetched; ++i) {
+    prefetch_read(&covered[touches[i + kCoveredPrefetchDistance].sample]);
+    body(touches[i]);
+  }
+  for (; i < size; ++i) body(touches[i]);
 }
 
 }  // namespace
@@ -36,35 +51,47 @@ bool beats_nu(const CandidateScore& a, const CandidateScore& b) noexcept {
   return a.node < b.node;
 }
 
-CoverageState::CoverageState(const RicPool& pool) : pool_(&pool) {
+CoverageState::CoverageState(const RicPool& pool)
+    : pool_(&pool), fraction_table_(nu_fraction_row(0)) {
   covered_.assign(pool.size(), 0);
+  saturated_.assign((pool.size() + 63) / 64, 0);
   is_seed_.assign(pool.graph().node_count(), 0);
 }
 
 void CoverageState::reset() {
   std::fill(covered_.begin(), covered_.end(), 0);
+  std::fill(saturated_.begin(), saturated_.end(), 0);
   std::fill(is_seed_.begin(), is_seed_.end(), 0);
   seeds_.clear();
   influenced_ = 0;
   nu_sum_ = KahanSum{};
 }
 
+IMC_POPCNT_CLONES
 void CoverageState::add_seed(NodeId v) {
-  if (is_seed_.at(v)) return;
+  assert(v < is_seed_.size());
+  if (is_seed_[v]) return;
   is_seed_[v] = 1;
   seeds_.push_back(v);
-  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
-    const std::uint64_t before = covered_[touch.sample];
-    const std::uint64_t after = before | touch.mask;
-    if (after == before) continue;
-    covered_[touch.sample] = after;
-    const auto threshold = pool_->sample(touch.sample).threshold;
-    const auto old_count = static_cast<std::uint32_t>(popcount64(before));
-    const auto new_count = static_cast<std::uint32_t>(popcount64(after));
-    if (old_count < threshold && new_count >= threshold) ++influenced_;
-    nu_sum_.add(fraction_of(new_count, threshold) -
-                fraction_of(old_count, threshold));
-  }
+  for_each_touch(
+      pool_->touches_of(v), covered_.data(),
+      [&](const RicPool::Touch& touch) {
+        const std::uint64_t before = covered_[touch.sample];
+        const std::uint64_t after = before | touch.mask;
+        if (after == before) return;
+        covered_[touch.sample] = after;
+        const auto old_count = static_cast<std::uint32_t>(popcount64(before));
+        // Already-satisfied samples contribute exactly 0 to both deltas.
+        if (old_count >= touch.threshold) return;
+        const auto new_count = static_cast<std::uint32_t>(popcount64(after));
+        if (new_count >= touch.threshold) {
+          ++influenced_;
+          saturated_[touch.sample >> 6] |= 1ULL << (touch.sample & 63);
+        }
+        const double* row =
+            fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
+        nu_sum_.add(row[new_count] - row[old_count]);
+      });
 }
 
 double CoverageState::c_hat() const noexcept {
@@ -79,18 +106,25 @@ double CoverageState::nu() const noexcept {
          static_cast<double>(pool_->size());
 }
 
+IMC_POPCNT_CLONES
 std::uint64_t CoverageState::marginal_influenced(NodeId v) const {
-  if (is_seed_.at(v)) return 0;
+  assert(v < is_seed_.size());
+  if (is_seed_[v]) return 0;
   std::uint64_t gain = 0;
-  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
-    const std::uint64_t before = covered_[touch.sample];
-    const std::uint64_t after = before | touch.mask;
-    if (after == before) continue;
-    const auto threshold = pool_->sample(touch.sample).threshold;
-    const auto old_count = static_cast<std::uint32_t>(popcount64(before));
-    const auto new_count = static_cast<std::uint32_t>(popcount64(after));
-    if (old_count < threshold && new_count >= threshold) ++gain;
-  }
+  const std::uint64_t* saturated = saturated_.data();
+  for_each_touch(
+      pool_->touches_of(v), covered_.data(),
+      [&](const RicPool::Touch& touch) {
+        if ((saturated[touch.sample >> 6] >> (touch.sample & 63)) & 1ULL) {
+          return;  // dead sample: can no longer flip
+        }
+        // Unsaturated, so the old count is below threshold: the sample
+        // flips iff the union reaches it.
+        const std::uint64_t after = covered_[touch.sample] | touch.mask;
+        if (static_cast<std::uint32_t>(popcount64(after)) >= touch.threshold) {
+          ++gain;
+        }
+      });
   return gain;
 }
 
@@ -130,20 +164,68 @@ CandidateScore CoverageState::best_candidate_nu(
   return best;
 }
 
+IMC_POPCNT_CLONES
 double CoverageState::marginal_nu(NodeId v) const {
-  if (is_seed_.at(v)) return 0.0;
+  assert(v < is_seed_.size());
+  if (is_seed_[v]) return 0.0;
   double gain = 0.0;
-  for (const RicPool::Touch& touch : pool_->touches_of(v)) {
-    const std::uint64_t before = covered_[touch.sample];
-    const std::uint64_t after = before | touch.mask;
-    if (after == before) continue;
-    const auto threshold = pool_->sample(touch.sample).threshold;
-    gain += fraction_of(static_cast<std::uint32_t>(popcount64(after)),
-                        threshold) -
-            fraction_of(static_cast<std::uint32_t>(popcount64(before)),
-                        threshold);
-  }
+  const std::uint64_t* saturated = saturated_.data();
+  for_each_touch(
+      pool_->touches_of(v), covered_.data(),
+      [&](const RicPool::Touch& touch) {
+        // min(c/h, 1) is flat past h: saturated samples add exactly 0.
+        if ((saturated[touch.sample >> 6] >> (touch.sample & 63)) & 1ULL) {
+          return;
+        }
+        const std::uint64_t before = covered_[touch.sample];
+        const std::uint64_t after = before | touch.mask;
+        if (after == before) return;
+        const double* row =
+            fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
+        gain += row[static_cast<std::uint32_t>(popcount64(after))] -
+                row[static_cast<std::uint32_t>(popcount64(before))];
+      });
   return gain;
+}
+
+IMC_POPCNT_CLONES
+void CoverageState::accumulate_influenced_gains(std::uint32_t begin,
+                                                std::uint32_t end,
+                                                std::uint64_t* gains) const {
+  const RicPool& pool = *pool_;
+  const std::uint64_t* saturated = saturated_.data();
+  const std::uint32_t* thresholds = pool.thresholds().data();
+  for (std::uint32_t g = begin; g < end; ++g) {
+    if ((saturated[g >> 6] >> (g & 63)) & 1ULL) continue;  // dead sample
+    const std::uint64_t cov = covered_[g];
+    const std::uint32_t h = thresholds[g];
+    for (const auto& [node, mask] : pool.sample_touches(g)) {
+      if (static_cast<std::uint32_t>(popcount64(cov | mask)) >= h) {
+        ++gains[node];
+      }
+    }
+  }
+}
+
+IMC_POPCNT_CLONES
+void CoverageState::accumulate_nu_gains(std::uint32_t begin,
+                                        std::uint32_t end,
+                                        double* gains) const {
+  const RicPool& pool = *pool_;
+  const std::uint64_t* saturated = saturated_.data();
+  const std::uint32_t* thresholds = pool.thresholds().data();
+  for (std::uint32_t g = begin; g < end; ++g) {
+    if ((saturated[g >> 6] >> (g & 63)) & 1ULL) continue;  // adds exactly 0
+    const std::uint64_t cov = covered_[g];
+    const std::uint32_t h = thresholds[g];
+    const double* row = fraction_table_ + h * (kMaxNuThreshold + 1);
+    const double base = row[static_cast<std::uint32_t>(popcount64(cov))];
+    for (const auto& [node, mask] : pool.sample_touches(g)) {
+      const std::uint64_t after = cov | mask;
+      if (after == cov) continue;  // matches marginal_nu's early-out: no add
+      gains[node] += row[static_cast<std::uint32_t>(popcount64(after))] - base;
+    }
+  }
 }
 
 }  // namespace imc

@@ -7,6 +7,7 @@
 // marginal are both O(#samples the node touches).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -55,6 +56,12 @@ class CoverageState {
     return seeds_;
   }
 
+  /// Whether v is in the current seed set. Hot path: debug-asserted bounds.
+  [[nodiscard]] bool is_seed(NodeId v) const {
+    assert(v < is_seed_.size());
+    return is_seed_[v] != 0;
+  }
+
   // -- current values ------------------------------------------------------
   /// Number of samples with popcount(covered) >= threshold.
   [[nodiscard]] std::uint64_t influenced() const noexcept {
@@ -90,16 +97,50 @@ class CoverageState {
       std::span<const NodeId> candidates, std::size_t begin,
       std::size_t end) const;
 
-  /// Member mask currently covered in sample g.
+  /// Sample-major ĉ marginal pass over samples [begin, end): for every
+  /// not-yet-influenced sample, bumps gains[v] by one for each toucher v
+  /// whose mask lifts the sample past its threshold. Summed over any
+  /// partition of [0, pool size) this reproduces marginal_influenced(v)
+  /// exactly for every node (current seeds get 0: their masks are already
+  /// folded into covered). The inversion reads each covered mask once
+  /// sequentially instead of once per touch at random, and skips dead
+  /// samples wholesale; integer accumulation makes chunk sums independent
+  /// of the partition, so parallel callers stay deterministic.
+  void accumulate_influenced_gains(std::uint32_t begin, std::uint32_t end,
+                                   std::uint64_t* gains) const;
+
+  /// Sample-major ν marginal pass over samples [begin, end): adds each
+  /// touch's fraction-table delta into gains[v]. Over the FULL range
+  /// [0, pool size) in ONE serial call this is bit-identical to
+  /// marginal_nu(v) for every node: a node's CSR touches are sorted by
+  /// sample id, so the per-node accumulation order — and hence the exact
+  /// floating-point association — matches the node-major loop. Chunked
+  /// invocations summed slab-wise do NOT reproduce that association;
+  /// parallel callers must keep the node-major path instead.
+  void accumulate_nu_gains(std::uint32_t begin, std::uint32_t end,
+                           double* gains) const;
+
+  /// Member mask currently covered in sample g. Hot path: bounds are
+  /// debug-asserted, not checked in release builds.
   [[nodiscard]] std::uint64_t covered_mask(std::uint32_t g) const {
-    return covered_.at(g);
+    assert(g < covered_.size());
+    return covered_[g];
   }
 
   [[nodiscard]] const RicPool& pool() const noexcept { return *pool_; }
 
  private:
   const RicPool* pool_;
+  /// Base of the precomputed ν fraction table (nu_fraction_row(0)); rows
+  /// have stride kMaxNuThreshold + 1. Replaces the per-touch fdiv with an
+  /// L1 load — entries are the same doubles the division would produce.
+  const double* fraction_table_ = nullptr;
   std::vector<std::uint64_t> covered_;   // per sample: reached member mask
+  /// One bit per sample, set once covered reaches the threshold. Saturated
+  /// samples contribute exactly 0 to every marginal, so the node-major
+  /// sweeps skip them with an L1-resident bit test (the bitmap is |R|/8
+  /// bytes) instead of a covered_ load that misses to L2/L3.
+  std::vector<std::uint64_t> saturated_;
   std::vector<std::uint8_t> is_seed_;    // per node
   std::vector<NodeId> seeds_;
   std::uint64_t influenced_ = 0;

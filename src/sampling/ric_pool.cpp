@@ -1,12 +1,83 @@
 #include "sampling/ric_pool.h"
 
 #include <algorithm>
-#include <mutex>
+#include <limits>
+#include <stdexcept>
 
 #include "util/mathx.h"
 #include "util/thread_pool.h"
 
 namespace imc {
+
+namespace {
+
+/// One sample's evaluator slot: the reached-member mask fused with its
+/// epoch mark and threshold into 16 bytes, so both the accumulation sweep
+/// and the reduction over dirty ids touch a single cache stream (one
+/// prefetch covers all three fields, and the reduction needs no random
+/// `thresholds_[id]` load).
+struct CoveredSlot {
+  std::uint64_t mask = 0;       // reached member mask
+  std::uint32_t mark = 0;       // epoch of last write; mask valid iff == epoch
+  std::uint32_t threshold = 0;  // copied from the touch that dirtied the slot
+};
+
+/// Per-thread scratch for the one-shot evaluators (c_hat/nu/
+/// influenced_count). `slots[g].mask` is only meaningful when
+/// `slots[g].mark == epoch`, so an evaluation costs O(Σ touches of the
+/// seeds) with no O(|R|) reset — the same epoch trick RicSampler uses for
+/// its visit buffers. thread_local keeps concurrent evaluations (e.g.
+/// MAF's overlapped S1/S2 scoring) race-free without locking.
+struct EvalScratch {
+  std::vector<CoveredSlot> slots;    // per sample
+  std::vector<std::uint32_t> dirty;  // samples touched this evaluation
+  std::uint32_t epoch = 0;
+};
+
+EvalScratch& eval_scratch(std::uint64_t samples) {
+  static thread_local EvalScratch scratch;
+  if (scratch.slots.size() < samples) scratch.slots.resize(samples);
+  if (++scratch.epoch == 0) {  // wraparound: every mark is stale again
+    for (CoveredSlot& slot : scratch.slots) slot.mark = 0;
+    scratch.epoch = 1;
+  }
+  scratch.dirty.clear();
+  return scratch;
+}
+
+/// OR-accumulates the member masks of `seeds` into the scratch, recording
+/// dirtied sample ids; returns the scratch for the caller to reduce.
+EvalScratch& accumulate_masks(const RicPool& pool,
+                              std::span<const NodeId> seeds) {
+  EvalScratch& scratch = eval_scratch(pool.size());
+  CoveredSlot* slots = scratch.slots.data();
+  const std::uint32_t epoch = scratch.epoch;
+  for (const NodeId v : seeds) {
+    const std::span<const RicPool::Touch> touches = pool.touches_of(v);
+    const std::size_t size = touches.size();
+    const std::size_t prefetched =
+        size > kCoveredPrefetchDistance ? size - kCoveredPrefetchDistance : 0;
+    const auto body = [&](const RicPool::Touch& touch) {
+      CoveredSlot& slot = slots[touch.sample];
+      if (slot.mark != epoch) {
+        slot.mark = epoch;
+        slot.mask = 0;
+        slot.threshold = touch.threshold;
+        scratch.dirty.push_back(touch.sample);
+      }
+      slot.mask |= touch.mask;
+    };
+    std::size_t i = 0;
+    for (; i < prefetched; ++i) {
+      prefetch_write(&slots[touches[i + kCoveredPrefetchDistance].sample]);
+      body(touches[i]);
+    }
+    for (; i < size; ++i) body(touches[i]);
+  }
+  return scratch;
+}
+
+}  // namespace
 
 RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
                  DiffusionModel model)
@@ -16,12 +87,70 @@ RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
       total_benefit_(communities.total_benefit()) {
   // Validate eagerly so misconfiguration surfaces at pool construction.
   (void)RicSampler(graph, communities, model);
-  index_.resize(graph.node_count());
+  touch_offsets_.assign(graph.node_count() + 1, 0);
   community_frequency_.assign(communities.size(), 0);
+  sample_offsets_.assign(1, 0);
+}
+
+RicPool::RicPool(RicPool&& other) noexcept
+    : graph_(other.graph_),
+      communities_(other.communities_),
+      model_(other.model_),
+      total_benefit_(other.total_benefit_),
+      samples_(std::move(other.samples_)),
+      thresholds_(std::move(other.thresholds_)),
+      source_community_(std::move(other.source_community_)),
+      community_frequency_(std::move(other.community_frequency_)),
+      sample_offsets_(std::move(other.sample_offsets_)),
+      sample_arena_(std::move(other.sample_arena_)),
+      touch_offsets_(std::move(other.touch_offsets_)),
+      touches_(std::move(other.touches_)),
+      indexed_samples_(other.indexed_samples_),
+      index_stale_(other.index_stale_.load(std::memory_order_relaxed)) {}
+
+RicPool& RicPool::operator=(RicPool&& other) noexcept {
+  if (this == &other) return *this;
+  graph_ = other.graph_;
+  communities_ = other.communities_;
+  model_ = other.model_;
+  total_benefit_ = other.total_benefit_;
+  samples_ = std::move(other.samples_);
+  thresholds_ = std::move(other.thresholds_);
+  source_community_ = std::move(other.source_community_);
+  community_frequency_ = std::move(other.community_frequency_);
+  sample_offsets_ = std::move(other.sample_offsets_);
+  sample_arena_ = std::move(other.sample_arena_);
+  touch_offsets_ = std::move(other.touch_offsets_);
+  touches_ = std::move(other.touches_);
+  indexed_samples_ = other.indexed_samples_;
+  index_stale_.store(other.index_stale_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  return *this;
+}
+
+void RicPool::check_capacity(std::uint64_t count) const {
+  if (samples_.size() + count >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error(
+        "RicPool: pool of " + std::to_string(samples_.size()) + " + " +
+        std::to_string(count) +
+        " samples would overflow the 32-bit sample ids the inverted index "
+        "uses; split the workload across pools");
+  }
+}
+
+void RicPool::register_metadata(const RicSample& sample) {
+  thresholds_.push_back(sample.threshold);
+  source_community_.push_back(sample.community);
+  ++community_frequency_[sample.community];
+  sample_arena_.insert(sample_arena_.end(), sample.touching.begin(),
+                       sample.touching.end());
+  sample_offsets_.push_back(sample_arena_.size());
 }
 
 void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
   if (count == 0) return;
+  check_capacity(count);
   const std::uint64_t base = samples_.size();
   std::vector<RicSample> fresh(count);
 
@@ -36,21 +165,28 @@ void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
     }
   };
 
-  if (parallel && default_pool().size() > 1) {
+  const bool use_pool = parallel && default_pool().size() > 1;
+  if (use_pool) {
     parallel_for(default_pool(), count, generate_range);
   } else {
     generate_range(0, count, 0);
   }
 
   samples_.reserve(samples_.size() + count);
+  thresholds_.reserve(thresholds_.size() + count);
+  source_community_.reserve(source_community_.size() + count);
+  sample_offsets_.reserve(sample_offsets_.size() + count);
+  std::uint64_t fresh_touches = 0;
+  for (const RicSample& s : fresh) fresh_touches += s.touching.size();
+  sample_arena_.reserve(sample_arena_.size() + fresh_touches);
   for (std::uint64_t i = 0; i < count; ++i) {
-    const auto id = static_cast<std::uint32_t>(samples_.size());
     samples_.push_back(std::move(fresh[i]));
-    ++community_frequency_[samples_.back().community];
-    for (const auto& [node, mask] : samples_.back().touching) {
-      index_[node].push_back(Touch{id, mask});
-    }
+    register_metadata(samples_.back());
   }
+  // Merge the fresh batch (plus any samples append() left pending) into
+  // the CSR eagerly: grow() is the bulk producer, and doing it here keeps
+  // the read path branch-predictable.
+  merge_fresh_into_index(parallel ? std::max(1U, default_pool().size()) : 1);
 }
 
 void RicPool::append(RicSample sample) {
@@ -66,12 +202,116 @@ void RicPool::append(RicSample sample) {
       throw std::invalid_argument("RicPool::append: bad touching entry");
     }
   }
-  const auto id = static_cast<std::uint32_t>(samples_.size());
+  check_capacity(1);
   samples_.push_back(std::move(sample));
-  ++community_frequency_[samples_.back().community];
-  for (const auto& [node, mask] : samples_.back().touching) {
-    index_[node].push_back(Touch{id, mask});
+  register_metadata(samples_.back());
+  // Defer the CSR merge: a deserialization loop appends |R| samples and
+  // pays for ONE rebuild on the first read instead of |R| re-merges.
+  index_stale_.store(true, std::memory_order_release);
+}
+
+void RicPool::materialize_index() const {
+  const std::lock_guard<std::mutex> lock(index_mutex_);
+  if (!index_stale_.load(std::memory_order_relaxed)) return;  // raced: done
+  merge_fresh_into_index(1);
+}
+
+void RicPool::merge_fresh_into_index(unsigned chunks) const {
+  const std::uint64_t total_samples = samples_.size();
+  const std::uint64_t fresh_begin = indexed_samples_;
+  const std::uint64_t fresh = total_samples - fresh_begin;
+  if (fresh == 0) {
+    index_stale_.store(false, std::memory_order_release);
+    return;
   }
+  const std::uint64_t n = graph_->node_count();
+  const std::uint64_t parts =
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(chunks, fresh));
+  // Chunk p owns the contiguous fresh sample ids [part_begin(p),
+  // part_begin(p+1)) — the SAME split in the counting and scatter passes.
+  const auto part_begin = [&](std::uint64_t p) {
+    return fresh_begin + fresh * p / parts;
+  };
+
+  // Pass 1 — count: how many fresh touches each (chunk, node) contributes.
+  std::vector<std::uint64_t> cursors(parts * n, 0);
+  const auto count_range = [&](std::uint64_t begin, std::uint64_t end,
+                               unsigned) {
+    for (std::uint64_t p = begin; p < end; ++p) {
+      std::uint64_t* counts = cursors.data() + p * n;
+      for (std::uint64_t g = part_begin(p); g < part_begin(p + 1); ++g) {
+        for (const auto& [node, mask] : samples_[g].touching) {
+          (void)mask;
+          ++counts[node];
+        }
+      }
+    }
+  };
+
+  // Exclusive prefix-sum — runs per node as: old touches, then chunk 0's
+  // fresh touches, then chunk 1's, ... Sample ids ascend within each run
+  // and across runs, so the merged CSR equals the serial append order for
+  // ANY chunk count: the keystone of deterministic parallel rebuilds.
+  std::vector<std::uint64_t> new_offsets(n + 1, 0);
+  std::vector<Touch> new_arena;
+  const auto prefix_sum = [&] {
+    std::uint64_t total = 0;
+    for (std::uint64_t v = 0; v < n; ++v) {
+      new_offsets[v] = total;
+      std::uint64_t running =
+          total + (touch_offsets_[v + 1] - touch_offsets_[v]);
+      for (std::uint64_t p = 0; p < parts; ++p) {
+        const std::uint64_t count = cursors[p * n + v];
+        cursors[p * n + v] = running;  // becomes the chunk's write cursor
+        running += count;
+      }
+      total = running;
+    }
+    new_offsets[n] = total;
+    new_arena.resize(total);  // sized exactly from the counting pass
+  };
+
+  // Pass 2a — relocate each node's existing run into its new position.
+  const auto relocate_range = [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned) {
+    for (std::uint64_t v = begin; v < end; ++v) {
+      std::copy(touches_.begin() + touch_offsets_[v],
+                touches_.begin() + touch_offsets_[v + 1],
+                new_arena.begin() + new_offsets[v]);
+    }
+  };
+  // Pass 2b — scatter fresh touches at the per-(chunk, node) cursors.
+  const auto scatter_range = [&](std::uint64_t begin, std::uint64_t end,
+                                 unsigned) {
+    for (std::uint64_t p = begin; p < end; ++p) {
+      std::uint64_t* cursor = cursors.data() + p * n;
+      for (std::uint64_t g = part_begin(p); g < part_begin(p + 1); ++g) {
+        const auto id = static_cast<std::uint32_t>(g);
+        const std::uint32_t threshold = thresholds_[g];
+        for (const auto& [node, mask] : samples_[g].touching) {
+          new_arena[cursor[node]++] = Touch{id, threshold, mask};
+        }
+      }
+    }
+  };
+
+  if (parts > 1) {
+    ThreadPool& pool = default_pool();
+    parallel_for(pool, parts, count_range);
+    prefix_sum();
+    if (!touches_.empty()) parallel_for(pool, n, relocate_range);
+    parallel_for(pool, parts, scatter_range);
+  } else {
+    count_range(0, 1, 0);
+    prefix_sum();
+    if (!touches_.empty()) relocate_range(0, n, 0);
+    scatter_range(0, 1, 0);
+  }
+
+  touches_ = std::move(new_arena);
+  touch_offsets_ = std::move(new_offsets);
+  indexed_samples_ = total_samples;
+  index_stale_.store(false, std::memory_order_release);
 }
 
 std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {
@@ -79,31 +319,13 @@ std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {
   return splitmix64(state);
 }
 
-std::span<const RicPool::Touch> RicPool::touches_of(NodeId v) const {
-  return index_.at(v);
-}
-
-void RicPool::accumulate_masks(std::span<const NodeId> seeds,
-                               std::vector<std::uint64_t>& covered,
-                               std::vector<std::uint32_t>& dirty) const {
-  covered.assign(samples_.size(), 0);
-  dirty.clear();
-  for (const NodeId v : seeds) {
-    for (const Touch& touch : touches_of(v)) {
-      if (covered[touch.sample] == 0) dirty.push_back(touch.sample);
-      covered[touch.sample] |= touch.mask;
-    }
-  }
-}
-
+IMC_POPCNT_CLONES
 std::uint64_t RicPool::influenced_count(std::span<const NodeId> seeds) const {
-  std::vector<std::uint64_t> covered;
-  std::vector<std::uint32_t> dirty;
-  accumulate_masks(seeds, covered, dirty);
+  const EvalScratch& scratch = accumulate_masks(*this, seeds);
   std::uint64_t influenced = 0;
-  for (const std::uint32_t id : dirty) {
-    if (static_cast<std::uint32_t>(popcount64(covered[id])) >=
-        samples_[id].threshold) {
+  for (const std::uint32_t id : scratch.dirty) {
+    const CoveredSlot& slot = scratch.slots[id];
+    if (static_cast<std::uint32_t>(popcount64(slot.mask)) >= slot.threshold) {
       ++influenced;
     }
   }
@@ -116,16 +338,17 @@ double RicPool::c_hat(std::span<const NodeId> seeds) const {
          static_cast<double>(samples_.size());
 }
 
+IMC_POPCNT_CLONES
 double RicPool::nu(std::span<const NodeId> seeds) const {
   if (samples_.empty()) return 0.0;
-  std::vector<std::uint64_t> covered;
-  std::vector<std::uint32_t> dirty;
-  accumulate_masks(seeds, covered, dirty);
+  const EvalScratch& scratch = accumulate_masks(*this, seeds);
+  const double* table = nu_fraction_row(0);
   KahanSum sum;
-  for (const std::uint32_t id : dirty) {
-    const double reached = popcount64(covered[id]);
-    sum.add(std::min(1.0, reached /
-                              static_cast<double>(samples_[id].threshold)));
+  for (const std::uint32_t id : scratch.dirty) {
+    const CoveredSlot& slot = scratch.slots[id];
+    const auto count = static_cast<std::uint32_t>(popcount64(slot.mask));
+    // Table rows hold the exact min(count/h, 1) doubles: bit-identical.
+    sum.add(table[slot.threshold * (kMaxNuThreshold + 1) + count]);
   }
   return total_benefit_ * sum.value() / static_cast<double>(samples_.size());
 }

@@ -1,9 +1,25 @@
 // A pool R of RIC samples with the inverted index every MAXR algorithm
 // needs: node -> {(sample id, member mask)}. Supports incremental growth
 // (the SSA-style doubling of IMCAF, Alg. 5) and parallel generation.
+//
+// Memory layout (see DESIGN.md §8, "Pool memory layout"): the inverted
+// index is a flat CSR — `touch_offsets_` (node -> begin, n+1 entries) over
+// one contiguous `touches_` arena — instead of a vector-of-vectors, so the
+// greedy argmax sweep walks one cache-friendly span per candidate with no
+// pointer chasing. Per-sample metadata the hot loops need is split into
+// SoA arrays (`thresholds_`, `source_community_`): a marginal-gain probe
+// loads 4 bytes per sample, not a whole RicSample. Full samples are
+// retained as AoS for serialization/tests only. The CSR is rebuilt
+// incrementally: `grow()` merges its fresh batch with a two-pass parallel
+// build (per-chunk count, exclusive prefix-sum, parallel scatter);
+// `append()` marks the index stale and the next reader materializes it on
+// demand, so bulk deserialization pays one merge, not one per sample.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -17,23 +33,38 @@ namespace imc {
 class RicPool {
  public:
   /// Index entry: which sample a node touches and which members it reaches.
+  /// The sample's threshold rides along in what would otherwise be struct
+  /// padding (16 bytes either way): the marginal-gain sweeps then read it
+  /// sequentially with the touch instead of issuing a second random load
+  /// into `thresholds_[sample]` for every touch.
   struct Touch {
     std::uint32_t sample = 0;
+    std::uint32_t threshold = 0;
     std::uint64_t mask = 0;
   };
+  static_assert(sizeof(Touch) == 16, "Touch must stay two words");
 
   RicPool(const Graph& graph, const CommunitySet& communities,
           DiffusionModel model = DiffusionModel::kIndependentCascade);
 
+  // Movable (the CSR cache mutex is per-object, not part of the value).
+  RicPool(RicPool&& other) noexcept;
+  RicPool& operator=(RicPool&& other) noexcept;
+  RicPool(const RicPool&) = delete;
+  RicPool& operator=(const RicPool&) = delete;
+
   /// Appends `count` fresh samples, deterministically derived from `seed`
   /// and the current pool size (so grow(a); grow(b) == grow(a+b) given the
   /// same base seed). Generation is spread across default_pool() workers
-  /// when `parallel` is set.
+  /// when `parallel` is set, and the CSR index is merged eagerly with the
+  /// two-pass parallel build. Throws std::length_error once sample ids
+  /// would no longer fit in 32 bits.
   void grow(std::uint64_t count, std::uint64_t seed, bool parallel = true);
 
   /// Appends one externally produced sample (deserialization, tests).
   /// Validates community id, threshold and touching node ids; throws
-  /// std::invalid_argument on mismatch with the bound structures.
+  /// std::invalid_argument on mismatch with the bound structures. The CSR
+  /// index is NOT rebuilt here — it materializes on the next read.
   void append(RicSample sample);
 
   [[nodiscard]] std::uint64_t size() const noexcept { return samples_.size(); }
@@ -44,12 +75,59 @@ class RicPool {
     return samples_;
   }
 
-  /// Samples touched by node v (empty for untouched nodes).
-  [[nodiscard]] std::span<const Touch> touches_of(NodeId v) const;
+  /// Touch list of sample g — the same (node, mask) pairs as
+  /// sample(g).touching, but served from one contiguous sample-major arena
+  /// (samples are concatenated in insertion order, so maintenance on
+  /// grow/append is a plain append — no rebuild, never stale). The
+  /// sample-major marginal passes stream this arena end to end instead of
+  /// hopping through |R| scattered heap vectors. Hot path: debug-asserted.
+  [[nodiscard]] std::span<const std::pair<NodeId, std::uint64_t>>
+  sample_touches(std::uint32_t g) const {
+    assert(g + 1 < sample_offsets_.size());
+    const std::uint64_t begin = sample_offsets_[g];
+    return {sample_arena_.data() + begin, sample_offsets_[g + 1] - begin};
+  }
+
+  /// Samples touched by node v (empty for untouched nodes). Hot path:
+  /// bounds are debug-asserted, not checked in release builds.
+  [[nodiscard]] std::span<const Touch> touches_of(NodeId v) const {
+    ensure_index();
+    assert(v + 1 < touch_offsets_.size());
+    const std::uint64_t begin = touch_offsets_[v];
+    return {touches_.data() + begin, touch_offsets_[v + 1] - begin};
+  }
 
   /// Number of samples node v touches (the MAF "appearance" count).
   [[nodiscard]] std::uint32_t appearance_count(NodeId v) const {
     return static_cast<std::uint32_t>(touches_of(v).size());
+  }
+
+  // -- SoA metadata (hot-loop view of the samples) ---------------------------
+  /// h_g of sample g. Debug-asserted, unchecked in release.
+  [[nodiscard]] std::uint32_t threshold_of(std::uint32_t g) const {
+    assert(g < thresholds_.size());
+    return thresholds_[g];
+  }
+  /// Per-sample thresholds, indexed by sample id.
+  [[nodiscard]] std::span<const std::uint32_t> thresholds() const noexcept {
+    return thresholds_;
+  }
+  /// Per-sample source community ids, indexed by sample id.
+  [[nodiscard]] std::span<const CommunityId> source_communities()
+      const noexcept {
+    return source_community_;
+  }
+
+  /// CSR begin offsets (node -> first touch; node_count()+1 entries). The
+  /// span [touch_offsets()[v], touch_offsets()[v+1]) indexes touch_arena().
+  [[nodiscard]] std::span<const std::uint64_t> touch_offsets() const {
+    ensure_index();
+    return touch_offsets_;
+  }
+  /// The contiguous touch arena the offsets point into.
+  [[nodiscard]] std::span<const Touch> touch_arena() const {
+    ensure_index();
+    return touches_;
   }
 
   /// Number of samples whose source community is c (MAF community
@@ -65,7 +143,7 @@ class RicPool {
   }
 
   /// ĉ_R(S) = (b / |R|) · #influenced samples (paper eq. 3). O(Σ_{v∈S}
-  /// |touches_of(v)| + |R| epoch reset), exact.
+  /// |touches_of(v)|), exact; the reset is epoch-based, not O(|R|).
   [[nodiscard]] double c_hat(std::span<const NodeId> seeds) const;
 
   /// ν_R(S) = (b / |R|) Σ min(|I_g(S)| / h_g, 1) (paper eq. 7).
@@ -89,20 +167,56 @@ class RicPool {
   [[nodiscard]] static std::uint64_t splitmix_of(std::uint64_t seed,
                                                  std::uint64_t index);
 
-  /// OR-accumulates the member masks of `seeds` into `covered`, indexed by
-  /// sample id; records dirtied sample ids in `dirty`.
-  void accumulate_masks(std::span<const NodeId> seeds,
-                        std::vector<std::uint64_t>& covered,
-                        std::vector<std::uint32_t>& dirty) const;
+  /// Throws std::length_error when adding `count` samples would push ids
+  /// past the 32-bit Touch::sample range.
+  void check_capacity(std::uint64_t count) const;
+
+  /// Registers sample metadata (SoA mirrors + community counter) for the
+  /// sample at the back of `samples_`.
+  void register_metadata(const RicSample& sample);
+
+  /// Cheap staleness gate in front of every index read.
+  void ensure_index() const {
+    if (index_stale_.load(std::memory_order_acquire)) materialize_index();
+  }
+  /// Slow path of ensure_index(): serial merge under the cache mutex
+  /// (double-checked; safe for concurrent const readers).
+  void materialize_index() const;
+  /// Merges samples [indexed_samples_, samples_.size()) into the CSR via
+  /// the two-pass build: per-chunk counting, exclusive prefix-sum over
+  /// (node, chunk) cursors, then relocation of the old arena and scatter of
+  /// the fresh touches — both parallel when `chunks > 1`. The result is
+  /// byte-identical for any chunk count (touches stay sorted by sample id
+  /// within each node), which is what keeps selection deterministic.
+  void merge_fresh_into_index(unsigned chunks) const;
 
   const Graph* graph_;
   const CommunitySet* communities_;
   DiffusionModel model_ = DiffusionModel::kIndependentCascade;
   double total_benefit_ = 0.0;
 
+  // Retained AoS (serialization, tests, BT instance construction).
   std::vector<RicSample> samples_;
-  std::vector<std::vector<Touch>> index_;  // node -> touches
+
+  // SoA hot-path metadata, always in sync with samples_.
+  std::vector<std::uint32_t> thresholds_;       // sample -> h_g
+  std::vector<CommunityId> source_community_;   // sample -> C_g
   std::vector<std::uint32_t> community_frequency_;  // community -> #samples
+
+  // Sample-major twin of the node-major CSR below: per-sample touch lists
+  // concatenated in insertion order (offsets in sample_offsets_, size+1
+  // entries). Trades one extra copy of the touch pairs for streaming reads
+  // in the sample-major marginal passes.
+  std::vector<std::uint64_t> sample_offsets_;            // sample -> begin
+  std::vector<std::pair<NodeId, std::uint64_t>> sample_arena_;
+
+  // Flat CSR inverted index over samples [0, indexed_samples_); mutable so
+  // const readers can materialize pending appends on demand.
+  mutable std::vector<std::uint64_t> touch_offsets_;  // node -> begin
+  mutable std::vector<Touch> touches_;                // contiguous arena
+  mutable std::uint64_t indexed_samples_ = 0;
+  mutable std::atomic<bool> index_stale_{false};
+  mutable std::mutex index_mutex_;
 };
 
 }  // namespace imc

@@ -1,6 +1,8 @@
 #include "util/mathx.h"
 
+#include <cassert>
 #include <cmath>
+#include <vector>
 
 namespace imc {
 
@@ -24,6 +26,25 @@ double stddev(std::span<const double> values) {
   KahanSum sq;
   for (const double v : values) sq.add((v - m) * (v - m));
   return std::sqrt(sq.value() / static_cast<double>(values.size() - 1));
+}
+
+const double* nu_fraction_row(std::uint32_t threshold) noexcept {
+  // (kMaxNuThreshold + 1)^2 doubles = ~33 KiB; the few rows a workload's
+  // thresholds actually select stay L1-resident. Row 0 (invalid threshold)
+  // is all ones so a stray lookup saturates instead of dividing by zero.
+  static const std::vector<double> table = [] {
+    std::vector<double> t((kMaxNuThreshold + 1) * (kMaxNuThreshold + 1), 1.0);
+    for (std::uint32_t h = 1; h <= kMaxNuThreshold; ++h) {
+      for (std::uint32_t count = 0; count <= kMaxNuThreshold; ++count) {
+        t[h * (kMaxNuThreshold + 1) + count] =
+            count >= h ? 1.0
+                       : static_cast<double>(count) / static_cast<double>(h);
+      }
+    }
+    return t;
+  }();
+  assert(threshold <= kMaxNuThreshold);
+  return table.data() + threshold * (kMaxNuThreshold + 1);
 }
 
 double pearson(std::span<const double> xs, std::span<const double> ys) {

@@ -1,0 +1,83 @@
+// Regression pins for the MAXR selection pipeline across memory-layout
+// changes: UBG and MAF seed sets on a fixed scenario must stay bit-identical
+// to the expectations recorded BEFORE the flat CSR/SoA refactor, for the
+// serial path and for parallel sweeps with 1, 2 and 8 workers. Any layout or
+// hot-loop change that reorders a tie-break or perturbs a floating-point
+// accumulation shows up here as a changed seed vector.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "community/threshold_policy.h"
+#include "core/maf.h"
+#include "core/ubg.h"
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "sampling/ric_pool.h"
+#include "test_support.h"
+#include "util/thread_pool.h"
+
+namespace imc {
+namespace {
+
+class MaxrDeterminismTest : public ::testing::Test {
+ protected:
+  static Graph make_graph() {
+    Rng rng(77);
+    BarabasiAlbertConfig config;
+    config.nodes = 150;
+    config.attach = 3;
+    EdgeList edges = barabasi_albert_edges(config, rng);
+    apply_weighted_cascade(edges, config.nodes);
+    return Graph(config.nodes, edges);
+  }
+
+  /// Binds communities_ to threshold h and grows the pool. The pool holds
+  /// references to graph_/communities_, so both live in the fixture.
+  RicPool make_pool(std::uint32_t h) {
+    communities_ = test::chunk_communities(150, 6);
+    apply_constant_thresholds(communities_, h);
+    apply_population_benefits(communities_);
+    RicPool pool(graph_, communities_);
+    pool.grow(1200, 11, /*parallel=*/false);
+    return pool;
+  }
+
+  Graph graph_ = make_graph();
+  CommunitySet communities_ = test::chunk_communities(150, 6);
+};
+
+/// Runs UBG and MAF at every pinned thread count and checks the seeds.
+void expect_pinned_seeds(const RicPool& pool,
+                         const std::vector<NodeId>& ubg_expected,
+                         const std::vector<NodeId>& maf_expected) {
+  for (const unsigned threads : {0U, 1U, 2U, 8U}) {
+    ThreadPool workers(threads == 0 ? 1 : threads);
+    GreedyOptions options;
+    if (threads > 0) {
+      options.parallel = true;
+      options.pool = &workers;
+      options.min_parallel_candidates = 1;  // force the parallel path
+    }
+    const UbgSolution ubg = ubg_solve(pool, 8, options);
+    EXPECT_EQ(ubg.seeds, ubg_expected) << "UBG drifted at threads=" << threads;
+    const MafSolution maf = maf_solve(pool, 8, /*seed=*/99, options);
+    EXPECT_EQ(maf.seeds, maf_expected) << "MAF drifted at threads=" << threads;
+  }
+}
+
+// Expected seed sets recorded with the pre-refactor nested-vector pool
+// layout (PR 1). These are exact-equality pins, not statistical checks.
+TEST_F(MaxrDeterminismTest, PinnedSeedsThresholdOne) {
+  expect_pinned_seeds(make_pool(1), {1, 3, 0, 8, 44, 110, 40, 6},
+                      {1, 3, 0, 8, 10, 6, 4, 2});
+}
+
+TEST_F(MaxrDeterminismTest, PinnedSeedsThresholdTwo) {
+  expect_pinned_seeds(make_pool(2), {1, 3, 0, 8, 6, 33, 40, 97},
+                      {1, 3, 0, 8, 10, 6, 4, 2});
+}
+
+}  // namespace
+}  // namespace imc
