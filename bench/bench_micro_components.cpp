@@ -145,6 +145,45 @@ void BM_RicSampleGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RicSampleGeneration);
 
+// Raw sampler throughput on the full-scale fixture (mean in-degree ~78
+// under weighted cascade — the geometric-skip sweet spot), arena-direct:
+// this is the per-sample cost that BM_PoolGrowLarge amortizes.
+void BM_RicSampleGenerationLarge(benchmark::State& state) {
+  const Graph& graph = large_graph();
+  const CommunitySet& communities = large_communities();
+  RicSampler sampler(graph, communities);
+  RicSampler::TouchArena arena;
+  Rng rng(4);
+  for (auto _ : state) {
+    arena.clear();
+    benchmark::DoNotOptimize(sampler.generate_into(rng, arena).touch_count);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RicSampleGenerationLarge);
+
+// End-to-end pool growth on the large fixture — the acceptance benchmark
+// for the sampling engine (geometric skip + bit-parallel masks +
+// arena-direct stitching). Arg 0 is the serial path; Arg N > 0 grows on a
+// local N-thread pool. items/s is samples/s.
+void BM_PoolGrowLarge(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<ThreadPool> workers;
+  if (threads > 0) workers = std::make_unique<ThreadPool>(threads);
+  const std::uint64_t count = micro_pool_samples();
+  for (auto _ : state) {
+    RicPool pool(large_graph(), large_communities());
+    pool.grow(count, 17, /*parallel=*/threads > 0, workers.get());
+    benchmark::DoNotOptimize(pool.touch_arena().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+  state.counters["pool_size"] = static_cast<double>(count);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_PoolGrowLarge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PoolCHat(benchmark::State& state) {
   const Graph& graph = facebook_graph();
   const CommunitySet& communities = facebook_communities();

@@ -44,16 +44,15 @@ BtInstance root_instance(const RicPool& pool) {
   BtInstance instance;
   const std::size_t m = pool.size();
   // Thresholds come from the pool's SoA array (one contiguous copy); the
-  // per-sample touching lists come from the retained samples, and the
+  // per-sample touching lists come from the sample-major arena, and the
   // inverted index is read straight out of the CSR arena.
   const std::span<const std::uint32_t> thresholds = pool.thresholds();
   instance.threshold.assign(thresholds.begin(), thresholds.end());
   instance.covered.assign(m, 0);
   instance.touching.resize(m);
   for (std::uint32_t g = 0; g < m; ++g) {
-    const RicSample& sample = pool.sample(g);
-    instance.touching[g].assign(sample.touching.begin(),
-                                sample.touching.end());
+    const auto touches = pool.sample_touches(g);
+    instance.touching[g].assign(touches.begin(), touches.end());
   }
   const std::span<const std::uint64_t> offsets = pool.touch_offsets();
   const std::span<const RicPool::Touch> arena = pool.touch_arena();

@@ -45,9 +45,25 @@ ImcafResult imcaf_solve(const Graph& graph, const CommunitySet& communities,
       1.0, std::log2(std::max(2.0, result.psi / result.lambda)));
   const double delta_stage = params.delta / (3.0 * stages_bound);
 
+  // All growth funnels through this wrapper so the result carries the
+  // realized sampling throughput and each stage logs its own rate.
+  const auto timed_grow = [&](std::uint64_t count) {
+    const Stopwatch grow_watch;
+    pool.grow(count, config.seed, config.parallel_sampling);
+    const double seconds = grow_watch.elapsed_seconds();
+    result.sampling_seconds += seconds;
+    result.samples_generated += count;
+    log(LogLevel::kDebug) << "IMCAF grow: " << count << " samples in "
+                          << seconds << " s ("
+                          << (seconds > 0.0
+                                  ? static_cast<double>(count) / seconds
+                                  : 0.0)
+                          << " samples/s), |R|=" << pool.size();
+  };
+
   const auto initial = static_cast<std::uint64_t>(
       std::ceil(result.lambda));
-  pool.grow(std::min(initial, cap), config.seed, config.parallel_sampling);
+  timed_grow(std::min(initial, cap));
 
   MaxrSolution solution;
   for (;;) {
@@ -86,7 +102,7 @@ ImcafResult imcaf_solve(const Graph& graph, const CommunitySet& communities,
       break;
     }
     const std::uint64_t target = std::min(cap, pool.size() * 2);
-    pool.grow(target - pool.size(), config.seed, config.parallel_sampling);
+    timed_grow(target - pool.size());
   }
 
   result.seeds = std::move(solution.seeds);

@@ -42,6 +42,12 @@ struct ImcafResult {
   double lambda = 0.0;             // Λ of Alg. 5
   double psi = 0.0;                // Ψ of eq. 22 (possibly huge)
   double runtime_seconds = 0.0;
+  /// Wall time spent inside pool.grow() across all doubling stages, and
+  /// the samples generated in that time — together the realized sampling
+  /// throughput (samples_generated / sampling_seconds). Per-stage numbers
+  /// are logged at kDebug as the run proceeds.
+  double sampling_seconds = 0.0;
+  std::uint64_t samples_generated = 0;
 };
 
 /// Runs Alg. 5. Throws std::invalid_argument on empty communities, k = 0,

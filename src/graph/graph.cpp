@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -67,24 +68,49 @@ Graph::Graph(NodeId node_count, const EdgeList& edges) {
     in_adjacency_.insert(in_adjacency_.end(), in_buckets[v].begin(),
                          in_buckets[v].end());
   }
-}
 
-void Graph::check_node(NodeId v) const {
-  if (v >= node_count()) {
-    throw std::out_of_range("Graph: node id out of range");
+  // Uniformity tables for the geometric-skip samplers: a node whose
+  // in-edges all share one probability p gets 1 / log1p(-p) precomputed
+  // (the WC scheme makes this every node), so the skip formula is a
+  // multiply instead of a divide. Isolated-in nodes count as uniform with
+  // p = 0; mixed-weight nodes get the -1 sentinel and fall back to
+  // per-edge draws.
+  in_uniform_weight_.assign(node_count, 0.0F);
+  in_uniform_inv_log1p_.assign(node_count, 0.0);
+  for (NodeId v = 0; v < node_count; ++v) {
+    const auto& bucket = in_buckets[v];
+    if (bucket.empty()) continue;
+    const float p = bucket.front().weight;
+    bool uniform = true;
+    for (const Neighbor& nb : bucket) {
+      if (nb.weight != p) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      in_uniform_weight_[v] = p;
+      in_uniform_inv_log1p_[v] = 1.0 / std::log1p(-static_cast<double>(p));
+    } else {
+      in_uniform_weight_[v] = -1.0F;
+      in_uniform_inv_log1p_[v] = 1.0;
+    }
   }
 }
 
-std::span<const Neighbor> Graph::out_neighbors(NodeId u) const {
-  check_node(u);
-  return {out_adjacency_.data() + out_offsets_[u],
-          out_adjacency_.data() + out_offsets_[u + 1]};
+bool Graph::in_weights_uniform(NodeId v) const {
+  check_node(v);
+  return in_uniform_weight_[v] >= 0.0F;
 }
 
-std::span<const Neighbor> Graph::in_neighbors(NodeId v) const {
+float Graph::in_uniform_weight(NodeId v) const {
   check_node(v);
-  return {in_adjacency_.data() + in_offsets_[v],
-          in_adjacency_.data() + in_offsets_[v + 1]};
+  return in_uniform_weight_[v];
+}
+
+double Graph::in_uniform_inv_log1p(NodeId v) const {
+  check_node(v);
+  return in_uniform_inv_log1p_[v];
 }
 
 std::uint32_t Graph::out_degree(NodeId u) const {

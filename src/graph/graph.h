@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -44,10 +45,45 @@ class Graph {
   }
   [[nodiscard]] bool empty() const noexcept { return node_count() == 0; }
 
-  /// Out-neighbors of u with edge probabilities w(u, v).
-  [[nodiscard]] std::span<const Neighbor> out_neighbors(NodeId u) const;
+  /// Out-neighbors of u with edge probabilities w(u, v). Inline: the
+  /// samplers call these once per dequeued node, millions of times per
+  /// pool growth.
+  [[nodiscard]] std::span<const Neighbor> out_neighbors(NodeId u) const {
+    check_node(u);
+    return {out_adjacency_.data() + out_offsets_[u],
+            out_adjacency_.data() + out_offsets_[u + 1]};
+  }
   /// In-neighbors of v with edge probabilities w(u, v).
-  [[nodiscard]] std::span<const Neighbor> in_neighbors(NodeId v) const;
+  [[nodiscard]] std::span<const Neighbor> in_neighbors(NodeId v) const {
+    check_node(v);
+    return {in_adjacency_.data() + in_offsets_[v],
+            in_adjacency_.data() + in_offsets_[v + 1]};
+  }
+
+  /// True when every in-edge of v carries the same probability (trivially
+  /// true at in-degree 0). The weighted-cascade scheme (w = 1/indeg)
+  /// satisfies this for every node, which is what makes the geometric-skip
+  /// sampling path (RicSampler, rr_set) the common case.
+  [[nodiscard]] bool in_weights_uniform(NodeId v) const;
+
+  /// The shared in-edge probability of a uniform node; -1 when weights
+  /// differ. 0 for isolated-in nodes.
+  [[nodiscard]] float in_uniform_weight(NodeId v) const;
+
+  /// 1 / log1p(-p) for the shared in-edge probability p — the precomputed
+  /// factor of Rng::geometric_skip (a multiply on the hot path instead of
+  /// a divide). -0.0 when p == 1 (the skip formula then yields 0, i.e.
+  /// every edge realizes); meaningless (+1) when the node is not uniform.
+  [[nodiscard]] double in_uniform_inv_log1p(NodeId v) const;
+
+  /// Hot-path views of the per-node uniformity tables, indexed by node id
+  /// (no bounds checks; samplers cache these spans).
+  [[nodiscard]] std::span<const float> in_uniform_weights() const noexcept {
+    return in_uniform_weight_;
+  }
+  [[nodiscard]] std::span<const double> in_uniform_inv_log1ps() const noexcept {
+    return in_uniform_inv_log1p_;
+  }
 
   [[nodiscard]] std::uint32_t out_degree(NodeId u) const;
   [[nodiscard]] std::uint32_t in_degree(NodeId v) const;
@@ -76,7 +112,11 @@ class Graph {
   [[nodiscard]] std::string summary() const;
 
  private:
-  void check_node(NodeId v) const;
+  void check_node(NodeId v) const {
+    if (v >= node_count()) {
+      throw std::out_of_range("Graph: node id out of range");
+    }
+  }
 
   // CSR, out direction: out_adjacency_[out_offsets_[u] .. out_offsets_[u+1]),
   // sorted by target id per node so weight lookup can binary-search.
@@ -86,6 +126,12 @@ class Graph {
   // CSR, in direction (sorted by source id per node).
   std::vector<EdgeId> in_offsets_;
   std::vector<Neighbor> in_adjacency_;
+
+  // Per-node uniform in-weight acceleration tables (see in_weights_uniform):
+  // the shared probability p (-1 when weights differ) and log1p(-p), both
+  // filled at construction so samplers never branch on raw weights.
+  std::vector<float> in_uniform_weight_;
+  std::vector<double> in_uniform_inv_log1p_;
 };
 
 }  // namespace imc

@@ -24,17 +24,17 @@ void write_ric_pool(std::ostream& out, const RicPool& pool) {
   out << "imc-ric-pool v1\n";
   out << "nodes " << pool.graph().node_count() << " samples " << pool.size()
       << " model " << model_tag(pool.model()) << "\n";
-  // Sample headers come from the SoA metadata arrays; only the touching
-  // lists need the retained AoS samples.
+  // Sample headers come from the SoA metadata arrays; the touching lists
+  // stream straight out of the sample-major arena.
   const std::span<const CommunityId> communities = pool.source_communities();
   const std::span<const std::uint32_t> thresholds = pool.thresholds();
   out << std::hex;
   for (std::uint32_t g = 0; g < pool.size(); ++g) {
-    const RicSample& sample = pool.sample(g);
+    const auto touches = pool.sample_touches(g);
     out << std::dec << "sample " << communities[g] << ' ' << thresholds[g]
-        << ' ' << sample.touching.size();
+        << ' ' << touches.size();
     out << std::hex;
-    for (const auto& [node, mask] : sample.touching) {
+    for (const auto& [node, mask] : touches) {
       out << ' ' << std::dec << node << ' ' << std::hex << mask;
     }
     out << '\n';

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "util/mathx.h"
 #include "util/thread_pool.h"
@@ -85,8 +86,11 @@ RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
       communities_(&communities),
       model_(model),
       total_benefit_(communities.total_benefit()) {
-  // Validate eagerly so misconfiguration surfaces at pool construction.
-  (void)RicSampler(graph, communities, model);
+  // Validate eagerly so misconfiguration surfaces at pool construction;
+  // the validation sampler seeds the reuse cache instead of being thrown
+  // away.
+  sampler_cache_.push_back(
+      std::make_unique<RicSampler>(graph, communities, model));
   touch_offsets_.assign(graph.node_count() + 1, 0);
   community_frequency_.assign(communities.size(), 0);
   sample_offsets_.assign(1, 0);
@@ -97,12 +101,12 @@ RicPool::RicPool(RicPool&& other) noexcept
       communities_(other.communities_),
       model_(other.model_),
       total_benefit_(other.total_benefit_),
-      samples_(std::move(other.samples_)),
       thresholds_(std::move(other.thresholds_)),
       source_community_(std::move(other.source_community_)),
       community_frequency_(std::move(other.community_frequency_)),
       sample_offsets_(std::move(other.sample_offsets_)),
       sample_arena_(std::move(other.sample_arena_)),
+      sampler_cache_(std::move(other.sampler_cache_)),
       touch_offsets_(std::move(other.touch_offsets_)),
       touches_(std::move(other.touches_)),
       indexed_samples_(other.indexed_samples_),
@@ -114,12 +118,12 @@ RicPool& RicPool::operator=(RicPool&& other) noexcept {
   communities_ = other.communities_;
   model_ = other.model_;
   total_benefit_ = other.total_benefit_;
-  samples_ = std::move(other.samples_);
   thresholds_ = std::move(other.thresholds_);
   source_community_ = std::move(other.source_community_);
   community_frequency_ = std::move(other.community_frequency_);
   sample_offsets_ = std::move(other.sample_offsets_);
   sample_arena_ = std::move(other.sample_arena_);
+  sampler_cache_ = std::move(other.sampler_cache_);
   touch_offsets_ = std::move(other.touch_offsets_);
   touches_ = std::move(other.touches_);
   indexed_samples_ = other.indexed_samples_;
@@ -129,64 +133,139 @@ RicPool& RicPool::operator=(RicPool&& other) noexcept {
 }
 
 void RicPool::check_capacity(std::uint64_t count) const {
-  if (samples_.size() + count >
-      std::numeric_limits<std::uint32_t>::max()) {
+  if (size() + count > std::numeric_limits<std::uint32_t>::max()) {
     throw std::length_error(
-        "RicPool: pool of " + std::to_string(samples_.size()) + " + " +
+        "RicPool: pool of " + std::to_string(size()) + " + " +
         std::to_string(count) +
         " samples would overflow the 32-bit sample ids the inverted index "
         "uses; split the workload across pools");
   }
 }
 
-void RicPool::register_metadata(const RicSample& sample) {
-  thresholds_.push_back(sample.threshold);
-  source_community_.push_back(sample.community);
-  ++community_frequency_[sample.community];
-  sample_arena_.insert(sample_arena_.end(), sample.touching.begin(),
-                       sample.touching.end());
-  sample_offsets_.push_back(sample_arena_.size());
+std::unique_ptr<RicSampler> RicPool::acquire_sampler() {
+  {
+    const std::lock_guard<std::mutex> lock(sampler_mutex_);
+    if (!sampler_cache_.empty()) {
+      std::unique_ptr<RicSampler> sampler = std::move(sampler_cache_.back());
+      sampler_cache_.pop_back();
+      return sampler;
+    }
+  }
+  return std::make_unique<RicSampler>(*graph_, *communities_, model_);
 }
 
-void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel) {
+void RicPool::release_sampler(std::unique_ptr<RicSampler> sampler) {
+  const std::lock_guard<std::mutex> lock(sampler_mutex_);
+  sampler_cache_.push_back(std::move(sampler));
+}
+
+void RicPool::register_metadata(CommunityId community, std::uint32_t threshold,
+                                std::uint64_t touch_count) {
+  thresholds_.push_back(threshold);
+  source_community_.push_back(community);
+  ++community_frequency_[community];
+  sample_offsets_.push_back(sample_offsets_.back() + touch_count);
+}
+
+void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel,
+                   ThreadPool* workers) {
   if (count == 0) return;
   check_capacity(count);
-  const std::uint64_t base = samples_.size();
-  std::vector<RicSample> fresh(count);
+  const std::uint64_t base = size();
 
-  const auto generate_range = [&](std::uint64_t begin, std::uint64_t end,
-                                  unsigned /*chunk*/) {
-    RicSampler sampler(*graph_, *communities_, model_);
-    for (std::uint64_t i = begin; i < end; ++i) {
-      // One substream per global sample index keeps growth deterministic
-      // and independent of chunking.
+  ThreadPool* pool = nullptr;
+  if (parallel) {
+    pool = workers != nullptr ? workers : &default_pool();
+    if (pool->size() <= 1) pool = nullptr;
+  }
+  // Serial fast path: one part means the stitched layout IS generation
+  // order, so emit straight into the pool's own sample-major arena and
+  // skip the part-arena copy entirely. (This is the configuration the
+  // sampling-throughput acceptance benchmark measures.)
+  if (pool == nullptr) {
+    std::unique_ptr<RicSampler> sampler = acquire_sampler();
+    thresholds_.reserve(thresholds_.size() + count);
+    source_community_.reserve(source_community_.size() + count);
+    sample_offsets_.reserve(sample_offsets_.size() + count);
+    for (std::uint64_t i = 0; i < count; ++i) {
       Rng rng(splitmix_of(seed, base + i));
-      fresh[i] = sampler.generate(rng);
+      const RicSampleMeta meta = sampler->generate_into(rng, sample_arena_);
+      register_metadata(meta.community, meta.threshold, meta.touch_count);
     }
-  };
-
-  const bool use_pool = parallel && default_pool().size() > 1;
-  if (use_pool) {
-    parallel_for(default_pool(), count, generate_range);
-  } else {
-    generate_range(0, count, 0);
+    release_sampler(std::move(sampler));
+    merge_fresh_into_index(1, nullptr);
+    return;
   }
 
-  samples_.reserve(samples_.size() + count);
+  // Fixed sample-range -> part mapping (count*p/parts), so which samples
+  // share a part — and therefore the stitched arena layout — depends only
+  // on (count, parts), never on runtime scheduling. Combined with the
+  // per-sample RNG substreams, serial and parallel growth are
+  // bit-identical.
+  const std::uint64_t parts = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(
+             count, static_cast<std::uint64_t>(pool->size()) * 4));
+  const auto part_begin = [&](std::uint64_t p) { return count * p / parts; };
+
+  // Each part emits straight into its own arena via generate_into — no
+  // intermediate RicSample objects. Samplers come from the reuse cache so
+  // repeated grow() calls never reconstruct O(n) scratch.
+  struct PartOutput {
+    RicSampler::TouchArena touches;
+    std::vector<RicSampleMeta> metas;
+  };
+  std::vector<PartOutput> outputs(parts);
+  const auto generate_parts = [&](std::uint64_t begin, std::uint64_t end,
+                                  unsigned /*chunk*/) {
+    std::unique_ptr<RicSampler> sampler = acquire_sampler();
+    for (std::uint64_t p = begin; p < end; ++p) {
+      PartOutput& out = outputs[p];
+      const std::uint64_t lo = part_begin(p);
+      const std::uint64_t hi = part_begin(p + 1);
+      out.metas.reserve(hi - lo);
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        // One substream per global sample index keeps growth deterministic
+        // and independent of chunking.
+        Rng rng(splitmix_of(seed, base + i));
+        out.metas.push_back(sampler->generate_into(rng, out.touches));
+      }
+    }
+    release_sampler(std::move(sampler));
+  };
+  parallel_for(*pool, parts, generate_parts);
+
+  // Stitch the part arenas into the sample-major arena in part order
+  // (= global sample order): prefix-sum the part sizes, bulk-copy each
+  // part into its slot (parallel), then append the metadata serially.
+  std::vector<std::uint64_t> part_base(parts + 1, 0);
+  for (std::uint64_t p = 0; p < parts; ++p) {
+    part_base[p + 1] = part_base[p] + outputs[p].touches.size();
+  }
+  const std::uint64_t old_arena = sample_arena_.size();
+  sample_arena_.resize(old_arena + part_base[parts]);
+  const auto stitch_parts = [&](std::uint64_t begin, std::uint64_t end,
+                                unsigned /*chunk*/) {
+    for (std::uint64_t p = begin; p < end; ++p) {
+      std::copy(outputs[p].touches.begin(), outputs[p].touches.end(),
+                sample_arena_.begin() +
+                    static_cast<std::ptrdiff_t>(old_arena + part_base[p]));
+    }
+  };
+  parallel_for(*pool, parts, stitch_parts);
+
   thresholds_.reserve(thresholds_.size() + count);
   source_community_.reserve(source_community_.size() + count);
   sample_offsets_.reserve(sample_offsets_.size() + count);
-  std::uint64_t fresh_touches = 0;
-  for (const RicSample& s : fresh) fresh_touches += s.touching.size();
-  sample_arena_.reserve(sample_arena_.size() + fresh_touches);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    samples_.push_back(std::move(fresh[i]));
-    register_metadata(samples_.back());
+  for (std::uint64_t p = 0; p < parts; ++p) {
+    for (const RicSampleMeta& meta : outputs[p].metas) {
+      register_metadata(meta.community, meta.threshold, meta.touch_count);
+    }
   }
+
   // Merge the fresh batch (plus any samples append() left pending) into
   // the CSR eagerly: grow() is the bulk producer, and doing it here keeps
   // the read path branch-predictable.
-  merge_fresh_into_index(parallel ? std::max(1U, default_pool().size()) : 1);
+  merge_fresh_into_index(pool->size(), pool);
 }
 
 void RicPool::append(RicSample sample) {
@@ -203,21 +282,38 @@ void RicPool::append(RicSample sample) {
     }
   }
   check_capacity(1);
-  samples_.push_back(std::move(sample));
-  register_metadata(samples_.back());
+  sample_arena_.insert(sample_arena_.end(), sample.touching.begin(),
+                       sample.touching.end());
+  register_metadata(sample.community, sample.threshold,
+                    sample.touching.size());
   // Defer the CSR merge: a deserialization loop appends |R| samples and
   // pays for ONE rebuild on the first read instead of |R| re-merges.
   index_stale_.store(true, std::memory_order_release);
 }
 
+RicSample RicPool::sample(std::uint32_t i) const {
+  if (i >= thresholds_.size()) {
+    throw std::out_of_range("RicPool::sample: index out of range");
+  }
+  RicSample s;
+  s.community = source_community_[i];
+  s.threshold = thresholds_[i];
+  s.member_count =
+      static_cast<std::uint32_t>(communities_->population(s.community));
+  const auto touches = sample_touches(i);
+  s.touching.assign(touches.begin(), touches.end());
+  return s;
+}
+
 void RicPool::materialize_index() const {
   const std::lock_guard<std::mutex> lock(index_mutex_);
   if (!index_stale_.load(std::memory_order_relaxed)) return;  // raced: done
-  merge_fresh_into_index(1);
+  merge_fresh_into_index(1, nullptr);
 }
 
-void RicPool::merge_fresh_into_index(unsigned chunks) const {
-  const std::uint64_t total_samples = samples_.size();
+void RicPool::merge_fresh_into_index(unsigned chunks,
+                                     ThreadPool* workers) const {
+  const std::uint64_t total_samples = size();
   const std::uint64_t fresh_begin = indexed_samples_;
   const std::uint64_t fresh = total_samples - fresh_begin;
   if (fresh == 0) {
@@ -240,7 +336,8 @@ void RicPool::merge_fresh_into_index(unsigned chunks) const {
     for (std::uint64_t p = begin; p < end; ++p) {
       std::uint64_t* counts = cursors.data() + p * n;
       for (std::uint64_t g = part_begin(p); g < part_begin(p + 1); ++g) {
-        for (const auto& [node, mask] : samples_[g].touching) {
+        for (const auto& [node, mask] :
+             sample_touches(static_cast<std::uint32_t>(g))) {
           (void)mask;
           ++counts[node];
         }
@@ -288,24 +385,23 @@ void RicPool::merge_fresh_into_index(unsigned chunks) const {
       for (std::uint64_t g = part_begin(p); g < part_begin(p + 1); ++g) {
         const auto id = static_cast<std::uint32_t>(g);
         const std::uint32_t threshold = thresholds_[g];
-        for (const auto& [node, mask] : samples_[g].touching) {
+        for (const auto& [node, mask] : sample_touches(id)) {
           new_arena[cursor[node]++] = Touch{id, threshold, mask};
         }
       }
     }
   };
 
-  if (parts > 1) {
-    ThreadPool& pool = default_pool();
-    parallel_for(pool, parts, count_range);
+  if (parts > 1 && workers != nullptr) {
+    parallel_for(*workers, parts, count_range);
     prefix_sum();
-    if (!touches_.empty()) parallel_for(pool, n, relocate_range);
-    parallel_for(pool, parts, scatter_range);
+    if (!touches_.empty()) parallel_for(*workers, n, relocate_range);
+    parallel_for(*workers, parts, scatter_range);
   } else {
-    count_range(0, 1, 0);
+    count_range(0, parts, 0);
     prefix_sum();
     if (!touches_.empty()) relocate_range(0, n, 0);
-    scatter_range(0, 1, 0);
+    scatter_range(0, parts, 0);
   }
 
   touches_ = std::move(new_arena);
@@ -333,14 +429,14 @@ std::uint64_t RicPool::influenced_count(std::span<const NodeId> seeds) const {
 }
 
 double RicPool::c_hat(std::span<const NodeId> seeds) const {
-  if (samples_.empty()) return 0.0;
+  if (size() == 0) return 0.0;
   return total_benefit_ * static_cast<double>(influenced_count(seeds)) /
-         static_cast<double>(samples_.size());
+         static_cast<double>(size());
 }
 
 IMC_POPCNT_CLONES
 double RicPool::nu(std::span<const NodeId> seeds) const {
-  if (samples_.empty()) return 0.0;
+  if (size() == 0) return 0.0;
   const EvalScratch& scratch = accumulate_masks(*this, seeds);
   const double* table = nu_fraction_row(0);
   KahanSum sum;
@@ -350,7 +446,7 @@ double RicPool::nu(std::span<const NodeId> seeds) const {
     // Table rows hold the exact min(count/h, 1) doubles: bit-identical.
     sum.add(table[slot.threshold * (kMaxNuThreshold + 1) + count]);
   }
-  return total_benefit_ * sum.value() / static_cast<double>(samples_.size());
+  return total_benefit_ * sum.value() / static_cast<double>(size());
 }
 
 }  // namespace imc

@@ -8,17 +8,23 @@
 // greedy argmax sweep walks one cache-friendly span per candidate with no
 // pointer chasing. Per-sample metadata the hot loops need is split into
 // SoA arrays (`thresholds_`, `source_community_`): a marginal-gain probe
-// loads 4 bytes per sample, not a whole RicSample. Full samples are
-// retained as AoS for serialization/tests only. The CSR is rebuilt
-// incrementally: `grow()` merges its fresh batch with a two-pass parallel
-// build (per-chunk count, exclusive prefix-sum, parallel scatter);
-// `append()` marks the index stale and the next reader materializes it on
-// demand, so bulk deserialization pays one merge, not one per sample.
+// loads 4 bytes per sample, not a whole RicSample. There is NO retained
+// AoS sample store: the sample-major arena (`sample_offsets_` +
+// `sample_arena_`) IS the canonical per-sample storage, and `sample()`
+// materializes a RicSample view on demand (serialization/tests only).
+// Growth is arena-direct (DESIGN.md §9): per-part worker arenas filled by
+// `RicSampler::generate_into` are stitched straight into the sample-major
+// arena, and the CSR is rebuilt incrementally: `grow()` merges its fresh
+// batch with a two-pass parallel build (per-chunk count, exclusive
+// prefix-sum, parallel scatter); `append()` marks the index stale and the
+// next reader materializes it on demand, so bulk deserialization pays one
+// merge, not one per sample.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -29,6 +35,8 @@
 #include "util/rng.h"
 
 namespace imc {
+
+class ThreadPool;
 
 class RicPool {
  public:
@@ -55,11 +63,17 @@ class RicPool {
 
   /// Appends `count` fresh samples, deterministically derived from `seed`
   /// and the current pool size (so grow(a); grow(b) == grow(a+b) given the
-  /// same base seed). Generation is spread across default_pool() workers
-  /// when `parallel` is set, and the CSR index is merged eagerly with the
-  /// two-pass parallel build. Throws std::length_error once sample ids
-  /// would no longer fit in 32 bits.
-  void grow(std::uint64_t count, std::uint64_t seed, bool parallel = true);
+  /// same base seed, for ANY parallelism/worker combination — per-sample
+  /// RNG substreams make chunking irrelevant). When `parallel` is set the
+  /// generation runs on `workers` (default_pool() when null): each part
+  /// emits into its own arena via RicSampler::generate_into, parts are
+  /// stitched deterministically into the sample-major arena, and the CSR
+  /// index is merged eagerly with the two-pass parallel build. Sampler
+  /// instances are cached and reused across parts and across grow() calls
+  /// (no O(n) scratch construction per chunk). Throws std::length_error
+  /// once sample ids would no longer fit in 32 bits.
+  void grow(std::uint64_t count, std::uint64_t seed, bool parallel = true,
+            ThreadPool* workers = nullptr);
 
   /// Appends one externally produced sample (deserialization, tests).
   /// Validates community id, threshold and touching node ids; throws
@@ -67,13 +81,15 @@ class RicPool {
   /// index is NOT rebuilt here — it materializes on the next read.
   void append(RicSample sample);
 
-  [[nodiscard]] std::uint64_t size() const noexcept { return samples_.size(); }
-  [[nodiscard]] const RicSample& sample(std::uint32_t i) const {
-    return samples_.at(i);
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return thresholds_.size();
   }
-  [[nodiscard]] std::span<const RicSample> samples() const noexcept {
-    return samples_;
-  }
+
+  /// Materializes sample g from the arenas (community/threshold from the
+  /// SoA metadata, touching pairs from the sample-major arena). This is
+  /// the slow path for serialization, BT instance construction and tests;
+  /// hot loops read the arenas directly. Throws std::out_of_range.
+  [[nodiscard]] RicSample sample(std::uint32_t i) const;
 
   /// Touch list of sample g — the same (node, mask) pairs as
   /// sample(g).touching, but served from one contiguous sample-major arena
@@ -171,9 +187,14 @@ class RicPool {
   /// past the 32-bit Touch::sample range.
   void check_capacity(std::uint64_t count) const;
 
-  /// Registers sample metadata (SoA mirrors + community counter) for the
-  /// sample at the back of `samples_`.
-  void register_metadata(const RicSample& sample);
+  /// Pops a cached sampler or constructs one; return via release_sampler.
+  [[nodiscard]] std::unique_ptr<RicSampler> acquire_sampler();
+  void release_sampler(std::unique_ptr<RicSampler> sampler);
+
+  /// Registers one sample's metadata (SoA mirrors + community counter +
+  /// sample-major offset for `touch_count` freshly appended arena pairs).
+  void register_metadata(CommunityId community, std::uint32_t threshold,
+                         std::uint64_t touch_count);
 
   /// Cheap staleness gate in front of every index read.
   void ensure_index() const {
@@ -182,33 +203,35 @@ class RicPool {
   /// Slow path of ensure_index(): serial merge under the cache mutex
   /// (double-checked; safe for concurrent const readers).
   void materialize_index() const;
-  /// Merges samples [indexed_samples_, samples_.size()) into the CSR via
-  /// the two-pass build: per-chunk counting, exclusive prefix-sum over
+  /// Merges samples [indexed_samples_, size()) into the CSR via the
+  /// two-pass build: per-chunk counting, exclusive prefix-sum over
   /// (node, chunk) cursors, then relocation of the old arena and scatter of
-  /// the fresh touches — both parallel when `chunks > 1`. The result is
-  /// byte-identical for any chunk count (touches stay sorted by sample id
-  /// within each node), which is what keeps selection deterministic.
-  void merge_fresh_into_index(unsigned chunks) const;
+  /// the fresh touches — both parallel when `chunks > 1`. Fresh touches are
+  /// read from the sample-major arena. The result is byte-identical for
+  /// any chunk count (touches stay sorted by sample id within each node),
+  /// which is what keeps selection deterministic.
+  void merge_fresh_into_index(unsigned chunks, ThreadPool* workers) const;
 
   const Graph* graph_;
   const CommunitySet* communities_;
   DiffusionModel model_ = DiffusionModel::kIndependentCascade;
   double total_benefit_ = 0.0;
 
-  // Retained AoS (serialization, tests, BT instance construction).
-  std::vector<RicSample> samples_;
-
-  // SoA hot-path metadata, always in sync with samples_.
+  // SoA hot-path metadata, one entry per sample.
   std::vector<std::uint32_t> thresholds_;       // sample -> h_g
   std::vector<CommunityId> source_community_;   // sample -> C_g
   std::vector<std::uint32_t> community_frequency_;  // community -> #samples
 
-  // Sample-major twin of the node-major CSR below: per-sample touch lists
-  // concatenated in insertion order (offsets in sample_offsets_, size+1
-  // entries). Trades one extra copy of the touch pairs for streaming reads
-  // in the sample-major marginal passes.
+  // Canonical per-sample storage: touch lists concatenated in insertion
+  // order (offsets in sample_offsets_, size+1 entries). Sample-major gain
+  // passes stream it; sample() materializes views from it.
   std::vector<std::uint64_t> sample_offsets_;            // sample -> begin
   std::vector<std::pair<NodeId, std::uint64_t>> sample_arena_;
+
+  // Cached RicSampler instances, reused across grow() parts and calls so
+  // repeated growth never reconstructs O(n) scratch buffers.
+  std::vector<std::unique_ptr<RicSampler>> sampler_cache_;
+  std::mutex sampler_mutex_;
 
   // Flat CSR inverted index over samples [0, indexed_samples_); mutable so
   // const readers can materialize pending appends on demand.

@@ -48,7 +48,8 @@ RicSampler::RicSampler(const Graph& graph, const CommunitySet& communities,
   const NodeId n = graph.node_count();
   visit_epoch_.assign(n, 0);
   mask_.assign(n, 0);
-  live_in_.resize(n);
+  live_head_.assign(n, kNoLiveEdge);
+  in_worklist_.assign(n, 0);
 }
 
 RicSample RicSampler::generate(Rng& rng) {
@@ -57,11 +58,29 @@ RicSample RicSampler::generate(Rng& rng) {
 }
 
 RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
-  const auto members = communities_->members(community);  // range-checked
   RicSample sample;
-  sample.community = community;
-  sample.threshold = communities_->threshold(community);
-  sample.member_count = static_cast<std::uint32_t>(members.size());
+  sample.touching.clear();
+  const RicSampleMeta meta =
+      generate_for_community_into(community, rng, sample.touching);
+  sample.community = meta.community;
+  sample.threshold = meta.threshold;
+  sample.member_count = meta.member_count;
+  return sample;
+}
+
+RicSampleMeta RicSampler::generate_into(Rng& rng, TouchArena& out) {
+  return generate_for_community_into(
+      static_cast<CommunityId>(rho_.sample(rng)), rng, out);
+}
+
+RicSampleMeta RicSampler::generate_for_community_into(CommunityId community,
+                                                      Rng& rng,
+                                                      TouchArena& out) {
+  const auto members = communities_->members(community);  // range-checked
+  RicSampleMeta meta;
+  meta.community = community;
+  meta.threshold = communities_->threshold(community);
+  meta.member_count = static_cast<std::uint32_t>(members.size());
 
   // -- Phase 1: backward BFS from the whole community, flipping each edge
   // at most once (the st[e] bookkeeping of Alg. 1 is implicit: an edge is
@@ -74,30 +93,39 @@ RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
   ++epoch_;
   queue_.clear();
   region_.clear();
-  const auto visit = [&](NodeId v) {
-    if (visit_epoch_[v] != epoch_) {
-      visit_epoch_[v] = epoch_;
-      mask_[v] = 0;
-      queue_.push_back(v);
-      region_.push_back(v);
-    }
-  };
   for (const NodeId u : members) visit(u);
 
-  // live_in lists are stored per head node; remember which heads we touched
-  // so clearing is O(realized edges), not O(n).
-  live_touched_.clear();
+  const std::span<const float> uniform_p = graph_->in_uniform_weights();
+  const std::span<const double> uniform_inv = graph_->in_uniform_inv_log1ps();
   std::size_t head = 0;
   while (head < queue_.size()) {
     const NodeId u = queue_[head++];
     if (model_ == DiffusionModel::kIndependentCascade) {
-      for (const Neighbor& nb : graph_->in_neighbors(u)) {
-        if (rng.bernoulli(static_cast<double>(nb.weight))) {
-          if (live_in_[u].empty()) live_touched_.push_back(u);
-          live_in_[u].push_back(nb.node);  // live edge nb.node -> u
-          visit(nb.node);
+      const float p = uniform_p[u];
+      if (p > 0.0F) {
+        // Uniform in-weights: geometric skipping. One draw per REALIZED
+        // edge (plus a final overshoot) instead of one per in-edge; with
+        // p == 1, 1/log1p(-p) == -0.0 and every skip is 0, so the loop
+        // degenerates to "realize everything".
+        const double inv_log1p = uniform_inv[u];
+        const auto neighbors = graph_->in_neighbors(u);
+        std::uint64_t idx = rng.geometric_skip(inv_log1p);
+        while (idx < neighbors.size()) {
+          const NodeId tail = neighbors[idx].node;
+          add_live_edge(u, tail);
+          visit(tail);
+          idx += 1 + rng.geometric_skip(inv_log1p);
+        }
+      } else if (p < 0.0F) {
+        // Mixed in-weights: per-edge Bernoulli fallback.
+        for (const Neighbor& nb : graph_->in_neighbors(u)) {
+          if (rng.bernoulli(static_cast<double>(nb.weight))) {
+            add_live_edge(u, nb.node);
+            visit(nb.node);
+          }
         }
       }
+      // p == 0 (uniformly zero weights / no in-edges): nothing realizes.
     } else {
       // LT live-edge: node u keeps exactly one in-edge with probability
       // equal to its weight (none with the leftover probability).
@@ -105,8 +133,7 @@ RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
       for (const Neighbor& nb : graph_->in_neighbors(u)) {
         x -= static_cast<double>(nb.weight);
         if (x < 0.0) {
-          live_touched_.push_back(u);  // first and only edge into u
-          live_in_[u].push_back(nb.node);
+          add_live_edge(u, nb.node);
           visit(nb.node);
           break;
         }
@@ -114,35 +141,57 @@ RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
     }
   }
 
-  // -- Phase 2: per-member backward DFS over realized edges. Node v gets
-  // bit j iff v can reach member j — this is the transpose of R_g(u_j).
-  std::vector<NodeId> stack;
+  // -- Phase 2: bit-parallel mask propagation. Node v gets bit j iff v can
+  // reach member j — all <= 64 bits flow at once along the realized edges
+  // (mask_[tail] |= mask_[head]) through one monotone worklist fixpoint,
+  // instead of one DFS per member. Reusing queue_ as the worklist is safe:
+  // the BFS above fully drained it.
+  queue_.clear();
+  head = 0;
   for (std::uint32_t j = 0; j < members.size(); ++j) {
-    const std::uint64_t bit = 1ULL << j;
-    const NodeId root = members[j];
-    if ((mask_[root] & bit) != 0) continue;
-    mask_[root] |= bit;
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const NodeId v = stack.back();
-      stack.pop_back();
-      for (const NodeId w : live_in_[v]) {  // live edge w -> v
-        if ((mask_[w] & bit) == 0) {
-          mask_[w] |= bit;
-          stack.push_back(w);
+    mask_[members[j]] |= 1ULL << j;
+  }
+  for (const NodeId u : members) {
+    if (!in_worklist_[u]) {
+      in_worklist_[u] = 1;
+      queue_.push_back(u);
+    }
+  }
+  while (head < queue_.size()) {
+    const NodeId v = queue_[head++];
+    in_worklist_[v] = 0;
+    const std::uint64_t m = mask_[v];
+    for (std::uint32_t e = live_head_[v]; e != kNoLiveEdge;
+         e = live_next_[e]) {
+      const NodeId w = live_tail_[e];  // live edge w -> v
+      if ((mask_[w] | m) != mask_[w]) {
+        mask_[w] |= m;
+        if (!in_worklist_[w]) {
+          in_worklist_[w] = 1;
+          queue_.push_back(w);
         }
       }
     }
   }
 
   // -- Phase 3: emit (node, mask) pairs sorted by node id; reset scratch.
-  sample.touching.reserve(region_.size());
+  // Sorting the 4-byte node ids and then emitting beats sorting the
+  // 16-byte pairs in place, and the ordered mask_ reads are cache-kinder.
+  // No per-sample reserve: arenas accumulate MANY samples, and reserve()
+  // grows capacity to exactly the requested size — calling it per sample
+  // would defeat push_back's geometric growth and turn bulk generation
+  // quadratic in the arena size.
+  std::sort(region_.begin(), region_.end());
+  const std::size_t start = out.size();
   for (const NodeId v : region_) {
-    if (mask_[v] != 0) sample.touching.emplace_back(v, mask_[v]);
+    if (mask_[v] != 0) out.emplace_back(v, mask_[v]);
   }
-  std::sort(sample.touching.begin(), sample.touching.end());
-  for (const NodeId u : live_touched_) live_in_[u].clear();
-  return sample;
+  meta.touch_count = static_cast<std::uint32_t>(out.size() - start);
+  for (const NodeId u : live_touched_) live_head_[u] = kNoLiveEdge;
+  live_touched_.clear();
+  live_tail_.clear();
+  live_next_.clear();
+  return meta;
 }
 
 }  // namespace imc

@@ -12,9 +12,23 @@
 // Member sets are stored as 64-bit masks: the library requires community
 // populations of at most 64, which the paper's experiments always satisfy
 // (communities are size-capped at s = 8 by default and s <= 32 in sweeps).
+//
+// Engine notes (DESIGN.md §9, "Sampling engine"):
+//   * Live-edge realization uses geometric skipping on nodes whose
+//     in-edges share one probability (every node under weighted cascade):
+//     one uniform draw jumps straight to the next realized edge instead of
+//     one Bernoulli per in-edge. Mixed-weight nodes keep the per-edge path.
+//   * Member reachability is computed by ONE bit-parallel worklist pass
+//     that propagates all <= 64 member bits at once along realized edges —
+//     O(live edges × rounds) instead of one DFS per member.
+//   * Scratch is flat: realized in-edges live in a head/next arena (no
+//     per-node heap vectors), and `generate_into` appends the touching
+//     pairs straight into a caller-owned arena so pool growth never
+//     materializes intermediate RicSample objects.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "community/community_set.h"
@@ -27,6 +41,15 @@ namespace imc {
 
 /// Maximum community population supported by the mask representation.
 inline constexpr std::uint32_t kMaxCommunityPopulation = 64;
+
+/// Version of the sampler's RNG-consumption contract. The determinism unit
+/// is unchanged — one substream per global sample index, derived as
+/// splitmix_of(seed, base + i) — but the number of draws consumed PER
+/// sample differs across versions, so pools generated from the same seed
+/// are not comparable across them. v1: per-edge Bernoulli realization
+/// (PRs 0–2). v2: geometric-skip realization on uniform-in-weight nodes
+/// (golden-seed pins re-recorded once in maxr_determinism_test).
+inline constexpr std::uint32_t kRicSamplerRngContract = 2;
 
 /// One RIC sample. `touching` lists every node that can reach >= 1 member
 /// of the source community in the realization, with the mask of members it
@@ -51,6 +74,15 @@ struct RicSample {
   }
 };
 
+/// Per-sample metadata the arena-direct generation path emits alongside the
+/// touching pairs — everything RicPool stores besides the pairs themselves.
+struct RicSampleMeta {
+  CommunityId community = kInvalidCommunity;
+  std::uint32_t threshold = 1;     // h_g
+  std::uint32_t member_count = 0;  // |C_g| (<= 64)
+  std::uint32_t touch_count = 0;   // pairs appended to the arena
+};
+
 /// Reusable generator (owns scratch buffers; one instance per thread).
 ///
 /// Supports both diffusion models (the paper's §II-A remark): under IC each
@@ -60,6 +92,9 @@ struct RicSample {
 /// region is a union of in-trees.
 class RicSampler {
  public:
+  /// The arena type `generate_into` appends to: (node, member mask) pairs.
+  using TouchArena = std::vector<std::pair<NodeId, std::uint64_t>>;
+
   /// Requires every community population <= kMaxCommunityPopulation and a
   /// non-empty community set; throws std::invalid_argument otherwise.
   /// For kLinearThreshold the incoming weights of every node must sum to
@@ -75,6 +110,15 @@ class RicSampler {
   [[nodiscard]] RicSample generate_for_community(CommunityId community,
                                                  Rng& rng);
 
+  /// Arena-direct variant: appends the sample's touching pairs (sorted by
+  /// node id) to `out` and returns the metadata. Pool growth uses this to
+  /// emit straight into per-thread arenas with zero intermediate copies.
+  RicSampleMeta generate_into(Rng& rng, TouchArena& out);
+
+  /// Arena-direct variant of generate_for_community.
+  RicSampleMeta generate_for_community_into(CommunityId community, Rng& rng,
+                                            TouchArena& out);
+
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
   [[nodiscard]] const CommunitySet& communities() const noexcept {
     return *communities_;
@@ -82,7 +126,39 @@ class RicSampler {
 
   [[nodiscard]] DiffusionModel model() const noexcept { return model_; }
 
+  /// Test-only: forces the visit-epoch counter so the wrap branch
+  /// (epoch_ == UINT32_MAX → full refill, restart at 1) can be exercised
+  /// without generating 2^32 samples.
+  void set_visit_epoch_for_test(std::uint32_t value) noexcept {
+    epoch_ = value;
+  }
+  [[nodiscard]] std::uint32_t visit_epoch_for_test() const noexcept {
+    return epoch_;
+  }
+
  private:
+  /// Sentinel for "no (more) realized in-edges" in the live-edge arena.
+  static constexpr std::uint32_t kNoLiveEdge = 0xFFFFFFFFU;
+
+  /// Marks v visited (epoch trick) and enqueues it for the BFS. Inline:
+  /// called once per realized edge, millions of times per grow().
+  void visit(NodeId v) {
+    if (visit_epoch_[v] != epoch_) {
+      visit_epoch_[v] = epoch_;
+      mask_[v] = 0;
+      queue_.push_back(v);
+      region_.push_back(v);
+    }
+  }
+  /// Records realized live edge tail -> head in the flat arena. Inline for
+  /// the same reason as visit().
+  void add_live_edge(NodeId head, NodeId tail) {
+    if (live_head_[head] == kNoLiveEdge) live_touched_.push_back(head);
+    live_next_.push_back(live_head_[head]);
+    live_tail_.push_back(tail);
+    live_head_[head] = static_cast<std::uint32_t>(live_tail_.size() - 1);
+  }
+
   const Graph* graph_;
   const CommunitySet* communities_;
   DiffusionModel model_ = DiffusionModel::kIndependentCascade;
@@ -92,10 +168,23 @@ class RicSampler {
   std::vector<std::uint32_t> visit_epoch_;
   std::vector<std::uint64_t> mask_;
   std::uint32_t epoch_ = 0;
-  std::vector<NodeId> queue_;
-  std::vector<NodeId> region_;
-  std::vector<std::vector<NodeId>> live_in_;  // realized live edges INTO each node (tails)
-  std::vector<NodeId> live_touched_;           // heads with live in-edges
+  std::vector<NodeId> queue_;   // phase-1 BFS queue, reused as the phase-2
+                                // worklist (both drained head-to-tail)
+  std::vector<NodeId> region_;  // all visited nodes, BFS order
+
+  // Realized live edges INTO each node, as a flat head/next linked arena:
+  // live_head_[v] indexes the first entry for v (kNoLiveEdge when none),
+  // entries chain through live_next_, tails live in live_tail_. Replaces
+  // the former vector<vector<NodeId>> — zero per-node heap churn, O(live
+  // edges) reset via live_touched_.
+  std::vector<std::uint32_t> live_head_;
+  std::vector<NodeId> live_tail_;
+  std::vector<std::uint32_t> live_next_;
+  std::vector<NodeId> live_touched_;  // heads with live in-edges this sample
+
+  // Phase-2 worklist membership flags (all false between samples: every
+  // queued node is popped exactly once per queue residency).
+  std::vector<std::uint8_t> in_worklist_;
 };
 
 }  // namespace imc

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -82,6 +83,23 @@ class Rng {
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Number of consecutive Bernoulli(p) failures before the next success,
+  /// parameterized by 1 / log1p(-p) = 1 / log(1 - p) (precompute once per
+  /// p; a multiply here instead of a divide). One uniform draw replaces a
+  /// whole run of bernoulli(p) calls — the geometric-skip trick for
+  /// realizing sparse live-edge sets. Requires p in (0, 1], i.e.
+  /// inv_log1p_neg_p in [-inf, -0.0]; p == 1 (inv == -0.0) always returns
+  /// 0. P(skip >= k) = (1-p)^k up to one rounding of 1 - u (glibc's log
+  /// is ~2x faster than log1p and u is a fresh draw, so the ulp-level
+  /// rounding only perturbs which exact doubles map to each skip, not the
+  /// distribution).
+  std::uint64_t geometric_skip(double inv_log1p_neg_p) noexcept {
+    const double failures = std::log(1.0 - uniform()) * inv_log1p_neg_p;
+    return failures < 9.0e18
+               ? static_cast<std::uint64_t>(failures)
+               : std::numeric_limits<std::uint64_t>::max();
+  }
 
   /// Derives an independent substream; streams with distinct ids never
   /// correlate in practice (SplitMix64 re-expansion of mixed state).

@@ -145,6 +145,11 @@ TEST(Imcaf, ReportsRuntime) {
       imcaf_solve(instance.graph, instance.communities, 3, solver, config);
   EXPECT_GE(result.runtime_seconds, 0.0);
   EXPECT_LT(result.runtime_seconds, 120.0);
+  // Sampling instrumentation: every sample the run used was generated
+  // inside a timed grow() stage, and the grow time is part of the total.
+  EXPECT_EQ(result.samples_generated, result.samples_used);
+  EXPECT_GE(result.sampling_seconds, 0.0);
+  EXPECT_LE(result.sampling_seconds, result.runtime_seconds);
 }
 
 }  // namespace

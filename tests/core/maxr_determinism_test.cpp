@@ -67,16 +67,19 @@ void expect_pinned_seeds(const RicPool& pool,
   }
 }
 
-// Expected seed sets recorded with the pre-refactor nested-vector pool
-// layout (PR 1). These are exact-equality pins, not statistical checks.
+// Expected seed sets recorded under RNG contract v2 (geometric-skip
+// live-edge realization, kRicSamplerRngContract). These are exact-equality
+// pins, not statistical checks: any layout or sampler change that alters
+// the per-sample draw sequence must bump the contract version and re-record
+// them ONCE, with serial/parallel agreement verified at every thread count.
 TEST_F(MaxrDeterminismTest, PinnedSeedsThresholdOne) {
-  expect_pinned_seeds(make_pool(1), {1, 3, 0, 8, 44, 110, 40, 6},
-                      {1, 3, 0, 8, 10, 6, 4, 2});
+  expect_pinned_seeds(make_pool(1), {1, 3, 0, 8, 10, 44, 37, 109},
+                      {1, 3, 0, 10, 6, 8, 2, 4});
 }
 
 TEST_F(MaxrDeterminismTest, PinnedSeedsThresholdTwo) {
-  expect_pinned_seeds(make_pool(2), {1, 3, 0, 8, 6, 33, 40, 97},
-                      {1, 3, 0, 8, 10, 6, 4, 2});
+  expect_pinned_seeds(make_pool(2), {1, 3, 0, 10, 44, 6, 33, 4},
+                      {1, 3, 0, 10, 6, 8, 2, 4});
 }
 
 }  // namespace

@@ -2,7 +2,8 @@
 // of grow() (serial and parallel) and append(), the CSR inverted index, the
 // sample-major arena, the appearance counts, and the community frequencies
 // must match a straightforward nested-vector reference rebuilt from the
-// retained AoS samples. Also pins the uint32 sample-id overflow guard.
+// materialized per-sample views. Also pins the uint32 sample-id overflow
+// guard.
 #include <gtest/gtest.h>
 
 #include <cstdint>

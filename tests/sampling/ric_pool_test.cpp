@@ -151,7 +151,7 @@ TEST(RicPool, CommunityFrequencyCountersMatchRecount) {
   pool.append(manual);
 
   std::vector<std::uint32_t> recount(communities.size(), 0);
-  for (const RicSample& g : pool.samples()) ++recount[g.community];
+  for (const CommunityId c : pool.source_communities()) ++recount[c];
   ASSERT_EQ(pool.community_frequencies().size(), recount.size());
   for (CommunityId c = 0; c < communities.size(); ++c) {
     EXPECT_EQ(pool.community_frequency(c), recount[c]) << "community " << c;

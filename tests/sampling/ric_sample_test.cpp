@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "graph/algorithms.h"
@@ -143,6 +144,70 @@ TEST(RicSampler, TouchingSortedByNode) {
     for (std::size_t j = 1; j < g.touching.size(); ++j) {
       EXPECT_LT(g.touching[j - 1].first, g.touching[j].first);
     }
+  }
+}
+
+TEST(RicSampler, VisitEpochWrapRefillsAndRestarts) {
+  // Regression for the epoch-counter wrap branch: at epoch_ == UINT32_MAX
+  // the per-node visit marks could alias a restarted counter, so the
+  // sampler must refill them and restart at 1 — and the samples generated
+  // across the wrap must stay exact.
+  GraphBuilder builder;
+  builder.reserve_nodes(6);
+  builder.add_edge(2, 0, 1.0);  // 2 -> member 0
+  builder.add_edge(3, 2, 1.0);  // 3 -> 2 -> 0
+  const Graph graph = builder.build();
+  CommunitySet communities(6, {{0, 1}, {4, 5}});
+  RicSampler sampler(graph, communities);
+  Rng rng(9);
+
+  // Populate the visit marks with a pre-wrap epoch, then force the wrap.
+  const RicSample before = sampler.generate_for_community(0, rng);
+  EXPECT_EQ(before.mask_of(3), 0b01ULL);
+  sampler.set_visit_epoch_for_test(std::numeric_limits<std::uint32_t>::max());
+
+  const RicSample wrapped = sampler.generate_for_community(0, rng);
+  EXPECT_EQ(sampler.visit_epoch_for_test(), 1U);
+  EXPECT_EQ(wrapped.mask_of(0), 0b01ULL);
+  EXPECT_EQ(wrapped.mask_of(1), 0b10ULL);
+  EXPECT_EQ(wrapped.mask_of(2), 0b01ULL);
+  EXPECT_EQ(wrapped.mask_of(3), 0b01ULL);
+  EXPECT_EQ(wrapped.touching.size(), 4U);
+
+  // Marks stamped with the old large epochs must not leak into the
+  // restarted counter's samples.
+  const RicSample after = sampler.generate_for_community(1, rng);
+  EXPECT_EQ(sampler.visit_epoch_for_test(), 2U);
+  EXPECT_EQ(after.touching.size(), 2U);  // {4, 5}: no in-edges
+  EXPECT_EQ(after.mask_of(2), 0ULL);
+  EXPECT_EQ(after.mask_of(3), 0ULL);
+}
+
+TEST(RicSampler, GenerateIntoMatchesGenerate) {
+  // The arena-direct path must emit exactly the touching pairs and
+  // metadata of the RicSample path, including when the arena already holds
+  // earlier samples (appends, no clobbering).
+  const Graph graph = test::complete_graph(10, 0.4);
+  CommunitySet communities(10, {{0, 1, 2}, {5, 6}});
+  communities.set_threshold(1, 2);
+  RicSampler by_value(graph, communities);
+  RicSampler arena_direct(graph, communities);
+  Rng rng_a(10);
+  Rng rng_b(10);
+  RicSampler::TouchArena arena;
+  std::size_t consumed = 0;
+  for (int i = 0; i < 40; ++i) {
+    const RicSample expected = by_value.generate(rng_a);
+    const RicSampleMeta meta = arena_direct.generate_into(rng_b, arena);
+    EXPECT_EQ(meta.community, expected.community);
+    EXPECT_EQ(meta.threshold, expected.threshold);
+    EXPECT_EQ(meta.member_count, expected.member_count);
+    ASSERT_EQ(meta.touch_count, expected.touching.size());
+    ASSERT_EQ(arena.size(), consumed + meta.touch_count);
+    for (std::size_t j = 0; j < expected.touching.size(); ++j) {
+      EXPECT_EQ(arena[consumed + j], expected.touching[j]);
+    }
+    consumed = arena.size();
   }
 }
 
