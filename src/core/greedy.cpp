@@ -210,6 +210,19 @@ struct CelfLess {
   }
 };
 
+/// Relative width of the stale-bound drift guard. ν marginals are
+/// non-increasing in exact arithmetic (submodularity), but marginal_nu is
+/// a plain-double sum of fraction-table deltas, so a node's true gain can
+/// drift a few ulps ABOVE its cached CELF bound as the covered masks
+/// change underneath it (relative error of a non-negative T-term sum is
+/// O(T·eps), ~1e-11 for the largest pools). A fresh heap top may then beat
+/// a buried near-tie whose true gain is actually higher, diverging from
+/// plain_greedy_nu. Before trusting a fresh top, every stale entry within
+/// this band of it is refreshed; 1e-9 is ~100x the worst-case drift while
+/// still far below any meaningful gain difference, so the extra refreshes
+/// only hit (near-)exact ties.
+inline constexpr double kCelfDriftGuard = 1e-9;
+
 }  // namespace
 
 GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
@@ -255,14 +268,48 @@ GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
       sweep != nullptr ? std::max<std::size_t>(32, sweep->size() * 8) : 1;
   std::vector<CelfEntry> stale;
   stale.reserve(burst);
+  std::vector<CelfEntry> band;
 
   std::uint32_t round = 0;
   while (round < k && !heap.empty()) {
     if (heap.top().round == round) {
-      // Fresh top: stale entries still cache upper bounds (submodularity),
-      // so this is the true argmax; heap order breaks ties by node id.
-      state.add_seed(heap.top().node);
+      // Fresh top: stale entries cache upper bounds (submodularity), BUT
+      // floating-point drift can push a buried entry's true gain a few
+      // ulps above its cached bound (see kCelfDriftGuard). Drain the whole
+      // guard band — including fresh ties, which can hide a one-ulp-lower
+      // stale bound beneath them — refresh the stale ones, and only trust
+      // the top once no refresh outranked it.
+      //
+      // Zero-gain top short-circuits the drain: a zero marginal is a sum
+      // whose every term is zero (the fraction-table deltas are exact
+      // doubles), so neither cached nor fresh zeros carry drift, and the
+      // heap's id tie-break already matches the reference ordering. This
+      // keeps the exhausted tail O(log n) per pick instead of re-draining
+      // every zero entry each round.
+      CelfEntry top = heap.top();
       heap.pop();
+      if (top.gain > 0.0) {
+        bool refreshed_stale = false;
+        const double guard = kCelfDriftGuard * (1.0 + top.gain);
+        band.clear();
+        while (!heap.empty() && heap.top().gain >= top.gain - guard) {
+          CelfEntry entry = heap.top();
+          heap.pop();
+          if (entry.round != round) {
+            entry.gain = state.marginal_nu(entry.node);
+            entry.round = round;
+            refreshed_stale = true;
+          }
+          band.push_back(entry);
+        }
+        for (const CelfEntry& entry : band) heap.push(entry);
+        if (refreshed_stale && !heap.empty() &&
+            CelfLess{}(top, heap.top())) {
+          heap.push(top);  // a refreshed entry won; pick it next iteration
+          continue;
+        }
+      }
+      state.add_seed(top.node);
       ++round;
       continue;
     }

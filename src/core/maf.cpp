@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace imc {
 
 MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
                       std::uint64_t seed, const GreedyOptions& options) {
+  // Same contract as the greedy selectors and bt_solve: an empty budget is
+  // a caller bug, not an empty solution (it would silently score 0 and win
+  // no max(), masking the mistake downstream in MB).
+  if (k == 0) throw std::invalid_argument("maf_solve: k must be >= 1");
   const CommunitySet& communities = pool.communities();
   const NodeId n = pool.graph().node_count();
   Rng rng(seed);

@@ -276,10 +276,29 @@ void RicPool::append(RicSample sample) {
       sample.threshold > communities_->population(sample.community)) {
     throw std::invalid_argument("RicPool::append: threshold out of range");
   }
+  // Reject masks with bits beyond the community population: popcount-based
+  // evaluators would count the phantom members toward h_g. (population is
+  // in [1, 64] here — empty communities are rejected by CommunitySet and
+  // the threshold check above bounds it — so the shift is well-defined.)
+  const std::uint64_t population = communities_->population(sample.community);
+  const std::uint64_t member_bits =
+      population >= 64 ? ~0ull : (1ull << population) - 1;
+  NodeId previous_node = 0;
+  bool first = true;
   for (const auto& [node, mask] : sample.touching) {
-    if (node >= graph_->node_count() || mask == 0) {
+    if (node >= graph_->node_count() || mask == 0 ||
+        (mask & ~member_bits) != 0) {
       throw std::invalid_argument("RicPool::append: bad touching entry");
     }
+    // Touches must be strictly ascending by node (which also bans
+    // duplicates): sample() reads rely on it, and the CSR merge emits
+    // per-node runs whose sample-id order assumes one touch per node.
+    if (!first && node <= previous_node) {
+      throw std::invalid_argument(
+          "RicPool::append: touching entries not sorted by node");
+    }
+    previous_node = node;
+    first = false;
   }
   check_capacity(1);
   sample_arena_.insert(sample_arena_.end(), sample.touching.begin(),

@@ -1,0 +1,587 @@
+#include "testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "sampling/ric_pool.h"
+#include "sampling/ric_sample.h"
+#include "testing/reference_oracles.h"
+#include "util/thread_pool.h"
+
+namespace imc::testing {
+
+std::uint64_t fuzz_case_seed(std::uint64_t base_seed,
+                             std::uint64_t index) noexcept {
+  std::uint64_t state = base_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return splitmix64(state);
+}
+
+namespace {
+
+/// Pool size for the exact-level checks: small enough that from-scratch
+/// oracles stay cheap, large enough to hit multi-part growth and index
+/// merges.
+std::uint64_t pool_size_for(std::uint64_t case_seed) {
+  return 40 + case_seed % 33;
+}
+
+/// Builds the reference pool by replaying the pool's documented RNG
+/// contract — one substream Rng(fuzz_case_seed(seed, i)) per sample index,
+/// identical to RicPool::grow's splitmix_of — through the AoS
+/// RicSampler::generate path (which shares generate_into's consumption).
+/// The CONTAINER and everything downstream of it is independent; only the
+/// sample stream is shared, which is what makes the layout/evaluator/
+/// greedy comparisons exact.
+ReferencePool contract_reference_pool(const Graph& graph,
+                                      const CommunitySet& communities,
+                                      DiffusionModel model,
+                                      std::uint64_t count,
+                                      std::uint64_t seed) {
+  ReferencePool ref(graph, communities);
+  RicSampler sampler(graph, communities, model);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Rng rng(fuzz_case_seed(seed, i));
+    ref.add(sampler.generate(rng));
+  }
+  return ref;
+}
+
+std::string describe_nodes(std::span<const NodeId> nodes) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out << (i ? "," : "") << nodes[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Check: pool_layout
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_pool_layout(const InstanceSpec& spec,
+                                             std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  // Split growth across a serial call and a parallel multi-part call: the
+  // contract says grow(a); grow(b) == grow(a + b) for any parallelism.
+  RicPool pool(graph, communities, spec.model);
+  ThreadPool workers(3);
+  pool.grow(count / 2, case_seed, /*parallel=*/false);
+  pool.grow(count - count / 2, case_seed, /*parallel=*/true, &workers);
+
+  const ReferencePool ref = contract_reference_pool(
+      graph, communities, spec.model, count, case_seed);
+
+  if (pool.size() != ref.size()) {
+    return "pool size " + std::to_string(pool.size()) + " != reference " +
+           std::to_string(ref.size());
+  }
+  for (std::uint32_t g = 0; g < count; ++g) {
+    const RicSample got = pool.sample(g);
+    const RicSample& want = ref.sample(g);
+    if (got.community != want.community ||
+        got.threshold != want.threshold ||
+        got.member_count != want.member_count ||
+        got.touching != want.touching) {
+      return "sample " + std::to_string(g) +
+             " mismatch (community/threshold/touching)";
+    }
+    const auto arena = pool.sample_touches(g);
+    if (!std::equal(arena.begin(), arena.end(), want.touching.begin(),
+                    want.touching.end())) {
+      return "sample-major arena mismatch at sample " + std::to_string(g);
+    }
+  }
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const auto got = pool.touches_of(v);
+    const auto& want = ref.touches_of(v);
+    if (got.size() != want.size()) {
+      return "node " + std::to_string(v) + " touch count " +
+             std::to_string(got.size()) + " != reference " +
+             std::to_string(want.size());
+    }
+    for (std::size_t t = 0; t < want.size(); ++t) {
+      if (got[t].sample != want[t].sample ||
+          got[t].threshold != want[t].threshold ||
+          got[t].mask != want[t].mask) {
+        return "node " + std::to_string(v) + " touch " + std::to_string(t) +
+               " mismatch";
+      }
+    }
+  }
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    if (pool.community_frequency(c) != ref.community_frequency(c)) {
+      return "community_frequency(" + std::to_string(c) + ") " +
+             std::to_string(pool.community_frequency(c)) + " != reference " +
+             std::to_string(ref.community_frequency(c));
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Check: append_path
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_append_path(const InstanceSpec& spec,
+                                             std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  RicPool grown(graph, communities, spec.model);
+  grown.grow(count, case_seed, /*parallel=*/false);
+
+  // Rebuild sample-by-sample through append(); interleave an index read so
+  // the materialize-on-demand merge runs more than once.
+  RicPool appended(graph, communities, spec.model);
+  for (std::uint32_t g = 0; g < count; ++g) {
+    appended.append(grown.sample(g));
+    if (g == count / 2) {
+      (void)appended.appearance_count(0);  // force a mid-stream materialize
+    }
+  }
+  if (appended.size() != grown.size()) {
+    return "appended pool size mismatch";
+  }
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const auto got = appended.touches_of(v);
+    const auto want = grown.touches_of(v);
+    if (got.size() != want.size()) {
+      return "append: node " + std::to_string(v) + " touch count mismatch";
+    }
+    for (std::size_t t = 0; t < want.size(); ++t) {
+      if (got[t].sample != want[t].sample ||
+          got[t].threshold != want[t].threshold ||
+          got[t].mask != want[t].mask) {
+        return "append: node " + std::to_string(v) + " touch " +
+               std::to_string(t) + " mismatch";
+      }
+    }
+  }
+  const auto got_freq = appended.community_frequencies();
+  const auto want_freq = grown.community_frequencies();
+  if (!std::equal(got_freq.begin(), got_freq.end(), want_freq.begin(),
+                  want_freq.end())) {
+    return "append: community_frequencies mismatch";
+  }
+  // Evaluators must agree exactly: same arenas, same sweep.
+  Rng rng(case_seed ^ 0xa99e4dULL);
+  const auto k = static_cast<std::uint32_t>(
+      rng.between(1, std::min<std::int64_t>(4, graph.node_count())));
+  const std::vector<std::uint32_t> seeds =
+      rng.sample_without_replacement(graph.node_count(), k);
+  const std::span<const NodeId> view(seeds);
+  if (appended.influenced_count(view) != grown.influenced_count(view) ||
+      appended.c_hat(view) != grown.c_hat(view) ||
+      appended.nu(view) != grown.nu(view)) {
+    return "append: evaluator mismatch on seeds " + describe_nodes(view);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Check: evaluators
+// ---------------------------------------------------------------------------
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * (1.0 + std::max(std::abs(a), std::abs(b)));
+}
+
+std::optional<std::string> check_evaluators(const InstanceSpec& spec,
+                                            std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  RicPool pool(graph, communities, spec.model);
+  pool.grow(count, case_seed, /*parallel=*/false);
+  const ReferencePool ref = contract_reference_pool(
+      graph, communities, spec.model, count, case_seed);
+
+  // KahanSum vs plain double summation: agreement to ~1e-12 relative on
+  // these pool sizes; 1e-9 leaves slack without hiding real bugs.
+  constexpr double kTol = 1e-9;
+
+  Rng rng(case_seed ^ 0x5eed5e75ULL);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto size = static_cast<std::uint32_t>(
+        rng.between(0, std::min<std::int64_t>(6, graph.node_count())));
+    const std::vector<std::uint32_t> seeds =
+        rng.sample_without_replacement(graph.node_count(), size);
+    const std::span<const NodeId> view(seeds);
+
+    if (pool.influenced_count(view) != ref.influenced_count(view)) {
+      return "influenced_count mismatch on " + describe_nodes(view);
+    }
+    if (!close(pool.c_hat(view), ref.c_hat(view), kTol)) {
+      return "c_hat mismatch on " + describe_nodes(view);
+    }
+    if (!close(pool.nu(view), ref.nu(view), kTol)) {
+      return "nu mismatch on " + describe_nodes(view);
+    }
+
+    // Incremental CoverageState vs from-scratch recomputation after every
+    // add_seed, then candidate marginals on the final state.
+    CoverageState state(pool);
+    std::vector<NodeId> prefix;
+    for (const NodeId s : view) {
+      state.add_seed(s);
+      prefix.push_back(s);
+      if (state.influenced() != ref.influenced_count(prefix)) {
+        return "CoverageState::influenced mismatch at prefix " +
+               describe_nodes(prefix);
+      }
+      if (!close(state.nu_sum(), ref.nu_sum(prefix), kTol)) {
+        return "CoverageState::nu_sum mismatch at prefix " +
+               describe_nodes(prefix);
+      }
+    }
+    for (NodeId v = 0; v < graph.node_count(); ++v) {
+      if (state.marginal_influenced(v) != ref.marginal_influenced(view, v)) {
+        return "marginal_influenced(" + std::to_string(v) +
+               ") mismatch on " + describe_nodes(view);
+      }
+      // Bit-for-bit: the reference replays the documented accumulation
+      // order, and the fraction table holds exact count/h doubles. Any
+      // difference means the order contract broke.
+      if (state.marginal_nu(v) != ref.marginal_nu(view, v)) {
+        return "marginal_nu(" + std::to_string(v) +
+               ") not bit-identical on " + describe_nodes(view);
+      }
+    }
+
+    // Batch passes: chunked influenced gains must SUM to the marginals for
+    // any partition; the full-range nu pass must match bit-for-bit.
+    const auto n = graph.node_count();
+    std::vector<std::uint64_t> influenced_gains(n, 0);
+    const auto r = static_cast<std::uint32_t>(pool.size());
+    const std::uint32_t cut1 = r / 3;
+    const std::uint32_t cut2 = 2 * r / 3;
+    state.accumulate_influenced_gains(0, cut1, influenced_gains.data());
+    state.accumulate_influenced_gains(cut1, cut2, influenced_gains.data());
+    state.accumulate_influenced_gains(cut2, r, influenced_gains.data());
+    std::vector<double> nu_gains(n, 0.0);
+    state.accumulate_nu_gains(0, r, nu_gains.data());
+    for (NodeId v = 0; v < n; ++v) {
+      const bool is_seed =
+          std::find(view.begin(), view.end(), v) != view.end();
+      const std::uint64_t want_influenced =
+          is_seed ? 0 : ref.marginal_influenced(view, v);
+      if (influenced_gains[v] != want_influenced) {
+        return "accumulate_influenced_gains(" + std::to_string(v) +
+               ") mismatch on " + describe_nodes(view);
+      }
+      const double want_nu = is_seed ? 0.0 : ref.marginal_nu(view, v);
+      if (nu_gains[v] != want_nu) {
+        return "accumulate_nu_gains(" + std::to_string(v) +
+               ") not bit-identical on " + describe_nodes(view);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Check: greedy
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_greedy(const InstanceSpec& spec,
+                                        std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  RicPool pool(graph, communities, spec.model);
+  pool.grow(count, case_seed, /*parallel=*/false);
+  const ReferencePool ref = contract_reference_pool(
+      graph, communities, spec.model, count, case_seed);
+
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const GreedyOptions serial{};
+  // min_parallel_candidates = 1 forces the parallel reduction even on tiny
+  // candidate sets — otherwise every fuzz instance would take the serial
+  // escape hatch and the slab reduction would go untested.
+  const GreedyOptions par2{/*parallel=*/true, &two,
+                           /*min_parallel_candidates=*/1};
+  const GreedyOptions par8{/*parallel=*/true, &eight,
+                           /*min_parallel_candidates=*/1};
+  constexpr double kTol = 1e-9;
+
+  const std::uint32_t n = graph.node_count();
+  std::vector<std::uint32_t> ks{1, std::min<std::uint32_t>(3, n), n};
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+  for (const std::uint32_t k : ks) {
+    const std::vector<NodeId> want_c = reference_greedy_c_hat(ref, k);
+    const std::vector<NodeId> want_nu = reference_greedy_nu(ref, k);
+    for (const GreedyOptions* options : {&serial, &par2, &par8}) {
+      const GreedyResult got_c = greedy_c_hat(pool, k, *options);
+      if (got_c.seeds != want_c) {
+        return "greedy_c_hat(k=" + std::to_string(k) + ") seeds " +
+               describe_nodes(got_c.seeds) + " != reference " +
+               describe_nodes(want_c);
+      }
+      if (!close(got_c.c_hat, ref.c_hat(want_c), kTol) ||
+          !close(got_c.nu, ref.nu(want_c), kTol)) {
+        return "greedy_c_hat(k=" + std::to_string(k) + ") metric mismatch";
+      }
+      const GreedyResult got_plain = plain_greedy_nu(pool, k, *options);
+      const GreedyResult got_celf = celf_greedy_nu(pool, k, *options);
+      if (got_plain.seeds != want_nu) {
+        return "plain_greedy_nu(k=" + std::to_string(k) + ") seeds " +
+               describe_nodes(got_plain.seeds) + " != reference " +
+               describe_nodes(want_nu);
+      }
+      if (got_celf.seeds != want_nu) {
+        return "celf_greedy_nu(k=" + std::to_string(k) + ") seeds " +
+               describe_nodes(got_celf.seeds) + " != reference " +
+               describe_nodes(want_nu);
+      }
+      if (!close(got_plain.nu, ref.nu(want_nu), kTol) ||
+          !close(got_celf.nu, ref.nu(want_nu), kTol)) {
+        return "greedy_nu(k=" + std::to_string(k) + ") metric mismatch";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Check: sampler_distribution
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> check_sampler_distribution(
+    const InstanceSpec& spec, std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+
+  // Only enumerably tiny instances have ground truth; everything else is
+  // counted as skipped by the runner (we signal that with nullopt after
+  // zero work — the runner inspects instance size itself for accounting).
+  const std::vector<NodeId> seeds =
+      graph.node_count() >= 2 ? std::vector<NodeId>{0, 1}
+                              : std::vector<NodeId>{0};
+  const auto exact = enumerate_exact(graph, communities, seeds, spec.model,
+                                     1ULL << 12);
+  if (!exact) return std::nullopt;
+
+  constexpr std::uint64_t kSamples = 1200;
+  const double b = communities.total_benefit();
+
+  // Mean bands: 6σ using the exact per-sample variance for ĉ (Bernoulli)
+  // and the [0,1]-variable bound var <= q(1-q) for ν. False-trigger odds
+  // per band are ~1e-9 — negligible across any plausible number of runs.
+  const double p = std::clamp(exact->c / b, 0.0, 1.0);
+  const double q = std::clamp(exact->nu / b, 0.0, 1.0);
+  const double c_tol =
+      6.0 * b * std::sqrt(p * (1.0 - p) / static_cast<double>(kSamples)) +
+      1e-9;
+  const double nu_tol =
+      6.0 * b * std::sqrt(q * (1.0 - q) / static_cast<double>(kSamples)) +
+      1e-9;
+
+  // Naive per-edge-Bernoulli sampler vs ground truth.
+  ReferencePool naive(graph, communities);
+  Rng rng(case_seed ^ 0x9a17eULL);
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    naive.add(naive_ric_sample(graph, communities, spec.model, rng));
+  }
+  if (std::abs(naive.c_hat(seeds) - exact->c) > c_tol) {
+    return "naive sampler c_hat " + std::to_string(naive.c_hat(seeds)) +
+           " outside 6-sigma of exact " + std::to_string(exact->c);
+  }
+  if (std::abs(naive.nu(seeds) - exact->nu) > nu_tol) {
+    return "naive sampler nu " + std::to_string(naive.nu(seeds)) +
+           " outside 6-sigma of exact " + std::to_string(exact->nu);
+  }
+
+  // Optimized sampler (geometric skip + bit-parallel masks) vs the same
+  // ground truth — the distribution-level certificate for the fast paths.
+  RicPool pool(graph, communities, spec.model);
+  pool.grow(kSamples, case_seed ^ 0x0911edULL, /*parallel=*/false);
+  if (std::abs(pool.c_hat(seeds) - exact->c) > c_tol) {
+    return "RicSampler c_hat " + std::to_string(pool.c_hat(seeds)) +
+           " outside 6-sigma of exact " + std::to_string(exact->c);
+  }
+  if (std::abs(pool.nu(seeds) - exact->nu) > nu_tol) {
+    return "RicSampler nu " + std::to_string(pool.nu(seeds)) +
+           " outside 6-sigma of exact " + std::to_string(exact->nu);
+  }
+
+  // Source communities ~ Binomial(kSamples, b_c / b) for both samplers
+  // (alias table and CDF scan must draw the same rho distribution).
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    const double pc = communities.benefit(c) / b;
+    const double expectation = static_cast<double>(kSamples) * pc;
+    const double band =
+        6.0 * std::sqrt(static_cast<double>(kSamples) * pc * (1.0 - pc)) +
+        1.0;
+    for (const std::uint32_t freq :
+         {naive.community_frequency(c), pool.community_frequency(c)}) {
+      if (std::abs(static_cast<double>(freq) - expectation) > band) {
+        return std::string("community_frequency(") + std::to_string(c) +
+               ") outside binomial band";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// True when the instance is small enough for enumerate_exact to succeed —
+/// used only for skip accounting, mirroring check_sampler_distribution.
+bool distribution_checkable(const InstanceSpec& spec) {
+  if (spec.model == DiffusionModel::kIndependentCascade) {
+    const Graph graph = spec.build_graph();
+    return graph.edge_count() <= 12;
+  }
+  const Graph graph = spec.build_graph();
+  std::uint64_t outcomes = 1;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const std::uint64_t radix = graph.in_neighbors(v).size() + 1;
+    if (outcomes > (1ULL << 12) / radix) return false;
+    outcomes *= radix;
+  }
+  return true;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 10);
+}
+
+}  // namespace
+
+std::vector<FuzzCheck> default_checks() {
+  return {
+      {"pool_layout", check_pool_layout},
+      {"append_path", check_append_path},
+      {"evaluators", check_evaluators},
+      {"greedy", check_greedy},
+      {"sampler_distribution", check_sampler_distribution},
+  };
+}
+
+FuzzConfig fuzz_config_from_env() {
+  FuzzConfig config;
+  config.cases =
+      static_cast<std::uint32_t>(env_u64("IMC_FUZZ_CASES", config.cases));
+  config.base_seed = env_u64("IMC_FUZZ_SEED", config.base_seed);
+  if (std::getenv("IMC_FUZZ_CASE_SEED") != nullptr) {
+    config.case_seed_override = env_u64("IMC_FUZZ_CASE_SEED", 0);
+  }
+  return config;
+}
+
+std::string FuzzReport::summary() const {
+  std::ostringstream out;
+  out << cases_run << " cases, " << checks_run << " checks ("
+      << checks_skipped << " skipped), " << failures.size() << " failure"
+      << (failures.size() == 1 ? "" : "s");
+  for (const FuzzFailure& f : failures) {
+    out << "\n  [" << f.check << "] seed=" << f.case_seed << " "
+        << f.shrunk.summary() << ": " << f.message;
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Runs one check, folding exceptions into failure messages: a throw from
+/// an optimized path on a valid instance is a finding, not a harness
+/// error.
+std::optional<std::string> run_check(const FuzzCheck& check,
+                                     const InstanceSpec& spec,
+                                     std::uint64_t case_seed) {
+  try {
+    return check.run(spec, case_seed);
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  }
+}
+
+}  // namespace
+
+FuzzReport run_differential_fuzz(const FuzzConfig& config,
+                                 std::span<const FuzzCheck> checks,
+                                 std::ostream* log) {
+  FuzzReport report;
+  const std::uint32_t cases =
+      config.case_seed_override ? 1 : config.cases;
+  for (std::uint32_t i = 0; i < cases; ++i) {
+    const std::uint64_t case_seed =
+        config.case_seed_override ? *config.case_seed_override
+                                  : fuzz_case_seed(config.base_seed, i);
+    Rng rng(case_seed);
+    const InstanceSpec spec = random_instance(config.distribution, rng);
+    ++report.cases_run;
+    if (!spec.valid()) {
+      FuzzFailure failure;
+      failure.check = "instance_generator";
+      failure.case_seed = case_seed;
+      failure.message = "random_instance produced an invalid spec";
+      failure.shrunk = spec;
+      failure.repro = repro_snippet(spec, case_seed, failure.check);
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= config.max_failures) break;
+      continue;
+    }
+    for (const FuzzCheck& check : checks) {
+      if (check.name == "sampler_distribution" &&
+          !distribution_checkable(spec)) {
+        ++report.checks_skipped;
+        continue;
+      }
+      ++report.checks_run;
+      std::optional<std::string> message = run_check(check, spec, case_seed);
+      if (!message) continue;
+
+      FuzzFailure failure;
+      failure.check = check.name;
+      failure.case_seed = case_seed;
+      failure.message = *message;
+      failure.shrunk = spec;
+      if (config.max_shrink_evaluations > 0) {
+        const ShrinkResult shrunk = shrink_instance(
+            spec,
+            [&check](const InstanceSpec& candidate, std::uint64_t seed) {
+              return run_check(check, candidate, seed).has_value();
+            },
+            case_seed, config.max_shrink_evaluations);
+        failure.shrunk = shrunk.spec;
+        failure.shrink_evaluations = shrunk.evaluations;
+        // Report the message of the SHRUNK instance — it names the exact
+        // node/sample of the minimal counterexample.
+        if (auto small = run_check(check, shrunk.spec, case_seed)) {
+          failure.message = *small;
+        }
+      }
+      failure.repro =
+          repro_snippet(failure.shrunk, case_seed, failure.check);
+      if (log != nullptr) {
+        *log << "[fuzz] FAIL " << failure.check
+             << " case_seed=" << failure.case_seed << "\n"
+             << "  original: " << spec.summary() << "\n"
+             << "  shrunk:   " << failure.shrunk.summary() << " ("
+             << failure.shrink_evaluations << " shrink evals)\n"
+             << "  " << failure.message << "\n"
+             << failure.repro;
+      }
+      report.failures.push_back(std::move(failure));
+      if (report.failures.size() >= config.max_failures) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace imc::testing

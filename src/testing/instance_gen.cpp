@@ -1,0 +1,208 @@
+#include "testing/instance_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "graph/generators/generators.h"
+#include "graph/weights.h"
+#include "sampling/ric_sample.h"
+
+namespace imc::testing {
+
+namespace {
+
+/// Per-target sum of in-edge weights on the raw edge list (parallel edges
+/// each count, matching the lt_weights_valid check after the noisy-or
+/// merge only approximately — we keep raw sums <= 1, which implies the
+/// merged sums are too, since noisy-or never exceeds the plain sum).
+std::vector<double> in_weight_sums(const InstanceSpec& spec) {
+  std::vector<double> sums(spec.node_count, 0.0);
+  for (const WeightedEdge& e : spec.edges) {
+    if (e.target < spec.node_count && e.source != e.target) {
+      sums[e.target] += e.weight;
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+bool InstanceSpec::valid() const {
+  if (node_count == 0) return false;
+  if (groups.empty()) return false;
+  if (groups.size() != thresholds.size() || groups.size() != benefits.size()) {
+    return false;
+  }
+  std::vector<std::uint8_t> claimed(node_count, 0);
+  double total_benefit = 0.0;
+  for (std::size_t c = 0; c < groups.size(); ++c) {
+    const auto& members = groups[c];
+    if (members.empty() || members.size() > kMaxCommunityPopulation) {
+      return false;
+    }
+    for (const NodeId v : members) {
+      if (v >= node_count || claimed[v]) return false;
+      claimed[v] = 1;
+    }
+    if (thresholds[c] == 0 || thresholds[c] > members.size()) return false;
+    if (!(benefits[c] >= 0.0)) return false;
+    total_benefit += benefits[c];
+  }
+  if (!(total_benefit > 0.0)) return false;  // rho distribution needs mass
+  for (const WeightedEdge& e : edges) {
+    if (e.source >= node_count || e.target >= node_count) return false;
+    if (!(e.weight >= 0.0) || !(e.weight <= 1.0)) return false;
+  }
+  if (model == DiffusionModel::kLinearThreshold) {
+    for (const double sum : in_weight_sums(*this)) {
+      if (sum > 1.0 + 1e-12) return false;
+    }
+  }
+  return true;
+}
+
+Graph InstanceSpec::build_graph() const {
+  return Graph(node_count, edges);
+}
+
+CommunitySet InstanceSpec::build_communities() const {
+  CommunitySet communities(node_count, groups);
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    communities.set_threshold(c, thresholds[c]);
+    communities.set_benefit(c, benefits[c]);
+  }
+  return communities;
+}
+
+std::string InstanceSpec::summary() const {
+  std::ostringstream out;
+  out << topology << " n=" << node_count << " m=" << edges.size()
+      << " r=" << groups.size()
+      << (model == DiffusionModel::kLinearThreshold ? " lt" : " ic");
+  return out.str();
+}
+
+namespace {
+
+EdgeList random_topology(const InstanceDistribution& dist, NodeId n, Rng& rng,
+                         std::string& label) {
+  const double total =
+      dist.p_erdos_renyi + dist.p_planted_partition + dist.p_power_law;
+  const double pick = rng.uniform() * (total > 0.0 ? total : 1.0);
+  if (pick < dist.p_erdos_renyi || total <= 0.0) {
+    label = "er";
+    // Expected out-degree between ~1 and ~4, denser on tiny graphs so they
+    // are not all edgeless.
+    const double p =
+        std::min(1.0, rng.uniform(1.0, 4.0) / std::max<NodeId>(1, n - 1));
+    return erdos_renyi_edges(n, p, rng);
+  }
+  if (pick < dist.p_erdos_renyi + dist.p_planted_partition) {
+    label = "sbm";
+    SbmConfig config;
+    config.nodes = n;
+    config.blocks = static_cast<std::uint32_t>(
+        rng.between(2, std::max<std::int64_t>(2, n / 4)));
+    config.p_in = rng.uniform(0.1, 0.5);
+    config.p_out = rng.uniform(0.0, 0.05);
+    return sbm_edges(config, rng);
+  }
+  label = "ba";
+  BarabasiAlbertConfig config;
+  config.nodes = n;
+  config.attach = static_cast<std::uint32_t>(
+      rng.between(1, std::max<std::int64_t>(1, std::min<NodeId>(4, n - 1))));
+  config.directed = rng.bernoulli(0.5);
+  config.reciprocity = rng.uniform(0.0, 0.5);
+  return barabasi_albert_edges(config, rng);
+}
+
+void random_weights(const InstanceDistribution& dist, InstanceSpec& spec,
+                    Rng& rng) {
+  const bool mixed = rng.bernoulli(dist.p_mixed_weights);
+  if (!mixed) {
+    // The paper's weighted-cascade scheme: w = 1/indeg(target). Uniform
+    // per-node in-weights => the geometric-skip realization path; LT-legal
+    // by construction (sums are exactly 1).
+    apply_weighted_cascade(spec.edges, spec.node_count);
+    return;
+  }
+  // Mixed per-edge weights: distinct in-weights at (almost) every node
+  // force the per-edge Bernoulli fallback. For LT, normalize per target so
+  // in-weight sums stay <= 1.
+  for (WeightedEdge& e : spec.edges) e.weight = rng.uniform(0.05, 0.95);
+  if (spec.model == DiffusionModel::kLinearThreshold) {
+    std::vector<double> sums = in_weight_sums(spec);
+    std::vector<double> scale(spec.node_count, 1.0);
+    for (NodeId v = 0; v < spec.node_count; ++v) {
+      if (sums[v] > 1.0) scale[v] = rng.uniform(0.5, 1.0) / sums[v];
+    }
+    for (WeightedEdge& e : spec.edges) e.weight *= scale[e.target];
+  }
+}
+
+void random_communities(const InstanceDistribution& dist, InstanceSpec& spec,
+                        Rng& rng) {
+  // Shuffle the nodes, leave a random prefix uncovered, then cut the rest
+  // into communities of random size in [1, max_community_size].
+  std::vector<NodeId> order(spec.node_count);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<NodeId>(order));
+  const auto uncovered = static_cast<NodeId>(
+      rng.uniform() * dist.max_uncovered_fraction *
+      static_cast<double>(spec.node_count));
+  // Always keep at least one node for the mandatory first community.
+  std::size_t next = std::min<std::size_t>(uncovered, spec.node_count - 1);
+  while (next < order.size()) {
+    const auto want = static_cast<std::size_t>(
+        rng.between(1, static_cast<std::int64_t>(dist.max_community_size)));
+    const std::size_t take = std::min(want, order.size() - next);
+    std::vector<NodeId> members(order.begin() + static_cast<std::ptrdiff_t>(next),
+                                order.begin() +
+                                    static_cast<std::ptrdiff_t>(next + take));
+    // Sorted member lists keep repro snippets readable; CommunitySet does
+    // not care about order.
+    std::sort(members.begin(), members.end());
+    spec.groups.push_back(std::move(members));
+    next += take;
+  }
+  for (const auto& group : spec.groups) {
+    const auto population = static_cast<std::uint32_t>(group.size());
+    // Mix of the paper's regimes: h = 1 (submodular boundary), constant
+    // h = 2 (bounded), and a random fraction of the population.
+    const double pick = rng.uniform();
+    std::uint32_t h = 1;
+    if (pick < 0.3) {
+      h = 1;
+    } else if (pick < 0.6) {
+      h = std::min<std::uint32_t>(2, population);
+    } else {
+      h = static_cast<std::uint32_t>(
+          rng.between(1, static_cast<std::int64_t>(population)));
+    }
+    spec.thresholds.push_back(h);
+    // Population benefits (the paper) vs arbitrary positive weights.
+    spec.benefits.push_back(rng.bernoulli(0.5)
+                                ? static_cast<double>(population)
+                                : rng.uniform(0.1, 4.0));
+  }
+}
+
+}  // namespace
+
+InstanceSpec random_instance(const InstanceDistribution& dist, Rng& rng) {
+  InstanceSpec spec;
+  spec.node_count = static_cast<NodeId>(
+      rng.between(dist.min_nodes, dist.max_nodes));
+  spec.model = rng.bernoulli(dist.p_linear_threshold)
+                   ? DiffusionModel::kLinearThreshold
+                   : DiffusionModel::kIndependentCascade;
+  spec.edges = random_topology(dist, spec.node_count, rng, spec.topology);
+  random_weights(dist, spec, rng);
+  random_communities(dist, spec, rng);
+  return spec;
+}
+
+}  // namespace imc::testing

@@ -1,0 +1,90 @@
+// Deterministic random IMC instance generation for the differential fuzz
+// harness (DESIGN.md §10, "Testing architecture").
+//
+// An InstanceSpec is the *explicit* form of a problem instance — node
+// count, edge list, community member lists, thresholds, benefits, model —
+// rather than a (generator, seed) pair. The shrinker needs this: dropping
+// an edge or a community from a seed is meaningless, but dropping it from
+// the explicit lists while the failure still reproduces is exactly how a
+// 48-node counterexample collapses to a 6-node repro. Specs build real
+// Graph/CommunitySet values on demand and can print themselves as a
+// self-contained C++ snippet (shrink.h) so a failing case survives outside
+// the harness.
+//
+// `random_instance` draws a spec from a configurable distribution using
+// the project Rng, covering the regimes the optimized hot paths branch on:
+// Erdős–Rényi / planted-partition / power-law topologies, uniform in-edge
+// weights (the geometric-skip sampler path) and mixed per-edge weights
+// (the per-edge Bernoulli fallback), IC and LT diffusion, and community
+// structures with varying thresholds h_i and benefits b_i.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "community/community_set.h"
+#include "diffusion/monte_carlo.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace imc::testing {
+
+/// Explicit, shrinkable problem instance.
+struct InstanceSpec {
+  NodeId node_count = 0;
+  EdgeList edges;
+  std::vector<std::vector<NodeId>> groups;  // community member lists
+  std::vector<std::uint32_t> thresholds;    // h_i, parallel to groups
+  std::vector<double> benefits;             // b_i, parallel to groups
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  std::string topology;  // human label for repro printing ("er", "sbm", ...)
+
+  /// Structural validity — what Graph/CommunitySet/RicSampler construction
+  /// would enforce, checked cheaply up front so the shrinker can discard
+  /// candidate reductions that left the spec unbuildable (empty community,
+  /// dangling node id, LT weight sums > 1, ...) without relying on
+  /// exceptions for control flow.
+  [[nodiscard]] bool valid() const;
+
+  /// Materializes the graph (noisy-or merge of parallel edges, as always).
+  [[nodiscard]] Graph build_graph() const;
+
+  /// Materializes the community set with thresholds and benefits applied.
+  [[nodiscard]] CommunitySet build_communities() const;
+
+  /// One-line shape summary, e.g. "er n=12 m=31 r=3 ic".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Distribution the fuzz cases are drawn from. The defaults keep instances
+/// small enough that a 200-case run (with oracles that recompute
+/// everything from scratch) finishes in seconds, while still covering
+/// every generator/weight/model regime.
+struct InstanceDistribution {
+  NodeId min_nodes = 4;
+  NodeId max_nodes = 48;
+  /// Probability of drawing each topology (normalized internally).
+  double p_erdos_renyi = 0.4;
+  double p_planted_partition = 0.3;
+  double p_power_law = 0.3;
+  /// Probability that edge weights are mixed per-edge draws instead of the
+  /// uniform weighted-cascade scheme (mixed weights force the sampler off
+  /// the geometric-skip fast path).
+  double p_mixed_weights = 0.35;
+  /// Probability of the linear-threshold model (else independent cascade).
+  double p_linear_threshold = 0.25;
+  /// Community size cap (must stay <= 64 for the mask representation).
+  NodeId max_community_size = 8;
+  /// Fraction of nodes left outside every community, drawn per instance
+  /// from [0, max_uncovered_fraction].
+  double max_uncovered_fraction = 0.3;
+};
+
+/// Draws one instance. Deterministic given the rng state; every draw goes
+/// through the passed Rng, so a single case seed reproduces the instance.
+[[nodiscard]] InstanceSpec random_instance(const InstanceDistribution& dist,
+                                           Rng& rng);
+
+}  // namespace imc::testing

@@ -1,0 +1,169 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace imc::testing {
+
+namespace {
+
+/// Remaps node ids after deleting `victim`: ids above it shift down by one.
+NodeId remap(NodeId v, NodeId victim) { return v > victim ? v - 1 : v; }
+
+/// Spec with node `victim` removed: its edges vanish, its community (if
+/// any) loses the member, all other ids shift down.
+InstanceSpec drop_node(const InstanceSpec& spec, NodeId victim) {
+  InstanceSpec out;
+  out.node_count = spec.node_count - 1;
+  out.model = spec.model;
+  out.topology = spec.topology;
+  for (const WeightedEdge& e : spec.edges) {
+    if (e.source == victim || e.target == victim) continue;
+    out.edges.push_back(
+        {remap(e.source, victim), remap(e.target, victim), e.weight});
+  }
+  for (std::size_t c = 0; c < spec.groups.size(); ++c) {
+    std::vector<NodeId> members;
+    for (const NodeId v : spec.groups[c]) {
+      if (v != victim) members.push_back(remap(v, victim));
+    }
+    if (members.empty()) continue;  // community died with its last member
+    const auto population = static_cast<std::uint32_t>(members.size());
+    out.groups.push_back(std::move(members));
+    out.thresholds.push_back(std::min(spec.thresholds[c], population));
+    out.benefits.push_back(spec.benefits[c]);
+  }
+  return out;
+}
+
+InstanceSpec drop_community(const InstanceSpec& spec, std::size_t victim) {
+  InstanceSpec out = spec;
+  out.groups.erase(out.groups.begin() + static_cast<std::ptrdiff_t>(victim));
+  out.thresholds.erase(out.thresholds.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+  out.benefits.erase(out.benefits.begin() +
+                     static_cast<std::ptrdiff_t>(victim));
+  return out;
+}
+
+InstanceSpec drop_edge_range(const InstanceSpec& spec, std::size_t begin,
+                             std::size_t end) {
+  InstanceSpec out = spec;
+  out.edges.erase(out.edges.begin() + static_cast<std::ptrdiff_t>(begin),
+                  out.edges.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+/// Tries one candidate; accepts it into `current` when it is valid, still
+/// fails, and the budget allows the predicate call.
+bool try_accept(InstanceSpec&& candidate, InstanceSpec& current,
+                const FailurePredicate& fails, std::uint64_t seed,
+                std::uint32_t max_evaluations, ShrinkResult& result) {
+  if (!candidate.valid()) return false;
+  if (result.evaluations >= max_evaluations) return false;
+  ++result.evaluations;
+  if (!fails(candidate, seed)) return false;
+  current = std::move(candidate);
+  ++result.reductions;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrink_instance(const InstanceSpec& spec,
+                             const FailurePredicate& fails,
+                             std::uint64_t seed,
+                             std::uint32_t max_evaluations) {
+  ShrinkResult result;
+  InstanceSpec current = spec;
+  bool progressed = true;
+  while (progressed && result.evaluations < max_evaluations) {
+    progressed = false;
+
+    // 1. Halve the edge list (front half, back half) — the cheapest way to
+    //    slash instance size when the failure does not depend on topology.
+    while (current.edges.size() >= 2) {
+      const std::size_t half = current.edges.size() / 2;
+      if (try_accept(drop_edge_range(current, half, current.edges.size()),
+                     current, fails, seed, max_evaluations, result) ||
+          try_accept(drop_edge_range(current, 0, half), current, fails, seed,
+                     max_evaluations, result)) {
+        progressed = true;
+        continue;
+      }
+      break;
+    }
+
+    // 2. Drop whole communities (last to first so indices stay stable).
+    for (std::size_t c = current.groups.size(); c-- > 0;) {
+      if (current.groups.size() <= 1) break;
+      if (try_accept(drop_community(current, c), current, fails, seed,
+                     max_evaluations, result)) {
+        progressed = true;
+      }
+    }
+
+    // 3. Drop nodes, highest id first (cheapest remap).
+    for (NodeId v = current.node_count; v-- > 0;) {
+      if (current.node_count <= 1) break;
+      if (try_accept(drop_node(current, v), current, fails, seed,
+                     max_evaluations, result)) {
+        progressed = true;
+      }
+    }
+
+    // 4. Drop single edges.
+    for (std::size_t e = current.edges.size(); e-- > 0;) {
+      if (try_accept(drop_edge_range(current, e, e + 1), current, fails,
+                     seed, max_evaluations, result)) {
+        progressed = true;
+      }
+    }
+  }
+  result.spec = std::move(current);
+  return result;
+}
+
+std::string repro_snippet(const InstanceSpec& spec, std::uint64_t seed,
+                          const std::string& check_name) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "// Differential fuzz failure: check `" << check_name << "` on "
+      << spec.summary() << "\n";
+  out << "// Replay: IMC_FUZZ_CASE_SEED=" << seed
+      << " ctest -L fuzz, or paste below.\n";
+  out << "const imc::NodeId node_count = " << spec.node_count << ";\n";
+  out << "const imc::EdgeList edges = {\n";
+  for (const WeightedEdge& e : spec.edges) {
+    out << "    {" << e.source << ", " << e.target << ", " << e.weight
+        << "},\n";
+  }
+  out << "};\n";
+  out << "std::vector<std::vector<imc::NodeId>> groups = {\n";
+  for (const auto& group : spec.groups) {
+    out << "    {";
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      out << (i ? ", " : "") << group[i];
+    }
+    out << "},\n";
+  }
+  out << "};\n";
+  out << "imc::Graph graph(node_count, edges);\n";
+  out << "imc::CommunitySet communities(node_count, groups);\n";
+  for (std::size_t c = 0; c < spec.groups.size(); ++c) {
+    out << "communities.set_threshold(" << c << ", " << spec.thresholds[c]
+        << ");\n";
+    out << "communities.set_benefit(" << c << ", " << spec.benefits[c]
+        << ");\n";
+  }
+  out << "const auto model = imc::DiffusionModel::"
+      << (spec.model == DiffusionModel::kLinearThreshold
+              ? "kLinearThreshold"
+              : "kIndependentCascade")
+      << ";\n";
+  out << "const std::uint64_t case_seed = " << seed << "ULL;\n";
+  return out.str();
+}
+
+}  // namespace imc::testing

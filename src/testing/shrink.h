@@ -1,0 +1,52 @@
+// Greedy instance shrinking for the differential fuzz harness.
+//
+// When a differential check fails on a random instance, the raw
+// counterexample is usually a 40-node graph with dozens of edges — too big
+// to debug by staring. `shrink_instance` repeatedly applies structural
+// reductions (halve the edge list, drop a community, drop a node and remap
+// ids, drop single edges) and keeps any reduction on which the check STILL
+// fails, until no reduction helps or the evaluation budget runs out. The
+// result is typically a handful of nodes.
+//
+// `repro_snippet` prints a spec as a self-contained C++ fragment (explicit
+// edge list, member lists, thresholds, benefits, model, case seed) so a
+// failure can be replayed in a scratch test without the harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testing/instance_gen.h"
+
+namespace imc::testing {
+
+/// Returns true when the instance FAILS the property under test (i.e. the
+/// bug reproduces). Receives the case seed so checks can re-derive their
+/// sample streams deterministically. Must be a pure function of
+/// (spec, seed): the shrinker calls it on many candidate reductions.
+using FailurePredicate =
+    std::function<bool(const InstanceSpec&, std::uint64_t seed)>;
+
+struct ShrinkResult {
+  InstanceSpec spec;               // smallest failing spec found
+  std::uint32_t evaluations = 0;   // predicate calls spent
+  std::uint32_t reductions = 0;    // accepted shrink steps
+};
+
+/// Greedily shrinks `spec` while `fails(spec, seed)` stays true. The input
+/// spec must itself fail. At most `max_evaluations` predicate calls are
+/// spent; candidate reductions that leave the spec structurally invalid
+/// (InstanceSpec::valid) are discarded without charging the budget.
+[[nodiscard]] ShrinkResult shrink_instance(const InstanceSpec& spec,
+                                           const FailurePredicate& fails,
+                                           std::uint64_t seed,
+                                           std::uint32_t max_evaluations = 600);
+
+/// Self-contained C++ snippet reconstructing the instance: paste into a
+/// test, no harness required.
+[[nodiscard]] std::string repro_snippet(const InstanceSpec& spec,
+                                        std::uint64_t seed,
+                                        const std::string& check_name);
+
+}  // namespace imc::testing

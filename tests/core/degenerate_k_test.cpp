@@ -1,0 +1,123 @@
+// Degenerate budgets through every MAXR solver: k = 0 must throw (an empty
+// budget is a caller bug, not an empty solution), and k larger than the
+// set of positive-gain candidates must fill deterministically with the
+// documented tie-break (untouched nodes ascending) instead of stalling or
+// returning short seed sets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bt.h"
+#include "core/greedy.h"
+#include "core/maf.h"
+#include "core/mb.h"
+#include "core/ubg.h"
+#include "test_support.h"
+
+namespace imc {
+namespace {
+
+/// A sparse instance where most nodes never touch a sample: a weak path
+/// graph with a handful of samples leaves plenty of untouched nodes, so
+/// k = node_count exceeds the positive-gain candidate set.
+struct SparseFixture {
+  Graph graph;
+  CommunitySet communities;
+  RicPool pool;
+
+  SparseFixture()
+      : graph(test::path_graph(10, 0.05)),
+        communities(test::chunk_communities(10, 2)),
+        pool(graph, communities) {
+    pool.grow(4, 11);
+  }
+};
+
+TEST(DegenerateK, ZeroBudgetThrowsThroughEverySolver) {
+  const SparseFixture fixture;
+  EXPECT_THROW(plain_greedy_nu(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(celf_greedy_nu(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(greedy_c_hat(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(ubg_solve(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(maf_solve(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(bt_solve(fixture.pool, 0), std::invalid_argument);
+  EXPECT_THROW(mb_solve(fixture.pool, 0), std::invalid_argument);
+}
+
+TEST(DegenerateK, GreedyFillsPastPositiveGainCandidatesDeterministically) {
+  const SparseFixture fixture;
+  const std::uint32_t n = fixture.graph.node_count();
+
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < n; ++v) {
+    if (fixture.pool.appearance_count(v) > 0) touched.push_back(v);
+  }
+  ASSERT_LT(touched.size(), n) << "fixture must leave untouched nodes";
+
+  const GreedyResult plain = plain_greedy_nu(fixture.pool, n);
+  const GreedyResult celf = celf_greedy_nu(fixture.pool, n);
+  const GreedyResult c_hat = greedy_c_hat(fixture.pool, n);
+
+  // Full budget: every node selected exactly once, all three selectors.
+  for (const GreedyResult* result : {&plain, &celf, &c_hat}) {
+    ASSERT_EQ(result->seeds.size(), n);
+    std::set<NodeId> unique(result->seeds.begin(), result->seeds.end());
+    EXPECT_EQ(unique.size(), n);
+  }
+  // ν selectors agree seed-for-seed even in the exhausted tail.
+  EXPECT_EQ(plain.seeds, celf.seeds);
+
+  // The fill tail is the untouched nodes in ascending id order — the
+  // documented fill_to_k tie-break. Touching candidates all precede it.
+  const std::size_t candidate_count = touched.size();
+  std::vector<NodeId> head(plain.seeds.begin(),
+                           plain.seeds.begin() + candidate_count);
+  std::sort(head.begin(), head.end());
+  EXPECT_EQ(head, touched);
+  std::vector<NodeId> tail(plain.seeds.begin() + candidate_count,
+                           plain.seeds.end());
+  EXPECT_TRUE(std::is_sorted(tail.begin(), tail.end()));
+}
+
+TEST(DegenerateK, SolversReturnFullBudgetSeedSets) {
+  const SparseFixture fixture;
+  const std::uint32_t n = fixture.graph.node_count();
+
+  const UbgSolution ubg = ubg_solve(fixture.pool, n);
+  EXPECT_EQ(ubg.seeds.size(), n);
+
+  // MAF never pads: S1 stops when no community fits the budget and S2 only
+  // holds touching nodes, so seeds can be SHORTER than k — but must stay
+  // duplicate-free and within budget.
+  const MafSolution maf = maf_solve(fixture.pool, n);
+  EXPECT_LE(maf.seeds.size(), n);
+  std::set<NodeId> maf_unique(maf.seeds.begin(), maf.seeds.end());
+  EXPECT_EQ(maf_unique.size(), maf.seeds.size());
+
+  const BtSolution bt = bt_solve(fixture.pool, n);
+  EXPECT_LE(bt.seeds.size(), n);
+
+  const MbSolution mb = mb_solve(fixture.pool, n);
+  EXPECT_EQ(mb.c_hat, std::max(mb.maf.c_hat, mb.bt.c_hat));
+}
+
+TEST(DegenerateK, RepeatedRunsAreBitIdentical) {
+  // The degenerate regimes must stay deterministic: same pool, same k,
+  // same seeds — this is what lets the fuzz harness compare selector
+  // variants seed-for-seed.
+  const SparseFixture fixture;
+  const std::uint32_t n = fixture.graph.node_count();
+  const GreedyResult first = plain_greedy_nu(fixture.pool, n);
+  const GreedyResult second = plain_greedy_nu(fixture.pool, n);
+  EXPECT_EQ(first.seeds, second.seeds);
+  const MbSolution mb_first = mb_solve(fixture.pool, n);
+  const MbSolution mb_second = mb_solve(fixture.pool, n);
+  EXPECT_EQ(mb_first.seeds, mb_second.seeds);
+  EXPECT_EQ(mb_first.c_hat, mb_second.c_hat);
+}
+
+}  // namespace
+}  // namespace imc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -44,6 +45,60 @@ TEST(PoolIo, RoundTripPreservesSamplesAndScores) {
   const std::vector<NodeId> seeds{0, 5, 9};
   EXPECT_DOUBLE_EQ(loaded.c_hat(seeds), original.c_hat(seeds));
   EXPECT_DOUBLE_EQ(loaded.nu(seeds), original.nu(seeds));
+}
+
+TEST(PoolIo, RoundTripIsBitIdenticalDownToTheArenas) {
+  // Stronger than score equality: a reloaded pool must rebuild the exact
+  // same flat representation — CSR offsets and touch arena, sample-major
+  // metadata, and maintained counters — so that selection on a reloaded
+  // pool is bit-for-bit the run that produced it (MAXR determinism).
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(250, 41);
+
+  std::stringstream buffer;
+  write_ric_pool(buffer, original);
+  const RicPool loaded =
+      read_ric_pool(buffer, fixture.graph, fixture.communities);
+
+  // Sample-major metadata.
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_TRUE(std::equal(loaded.thresholds().begin(),
+                         loaded.thresholds().end(),
+                         original.thresholds().begin(),
+                         original.thresholds().end()));
+  EXPECT_TRUE(std::equal(loaded.source_communities().begin(),
+                         loaded.source_communities().end(),
+                         original.source_communities().begin(),
+                         original.source_communities().end()));
+  for (std::uint32_t g = 0; g < original.size(); ++g) {
+    const auto mine = loaded.sample_touches(g);
+    const auto theirs = original.sample_touches(g);
+    ASSERT_TRUE(std::equal(mine.begin(), mine.end(), theirs.begin(),
+                           theirs.end()))
+        << "sample-major arena diverges at sample " << g;
+  }
+
+  // CSR index.
+  ASSERT_TRUE(std::equal(loaded.touch_offsets().begin(),
+                         loaded.touch_offsets().end(),
+                         original.touch_offsets().begin(),
+                         original.touch_offsets().end()));
+  const auto arena = loaded.touch_arena();
+  const auto expected = original.touch_arena();
+  ASSERT_EQ(arena.size(), expected.size());
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    EXPECT_EQ(arena[i].sample, expected[i].sample) << "arena slot " << i;
+    EXPECT_EQ(arena[i].threshold, expected[i].threshold)
+        << "arena slot " << i;
+    EXPECT_EQ(arena[i].mask, expected[i].mask) << "arena slot " << i;
+  }
+
+  // Maintained counters.
+  EXPECT_TRUE(std::equal(loaded.community_frequencies().begin(),
+                         loaded.community_frequencies().end(),
+                         original.community_frequencies().begin(),
+                         original.community_frequencies().end()));
 }
 
 TEST(PoolIo, LtModelTagRoundTrips) {
