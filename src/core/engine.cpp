@@ -1,0 +1,201 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "estimation/concentration.h"
+#include "estimation/dagum.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace imc {
+
+namespace {
+
+const CommunitySet& require_communities(const CommunitySet& communities) {
+  if (communities.empty()) {
+    throw std::invalid_argument("imcaf_solve: no communities");
+  }
+  return communities;
+}
+
+}  // namespace
+
+ImcEngine::ImcEngine(const Graph& graph, const CommunitySet& communities,
+                     ImcafConfig config, ExecutionContext context)
+    : graph_(&graph),
+      communities_(&require_communities(communities)),
+      config_(config),
+      context_(context),
+      pool_(graph, communities, config_.model) {}
+
+void ImcEngine::timed_grow(std::uint64_t count, ImcafResult& result) {
+  const Stopwatch grow_watch;
+  pool_.grow(count, config_.seed, config_.parallel_sampling,
+             context_.workers);
+  const double seconds = grow_watch.elapsed_seconds();
+  result.sampling_seconds += seconds;
+  result.samples_generated += count;
+  log(LogLevel::kDebug) << "IMCAF grow: " << count << " samples in "
+                        << seconds << " s ("
+                        << (seconds > 0.0
+                                ? static_cast<double>(count) / seconds
+                                : 0.0)
+                        << " samples/s), |R|=" << pool_.size();
+}
+
+ImcafResult ImcEngine::solve(std::uint32_t k, const MaxrSolver& solver) {
+  if (k == 0 || k > graph_->node_count()) {
+    throw std::invalid_argument("imcaf_solve: need 1 <= k <= |V|");
+  }
+
+  const Stopwatch watch;
+  ImcafResult result;
+  const ApproxParams& params = config_.params;
+
+  const double alpha = solver.alpha(pool_, k);
+  const double b = communities_->total_benefit();
+  const double beta = communities_->min_benefit();
+  const std::uint32_t h = communities_->max_threshold();
+
+  result.lambda = ssa_lambda(params);
+  result.psi = static_cast<double>(
+      psi_sample_cap(graph_->node_count(), k, b, beta, h, alpha, params));
+
+  std::uint64_t cap = static_cast<std::uint64_t>(
+      std::min(result.psi, 1e18));
+  if (config_.max_samples > 0) cap = std::min(cap, config_.max_samples);
+
+  // Number of doubling rounds bounds the union-bound split of δ for the
+  // per-stage Estimate calls (paper: δ / (3 log2(Ψ/Λ))).
+  const double stages_bound = std::max(
+      1.0, std::log2(std::max(2.0, result.psi / result.lambda)));
+  const double delta_stage = params.delta / (3.0 * stages_bound);
+
+  // Stage 1 grows the pool up to Λ (capped). A shared pool a previous
+  // query already grew past that point is reused as-is — the per-sample
+  // RNG substreams make any grow partitioning produce the identical pool,
+  // so a fresh engine reproduces the single-shot growth bit-for-bit.
+  const auto initial = static_cast<std::uint64_t>(
+      std::ceil(result.lambda));
+  const std::uint64_t first_target = std::min(initial, cap);
+  std::uint64_t stage_samples = 0;
+  double stage_sampling = 0.0;
+  if (pool_.size() < first_target) {
+    const double before = result.sampling_seconds;
+    stage_samples = first_target - pool_.size();
+    timed_grow(stage_samples, result);
+    stage_sampling = result.sampling_seconds - before;
+  }
+
+  std::unique_ptr<MaxrResume> carry;
+  MaxrSolution solution;
+  for (;;) {
+    ++result.stop_stages;
+    StageMetrics metrics;
+    metrics.stage = result.stop_stages;
+    metrics.pool_size = pool_.size();
+    metrics.samples_added = stage_samples;
+    metrics.sampling_seconds = stage_sampling;
+    metrics.warm_start = config_.warm_start && result.stop_stages > 1;
+    stage_samples = 0;
+    stage_sampling = 0.0;
+
+    const Stopwatch solve_watch;
+    solution = config_.warm_start ? solver.resume(pool_, k, carry)
+                                  : solver.solve(pool_, k);
+    metrics.solver_seconds = solve_watch.elapsed_seconds();
+    result.solver_seconds += metrics.solver_seconds;
+    log(LogLevel::kDebug) << "IMCAF stage " << result.stop_stages << ": |R|="
+                          << pool_.size() << " c_hat=" << solution.c_hat;
+
+    // Line 8 of Alg. 5: (|R|/b)·ĉ_R(S) = #influenced samples >= Λ.
+    const std::uint64_t influenced = pool_.influenced_count(solution.seeds);
+    if (static_cast<double>(influenced) >= result.lambda) {
+      // Line 9: independent estimate of c(S) on FRESH samples (Alg. 6).
+      DagumOptions dagum;
+      dagum.eps_prime = params.ssa_eps2();
+      dagum.delta_prime = delta_stage;
+      dagum.seed = config_.seed ^ (0xABCD1234ULL * result.stop_stages);
+      dagum.model = config_.model;
+      const double e2 = params.ssa_eps2();
+      const double e3 = params.ssa_eps3();
+      dagum.max_samples = static_cast<std::uint64_t>(std::ceil(
+          static_cast<double>(pool_.size()) * (1.0 + e2) / (1.0 - e2) *
+          (e3 * e3) / (e2 * e2)));
+      dagum.max_samples = std::max<std::uint64_t>(dagum.max_samples, 1000);
+      const Stopwatch estimate_watch;
+      const DagumEstimate estimate = dagum_estimate_benefit(
+          *graph_, *communities_, solution.seeds, dagum, context_);
+      metrics.estimate_seconds = estimate_watch.elapsed_seconds();
+      metrics.estimate_samples = estimate.samples;
+      result.estimate_seconds += metrics.estimate_seconds;
+      // Line 10: accept when the pool does not over-estimate the benefit.
+      if (estimate.converged &&
+          solution.c_hat <= (1.0 + params.ssa_eps1()) * estimate.value) {
+        result.estimated_benefit = estimate.value;
+        metrics.accepted = true;
+        context_.record_stage(metrics);
+        break;
+      }
+    }
+
+    // Wind-down checks run only after a completed solve, so the partial
+    // result always carries a real candidate seed set.
+    if (context_.stop_requested()) {
+      result.reached_deadline = true;
+      context_.record_stage(metrics);
+      break;
+    }
+    if (pool_.size() >= cap) {
+      result.reached_cap = true;
+      context_.record_stage(metrics);
+      break;
+    }
+    context_.record_stage(metrics);
+    const std::uint64_t target = std::min(cap, pool_.size() * 2);
+    {
+      const double before = result.sampling_seconds;
+      stage_samples = target - pool_.size();
+      timed_grow(stage_samples, result);
+      stage_sampling = result.sampling_seconds - before;
+    }
+  }
+
+  result.seeds = std::move(solution.seeds);
+  result.c_hat = solution.c_hat;
+  result.samples_used = pool_.size();
+  if (result.estimated_benefit == 0.0 && !result.seeds.empty()) {
+    // Cap/deadline exit: still report an independent estimate.
+    DagumOptions dagum;
+    dagum.eps_prime = params.ssa_eps2();
+    dagum.delta_prime = delta_stage;
+    dagum.seed = config_.seed ^ 0xFEEDFACEULL;
+    dagum.model = config_.model;
+    dagum.max_samples = std::max<std::uint64_t>(pool_.size(), 10'000);
+    const Stopwatch estimate_watch;
+    result.estimated_benefit =
+        dagum_estimate_benefit(*graph_, *communities_, result.seeds, dagum,
+                               context_)
+            .value;
+    result.estimate_seconds += estimate_watch.elapsed_seconds();
+  }
+  result.runtime_seconds = watch.elapsed_seconds();
+  return result;
+}
+
+std::vector<ImcafResult> ImcEngine::solve_many(
+    std::span<const EngineQuery> queries) {
+  std::vector<ImcafResult> results;
+  results.reserve(queries.size());
+  for (const EngineQuery& query : queries) {
+    if (query.solver == nullptr) {
+      throw std::invalid_argument("ImcEngine::solve_many: null solver");
+    }
+    results.push_back(solve(query.k, *query.solver));
+  }
+  return results;
+}
+
+}  // namespace imc

@@ -1,0 +1,82 @@
+// ImcEngine — the staged IMCAF driver (paper Alg. 5) behind imcaf_solve.
+//
+// The engine owns the RIC sample pool and runs the SSA-style doubling loop
+// as three cooperating layers:
+//   sampling   — RicPool growth, watermarked by PoolEpoch so downstream
+//                consumers know exactly which sample range is new;
+//   core       — the MAXR solver, warm-started across stages through
+//                MaxrSolver::resume (bit-identical to cold solves by
+//                contract; ImcafConfig::warm_start turns it off);
+//   estimation — the stop-stage Dagum Estimate, deadline-aware through
+//                the ExecutionContext.
+// Keeping the pool in the engine (instead of a local of imcaf_solve) is
+// what enables solve_many: several (k, solver) queries amortize one
+// sample pool, each paying only the growth its own stop stages demand.
+//
+// Determinism: for a fresh engine, solve(k, solver) reproduces the
+// pre-engine imcaf_solve bit-for-bit — same seed derivations, same growth
+// schedule, same stage math; golden pins in tests/core/engine_test.cpp
+// hold the recorded outputs. The ExecutionContext adds only *optional*
+// behavior (deadline, cancellation, metrics) that is inert by default.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "community/community_set.h"
+#include "core/imcaf.h"
+#include "core/maxr_solver.h"
+#include "graph/graph.h"
+#include "sampling/ric_pool.h"
+#include "util/context.h"
+
+namespace imc {
+
+/// One (k, solver) query for ImcEngine::solve_many. The solver pointer is
+/// borrowed and must outlive the call.
+struct EngineQuery {
+  std::uint32_t k = 0;
+  const MaxrSolver* solver = nullptr;
+};
+
+class ImcEngine {
+ public:
+  /// Throws std::invalid_argument on empty communities. The graph,
+  /// community set, and context-referenced objects are borrowed and must
+  /// outlive the engine.
+  ImcEngine(const Graph& graph, const CommunitySet& communities,
+            ImcafConfig config = {},
+            ExecutionContext context = ExecutionContext{});
+
+  /// Runs Alg. 5 for one query on the shared pool. Throws
+  /// std::invalid_argument on k = 0 or k > |V|. The pool keeps whatever
+  /// size the run grew it to; a later query starts from there (its stage-1
+  /// solve simply sees a larger |R|).
+  [[nodiscard]] ImcafResult solve(std::uint32_t k, const MaxrSolver& solver);
+
+  /// Runs the queries in order against the shared pool. Solver warm-start
+  /// state is per-query (a solver appearing twice gets fresh state each
+  /// time — the pool size differs between its runs).
+  [[nodiscard]] std::vector<ImcafResult> solve_many(
+      std::span<const EngineQuery> queries);
+
+  [[nodiscard]] const RicPool& pool() const noexcept { return pool_; }
+  [[nodiscard]] const ImcafConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ExecutionContext& context() const noexcept {
+    return context_;
+  }
+
+ private:
+  /// All growth funnels through here: throughput accounting + debug log.
+  void timed_grow(std::uint64_t count, ImcafResult& result);
+
+  const Graph* graph_;
+  const CommunitySet* communities_;
+  ImcafConfig config_;
+  ExecutionContext context_;
+  RicPool pool_;
+};
+
+}  // namespace imc

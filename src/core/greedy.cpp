@@ -94,10 +94,9 @@ using BeatsFn = bool (*)(const CandidateScore&,
 /// `beats_c_hat` orders by influenced gain first, so the winner is always
 /// among the max-gain candidates, and their ν gains / appearance counts are
 /// computed exactly as the serial sweep computes them.
-[[nodiscard]] CandidateScore best_c_hat_sample_major(
-    const CoverageState& state, std::span<const NodeId> candidates,
-    ThreadPool* sweep, std::vector<std::uint64_t>& gains,
-    std::vector<std::uint64_t>& scratch) {
+void compute_c_hat_gains(const CoverageState& state, ThreadPool* sweep,
+                         std::vector<std::uint64_t>& gains,
+                         std::vector<std::uint64_t>& scratch) {
   const RicPool& pool = state.pool();
   const auto samples = static_cast<std::uint32_t>(pool.size());
   const std::size_t n = pool.graph().node_count();
@@ -122,7 +121,14 @@ using BeatsFn = bool (*)(const CandidateScore&,
       for (std::size_t v = 0; v < n; ++v) gains[v] += slab[v];
     }
   }
+}
 
+/// The ν/appearance tie-break over the max-gain candidates, given every
+/// node's influenced gain for the round.
+[[nodiscard]] CandidateScore best_from_gains(
+    const CoverageState& state, std::span<const NodeId> candidates,
+    const std::vector<std::uint64_t>& gains) {
+  const RicPool& pool = state.pool();
   std::uint64_t max_gain = 0;
   bool any = false;
   for (const NodeId v : candidates) {
@@ -142,6 +148,14 @@ using BeatsFn = bool (*)(const CandidateScore&,
     if (beats_c_hat(score, best)) best = score;
   }
   return best;
+}
+
+[[nodiscard]] CandidateScore best_c_hat_sample_major(
+    const CoverageState& state, std::span<const NodeId> candidates,
+    ThreadPool* sweep, std::vector<std::uint64_t>& gains,
+    std::vector<std::uint64_t>& scratch) {
+  compute_c_hat_gains(state, sweep, gains, scratch);
+  return best_from_gains(state, candidates, gains);
 }
 
 GreedyResult greedy_rounds(const RicPool& pool, std::uint32_t k,
@@ -189,6 +203,108 @@ GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k,
   return finish(pool, std::move(seeds));
 }
 
+namespace {
+
+/// Snapshot-matrix memory cap for CHatResume: k rows of n 8-byte gains.
+/// Past this, recording is skipped and every stage solves cold — warm
+/// start is a time/space trade, never a correctness requirement.
+inline constexpr std::size_t kCHatSnapshotCapBytes = 256u << 20;
+
+}  // namespace
+
+GreedyResult greedy_c_hat_resumable(const RicPool& pool, std::uint32_t k,
+                                    const GreedyOptions& options,
+                                    CHatResume& resume) {
+  check_k(pool, k);
+  CoverageState state(pool);
+  const std::vector<NodeId> candidates = candidate_nodes(pool);
+  ThreadPool* sweep = sweep_pool(options, candidates.size());
+  const std::size_t n = pool.graph().node_count();
+  const bool record =
+      static_cast<std::size_t>(k) * n * sizeof(std::uint64_t) <=
+      kCHatSnapshotCapBytes;
+
+  // A resume from a different graph, a reset pool, or an overwritten epoch
+  // is silently discarded — the cold path below is always correct.
+  bool warm = resume.nodes == n && !resume.winners.empty() &&
+              resume.gain_snapshots.size() == resume.winners.size() * n;
+  std::uint64_t old_samples = 0;
+  if (warm) {
+    try {
+      (void)pool.samples_since(resume.epoch);  // validates the carried epoch
+      old_samples = resume.epoch.samples;
+    } catch (const std::invalid_argument&) {
+      warm = false;
+    }
+  }
+  if (!warm) {
+    resume.winners.clear();
+    resume.gain_snapshots.clear();
+  }
+
+  std::vector<std::uint64_t> gains;
+  std::vector<std::uint64_t> scratch;
+  const std::size_t stored = resume.winners.size();
+  std::size_t rounds_done = 0;
+  bool diverged = false;
+  for (std::uint32_t round = 0;
+       round < k && state.seeds().size() < candidates.size(); ++round) {
+    if (!diverged && round < stored) {
+      // Warm round: the snapshot row already holds the [0, old) portion of
+      // every node's gain against this exact seed prefix (append never
+      // alters old samples' touches or coverage), so only the grown tail
+      // is accumulated. Integer adds over any sample partition reproduce
+      // the cold full-range totals exactly.
+      gains.assign(resume.gain_snapshots.begin() + round * n,
+                   resume.gain_snapshots.begin() + (round + 1) * n);
+      state.accumulate_influenced_gains(
+          static_cast<std::uint32_t>(old_samples),
+          static_cast<std::uint32_t>(pool.size()), gains.data());
+    } else {
+      compute_c_hat_gains(state, sweep, gains, scratch);
+    }
+    const CandidateScore best = best_from_gains(state, candidates, gains);
+    if (!best.valid()) break;
+    if (!diverged && round < stored && resume.winners[round] != best.node) {
+      // ĉ is non-submodular: the grown pool legitimately reorders winners
+      // here. The stale tail was computed against the old prefix — drop it
+      // and continue cold (the gains just computed are still this round's
+      // snapshot).
+      diverged = true;
+      resume.winners.resize(round);
+      resume.gain_snapshots.resize(round * n);
+    }
+    if (record) {
+      if (round < resume.winners.size()) {
+        resume.winners[round] = best.node;
+        std::copy(gains.begin(), gains.end(),
+                  resume.gain_snapshots.begin() + round * n);
+      } else {
+        resume.winners.push_back(best.node);
+        resume.gain_snapshots.insert(resume.gain_snapshots.end(),
+                                     gains.begin(), gains.end());
+      }
+      rounds_done = round + 1;
+    }
+    state.add_seed(best.node);
+  }
+
+  if (record) {
+    // Rows past the rounds actually run this call would be stale against
+    // the epoch below — drop them.
+    resume.winners.resize(rounds_done);
+    resume.gain_snapshots.resize(rounds_done * n);
+    resume.nodes = n;
+    resume.epoch = pool.grow_epoch();
+  } else {
+    resume = CHatResume{};
+  }
+
+  std::vector<NodeId> seeds = state.seeds();
+  fill_to_k(pool, k, seeds);
+  return finish(pool, std::move(seeds));
+}
+
 GreedyResult plain_greedy_nu(const RicPool& pool, std::uint32_t k,
                              const GreedyOptions& options) {
   return greedy_rounds(pool, k, options, &CoverageState::best_candidate_nu,
@@ -223,6 +339,15 @@ struct CelfLess {
 /// only hit (near-)exact ties.
 inline constexpr double kCelfDriftGuard = 1e-9;
 
+using CelfHeap = std::priority_queue<CelfEntry, std::vector<CelfEntry>,
+                                     CelfLess>;
+
+/// The CELF selection loop proper, shared by the cold and resumable entry
+/// points: given a heap of round-0 bounds it picks k seeds and finishes.
+GreedyResult celf_rounds(const RicPool& pool, std::uint32_t k,
+                         CoverageState& state, ThreadPool* sweep,
+                         CelfHeap& heap);
+
 }  // namespace
 
 GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
@@ -232,7 +357,7 @@ GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
   const std::vector<NodeId> candidates = candidate_nodes(pool);
   ThreadPool* sweep = sweep_pool(options, candidates.size());
 
-  std::priority_queue<CelfEntry, std::vector<CelfEntry>, CelfLess> heap;
+  CelfHeap heap;
   {
     // Initial gains are chunking-independent per node, so the parallel
     // build feeds the heap the exact values the serial build would. The
@@ -260,7 +385,54 @@ GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
       heap.push(CelfEntry{gains[i], candidates[i], 0});
     }
   }
+  return celf_rounds(pool, k, state, sweep, heap);
+}
 
+GreedyResult celf_greedy_nu_resumable(const RicPool& pool, std::uint32_t k,
+                                      const GreedyOptions& options,
+                                      NuCelfResume& resume) {
+  check_k(pool, k);
+  CoverageState state(pool);
+  const std::vector<NodeId> candidates = candidate_nodes(pool);
+  ThreadPool* sweep = sweep_pool(options, candidates.size());
+  const std::size_t n = pool.graph().node_count();
+
+  // Continue (or start) the per-node init-gain chains. Always the serial
+  // sample-major pass, even under `parallel`: its per-node values equal
+  // the parallel per-candidate marginals bit-for-bit (see
+  // accumulate_nu_gains), and seriality is what makes the stored array a
+  // resumable left-associated chain.
+  bool warm = resume.init_gains.size() == n;
+  std::uint64_t old_samples = 0;
+  if (warm) {
+    try {
+      (void)pool.samples_since(resume.epoch);  // validates the carried epoch
+      old_samples = resume.epoch.samples;
+    } catch (const std::invalid_argument&) {
+      warm = false;
+    }
+  }
+  if (!warm) {
+    resume.init_gains.assign(n, 0.0);
+    old_samples = 0;
+  }
+  state.accumulate_nu_gains(static_cast<std::uint32_t>(old_samples),
+                            static_cast<std::uint32_t>(pool.size()),
+                            resume.init_gains.data());
+  resume.epoch = pool.grow_epoch();
+
+  CelfHeap heap;
+  for (const NodeId v : candidates) {
+    heap.push(CelfEntry{resume.init_gains[v], v, 0});
+  }
+  return celf_rounds(pool, k, state, sweep, heap);
+}
+
+namespace {
+
+GreedyResult celf_rounds(const RicPool& pool, std::uint32_t k,
+                         CoverageState& state, ThreadPool* sweep,
+                         CelfHeap& heap) {
   // Refresh burst size: enough stale entries per batch to feed every
   // worker, small enough to avoid refreshing far below the eventual
   // winner. Purely a scheduling knob — selection is unaffected.
@@ -341,5 +513,7 @@ GreedyResult celf_greedy_nu(const RicPool& pool, std::uint32_t k,
   fill_to_k(pool, k, seeds);
   return finish(pool, std::move(seeds));
 }
+
+}  // namespace
 
 }  // namespace imc

@@ -1,126 +1,17 @@
 #include "core/imcaf.h"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-#include "estimation/dagum.h"
-#include "sampling/ric_pool.h"
-#include "util/logging.h"
-#include "util/stopwatch.h"
+#include "core/engine.h"
 
 namespace imc {
 
 ImcafResult imcaf_solve(const Graph& graph, const CommunitySet& communities,
                         std::uint32_t k, const MaxrSolver& solver,
                         const ImcafConfig& config) {
-  if (communities.empty()) {
-    throw std::invalid_argument("imcaf_solve: no communities");
-  }
-  if (k == 0 || k > graph.node_count()) {
-    throw std::invalid_argument("imcaf_solve: need 1 <= k <= |V|");
-  }
-
-  const Stopwatch watch;
-  ImcafResult result;
-  const ApproxParams& params = config.params;
-
-  RicPool pool(graph, communities, config.model);
-  const double alpha = solver.alpha(pool, k);
-  const double b = communities.total_benefit();
-  const double beta = communities.min_benefit();
-  const std::uint32_t h = communities.max_threshold();
-
-  result.lambda = ssa_lambda(params);
-  result.psi = static_cast<double>(
-      psi_sample_cap(graph.node_count(), k, b, beta, h, alpha, params));
-
-  std::uint64_t cap = static_cast<std::uint64_t>(
-      std::min(result.psi, 1e18));
-  if (config.max_samples > 0) cap = std::min(cap, config.max_samples);
-
-  // Number of doubling rounds bounds the union-bound split of δ for the
-  // per-stage Estimate calls (paper: δ / (3 log2(Ψ/Λ))).
-  const double stages_bound = std::max(
-      1.0, std::log2(std::max(2.0, result.psi / result.lambda)));
-  const double delta_stage = params.delta / (3.0 * stages_bound);
-
-  // All growth funnels through this wrapper so the result carries the
-  // realized sampling throughput and each stage logs its own rate.
-  const auto timed_grow = [&](std::uint64_t count) {
-    const Stopwatch grow_watch;
-    pool.grow(count, config.seed, config.parallel_sampling);
-    const double seconds = grow_watch.elapsed_seconds();
-    result.sampling_seconds += seconds;
-    result.samples_generated += count;
-    log(LogLevel::kDebug) << "IMCAF grow: " << count << " samples in "
-                          << seconds << " s ("
-                          << (seconds > 0.0
-                                  ? static_cast<double>(count) / seconds
-                                  : 0.0)
-                          << " samples/s), |R|=" << pool.size();
-  };
-
-  const auto initial = static_cast<std::uint64_t>(
-      std::ceil(result.lambda));
-  timed_grow(std::min(initial, cap));
-
-  MaxrSolution solution;
-  for (;;) {
-    ++result.stop_stages;
-    solution = solver.solve(pool, k);
-    log(LogLevel::kDebug) << "IMCAF stage " << result.stop_stages << ": |R|="
-                          << pool.size() << " c_hat=" << solution.c_hat;
-
-    // Line 8 of Alg. 5: (|R|/b)·ĉ_R(S) = #influenced samples >= Λ.
-    const std::uint64_t influenced = pool.influenced_count(solution.seeds);
-    if (static_cast<double>(influenced) >= result.lambda) {
-      // Line 9: independent estimate of c(S) on FRESH samples (Alg. 6).
-      DagumOptions dagum;
-      dagum.eps_prime = params.ssa_eps2();
-      dagum.delta_prime = delta_stage;
-      dagum.seed = config.seed ^ (0xABCD1234ULL * result.stop_stages);
-      dagum.model = config.model;
-      const double e2 = params.ssa_eps2();
-      const double e3 = params.ssa_eps3();
-      dagum.max_samples = static_cast<std::uint64_t>(std::ceil(
-          static_cast<double>(pool.size()) * (1.0 + e2) / (1.0 - e2) *
-          (e3 * e3) / (e2 * e2)));
-      dagum.max_samples = std::max<std::uint64_t>(dagum.max_samples, 1000);
-      const DagumEstimate estimate = dagum_estimate_benefit(
-          graph, communities, solution.seeds, dagum);
-      // Line 10: accept when the pool does not over-estimate the benefit.
-      if (estimate.converged &&
-          solution.c_hat <= (1.0 + params.ssa_eps1()) * estimate.value) {
-        result.estimated_benefit = estimate.value;
-        break;
-      }
-    }
-
-    if (pool.size() >= cap) {
-      result.reached_cap = true;
-      break;
-    }
-    const std::uint64_t target = std::min(cap, pool.size() * 2);
-    timed_grow(target - pool.size());
-  }
-
-  result.seeds = std::move(solution.seeds);
-  result.c_hat = solution.c_hat;
-  result.samples_used = pool.size();
-  if (result.estimated_benefit == 0.0 && !result.seeds.empty()) {
-    // Cap exit: still report an independent estimate for the caller.
-    DagumOptions dagum;
-    dagum.eps_prime = params.ssa_eps2();
-    dagum.delta_prime = delta_stage;
-    dagum.seed = config.seed ^ 0xFEEDFACEULL;
-    dagum.model = config.model;
-    dagum.max_samples = std::max<std::uint64_t>(pool.size(), 10'000);
-    result.estimated_benefit =
-        dagum_estimate_benefit(graph, communities, result.seeds, dagum).value;
-  }
-  result.runtime_seconds = watch.elapsed_seconds();
-  return result;
+  // Thin wrapper over the staged engine with an inert default context —
+  // deadline, cancellation, and metrics all off, so the output is exactly
+  // the classic single-query Alg. 5 run.
+  ImcEngine engine(graph, communities, config);
+  return engine.solve(k, solver);
 }
 
 }  // namespace imc

@@ -30,6 +30,10 @@ struct ImcafConfig {
   /// exactly like the paper's runtime limit.
   std::uint64_t max_samples = 0;
   bool parallel_sampling = true;
+  /// Let the MAXR solver warm-start from its previous doubling stage via
+  /// MaxrSolver::resume. Results are BIT-IDENTICAL either way (the resume
+  /// contract); off exists for benchmarking the cold baseline.
+  bool warm_start = true;
 };
 
 struct ImcafResult {
@@ -48,6 +52,15 @@ struct ImcafResult {
   /// are logged at kDebug as the run proceeds.
   double sampling_seconds = 0.0;
   std::uint64_t samples_generated = 0;
+  /// Wall time inside the MAXR solves and the stop-stage Estimates, summed
+  /// over stages (the engine's per-stage split goes to the MetricsSink).
+  double solver_seconds = 0.0;
+  double estimate_seconds = 0.0;
+  /// The run wound down early on an expired deadline or a cancellation
+  /// (ExecutionContext); `seeds` is the best candidate from the stages
+  /// that completed — never empty, since stopping is only checked after a
+  /// solve.
+  bool reached_deadline = false;
 };
 
 /// Runs Alg. 5. Throws std::invalid_argument on empty communities, k = 0,

@@ -8,44 +8,51 @@
 
 namespace imc {
 
-MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
-                      std::uint64_t seed, const GreedyOptions& options) {
-  // Same contract as the greedy selectors and bt_solve: an empty budget is
-  // a caller bug, not an empty solution (it would silently score 0 and win
-  // no max(), masking the mistake downstream in MB).
-  if (k == 0) throw std::invalid_argument("maf_solve: k must be >= 1");
-  const CommunitySet& communities = pool.communities();
-  const NodeId n = pool.graph().node_count();
-  Rng rng(seed);
+namespace {
 
-  // -- S_1: communities by source frequency ---------------------------------
-  // O(r) read of the counters RicPool maintains during growth (was a full
-  // O(|R|) sample scan).
+/// Communities in descending source-frequency order (ties: smaller id).
+/// O(r) read of the counters RicPool maintains during growth (was a full
+/// O(|R|) sample scan).
+[[nodiscard]] std::vector<CommunityId> source_frequency_order(
+    const RicPool& pool) {
   const std::span<const std::uint32_t> frequency =
       pool.community_frequencies();
-  std::vector<CommunityId> order(communities.size());
-  for (CommunityId c = 0; c < communities.size(); ++c) order[c] = c;
+  std::vector<CommunityId> order(pool.communities().size());
+  for (CommunityId c = 0; c < order.size(); ++c) order[c] = c;
   std::sort(order.begin(), order.end(), [&](CommunityId a, CommunityId b) {
     if (frequency[a] != frequency[b]) return frequency[a] > frequency[b];
     return a < b;
   });
+  return order;
+}
 
-  MafSolution solution;
+/// S_1 of Alg. 3: walk `order`, claiming h_C random members per community
+/// while they fit in the budget (lines 5-6). A pure function of
+/// (order, k, seed) — the thresholds and members it reads are static.
+[[nodiscard]] std::vector<NodeId> build_s1(
+    const RicPool& pool, std::uint32_t k, std::uint64_t seed,
+    const std::vector<CommunityId>& order) {
+  const CommunitySet& communities = pool.communities();
+  Rng rng(seed);
+  std::vector<NodeId> s1;
   for (const CommunityId c : order) {
-    if (solution.s1.size() >= k) break;
+    if (s1.size() >= k) break;
     const auto members = communities.members(c);
     const std::uint32_t h = communities.threshold(c);
-    // Line 5-6 of Alg. 3: take h random members iff they fit in the budget.
-    if (solution.s1.size() + h > k) continue;
+    if (s1.size() + h > k) continue;
     std::vector<NodeId> shuffled(members.begin(), members.end());
     rng.shuffle(std::span<NodeId>(shuffled));
-    solution.s1.insert(solution.s1.end(), shuffled.begin(),
-                       shuffled.begin() + h);
+    s1.insert(s1.end(), shuffled.begin(), shuffled.begin() + h);
   }
+  return s1;
+}
 
-  // -- S_2: k nodes with the highest appearance counts ----------------------
-  // Appearance counts are adjacent CSR offset differences; reading the
-  // offsets span directly keeps the sort comparator free of span setup.
+/// S_2 of Alg. 3: the k nodes with the highest appearance counts.
+/// Appearance counts are adjacent CSR offset differences; reading the
+/// offsets span directly keeps the sort comparator free of span setup.
+[[nodiscard]] std::vector<NodeId> build_s2(const RicPool& pool,
+                                           std::uint32_t k) {
+  const NodeId n = pool.graph().node_count();
   const std::span<const std::uint64_t> offsets = pool.touch_offsets();
   const auto appearance = [&](NodeId v) { return offsets[v + 1] - offsets[v]; };
   std::vector<NodeId> by_appearance;
@@ -61,9 +68,12 @@ MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
               return a < b;
             });
   if (by_appearance.size() > k) by_appearance.resize(k);
-  solution.s2 = std::move(by_appearance);
+  return by_appearance;
+}
 
-  // -- Line 8: keep the better under ĉ_R ------------------------------------
+/// Line 8: evaluate both sets under ĉ_R and keep the better.
+void pick_better(const RicPool& pool, const GreedyOptions& options,
+                 MafSolution& solution) {
   double c1 = 0.0;
   double c2 = 0.0;
   if (options.parallel) {
@@ -80,6 +90,54 @@ MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
   solution.chose_s1 = c1 >= c2;
   solution.seeds = solution.chose_s1 ? solution.s1 : solution.s2;
   solution.c_hat = solution.chose_s1 ? c1 : c2;
+}
+
+void check_maf_k(std::uint32_t k) {
+  // Same contract as the greedy selectors and bt_solve: an empty budget is
+  // a caller bug, not an empty solution (it would silently score 0 and win
+  // no max(), masking the mistake downstream in MB).
+  if (k == 0) throw std::invalid_argument("maf_solve: k must be >= 1");
+}
+
+}  // namespace
+
+MafSolution maf_solve(const RicPool& pool, std::uint32_t k,
+                      std::uint64_t seed, const GreedyOptions& options) {
+  check_maf_k(k);
+  MafSolution solution;
+  solution.s1 = build_s1(pool, k, seed, source_frequency_order(pool));
+  solution.s2 = build_s2(pool, k);
+  pick_better(pool, options, solution);
+  return solution;
+}
+
+MafSolution maf_resume(const RicPool& pool, std::uint32_t k,
+                       std::uint64_t seed, const GreedyOptions& options,
+                       MafResume& state) {
+  check_maf_k(k);
+  std::vector<CommunityId> order = source_frequency_order(pool);
+
+  bool reusable = state.k == k && state.order == order && !state.s1.empty();
+  if (reusable) {
+    try {
+      (void)pool.samples_since(state.epoch);  // validates the carried epoch
+    } catch (const std::invalid_argument&) {
+      reusable = false;
+    }
+  }
+
+  MafSolution solution;
+  // Same (order, k, seed) ⇒ build_s1 would reproduce the stored set
+  // verbatim; skip the shuffles. Growth that reorders the frequencies
+  // rebuilds from scratch.
+  solution.s1 = reusable ? state.s1 : build_s1(pool, k, seed, order);
+  solution.s2 = build_s2(pool, k);
+  pick_better(pool, options, solution);
+
+  state.epoch = pool.grow_epoch();
+  state.order = std::move(order);
+  state.s1 = solution.s1;
+  state.k = k;
   return solution;
 }
 

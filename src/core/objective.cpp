@@ -1,6 +1,7 @@
 #include "core/objective.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/mathx.h"
 
@@ -92,6 +93,74 @@ void CoverageState::add_seed(NodeId v) {
             fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
         nu_sum_.add(row[new_count] - row[old_count]);
       });
+}
+
+IMC_POPCNT_CLONES
+void CoverageState::extend(const RicPool& pool, RicPool::PoolEpoch from_epoch) {
+  if (&pool != pool_) {
+    throw std::invalid_argument("CoverageState::extend: foreign pool");
+  }
+  if (from_epoch.samples != covered_.size()) {
+    throw std::invalid_argument(
+        "CoverageState::extend: epoch does not match the state's coverage");
+  }
+  if (pool.samples_since(from_epoch) == 0) return;  // validates the epoch
+
+  covered_.resize(pool.size(), 0);
+  saturated_.resize((pool.size() + 63) / 64, 0);
+  extend_mark_.resize(pool.size(), 0);
+  if (++extend_epoch_ == 0) {  // wraparound: every mark is stale again
+    std::fill(extend_mark_.begin(), extend_mark_.end(), 0);
+    extend_epoch_ = 1;
+  }
+
+  // Seed-major replay over EVERY touch of every seed, in insertion order —
+  // the exact accumulation sequence a rebuild's add_seed loop runs, so the
+  // fresh influenced/ν below match it bitwise (see the header contract).
+  // First visit to a sample this replay reads `before = 0` via the mark,
+  // later visits read the running mask; covered_ converges to the same
+  // final union either way.
+  const std::uint32_t epoch = extend_epoch_;
+  std::uint32_t* marks = extend_mark_.data();
+  std::uint64_t influenced = 0;
+  KahanSum nu_sum;
+  for (const NodeId v : seeds_) {
+    for_each_touch(
+        pool_->touches_of(v), covered_.data(),
+        [&](const RicPool::Touch& touch) {
+          const bool fresh = marks[touch.sample] != epoch;
+          const std::uint64_t before = fresh ? 0 : covered_[touch.sample];
+          const std::uint64_t after = before | touch.mask;
+          if (fresh) {
+            marks[touch.sample] = epoch;
+            covered_[touch.sample] = after;  // clear the stale pre-replay mask
+          } else if (after != before) {
+            covered_[touch.sample] = after;
+          }
+          if (after == before) return;  // same early-out as add_seed
+          const auto old_count =
+              static_cast<std::uint32_t>(popcount64(before));
+          if (old_count >= touch.threshold) return;
+          const auto new_count =
+              static_cast<std::uint32_t>(popcount64(after));
+          if (new_count >= touch.threshold) {
+            ++influenced;
+            saturated_[touch.sample >> 6] |= 1ULL << (touch.sample & 63);
+          }
+          const double* row =
+              fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
+          nu_sum.add(row[new_count] - row[old_count]);
+        });
+  }
+  influenced_ = influenced;
+  nu_sum_ = nu_sum;
+}
+
+bool operator==(const CoverageState& a, const CoverageState& b) {
+  return a.pool_ == b.pool_ && a.covered_ == b.covered_ &&
+         a.saturated_ == b.saturated_ && a.is_seed_ == b.is_seed_ &&
+         a.seeds_ == b.seeds_ && a.influenced_ == b.influenced_ &&
+         a.nu_sum_.value() == b.nu_sum_.value();
 }
 
 double CoverageState::c_hat() const noexcept {

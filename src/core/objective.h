@@ -52,6 +52,23 @@ class CoverageState {
   /// Adds one seed (idempotent — re-adding is a no-op).
   void add_seed(NodeId v);
 
+  /// Catches the state up with samples grown into the pool since
+  /// `from_epoch` (the RicPool::grow_epoch() captured when this state was
+  /// last constructed/extended). `pool` must be the state's own pool and
+  /// `from_epoch.samples` must equal the sample count the state currently
+  /// covers; a stale or foreign epoch throws std::invalid_argument.
+  ///
+  /// ν accumulation-order contract: the extended state is BITWISE equal
+  /// (operator==) to a fresh CoverageState on the grown pool replaying
+  /// add_seed over the same seeds in insertion order. Kahan compensation
+  /// makes nu_sum_ sensitive to summation order, so extend() does not
+  /// splice "new-sample deltas" into the old sum — it replays every seed's
+  /// full CSR touch run seed-major (exactly the rebuild's accumulation
+  /// sequence) and REPLACES influenced_/nu_sum_ with the replayed values.
+  /// Cost is O(Σ touches of the seeds), independent of |R|, via the
+  /// epoch-marked scratch below.
+  void extend(const RicPool& pool, RicPool::PoolEpoch from_epoch);
+
   [[nodiscard]] const std::vector<NodeId>& seeds() const noexcept {
     return seeds_;
   }
@@ -129,6 +146,12 @@ class CoverageState {
 
   [[nodiscard]] const RicPool& pool() const noexcept { return *pool_; }
 
+  /// Observable-state equality: same pool, same per-sample coverage and
+  /// saturation, same seed set, and the same influenced_/nu_sum_ values
+  /// (nu compared by value() — the invariant extend() guarantees
+  /// bitwise). The extend-vs-rebuild tests assert with this.
+  friend bool operator==(const CoverageState& a, const CoverageState& b);
+
  private:
   const RicPool* pool_;
   /// Base of the precomputed ν fraction table (nu_fraction_row(0)); rows
@@ -145,6 +168,11 @@ class CoverageState {
   std::vector<NodeId> seeds_;
   std::uint64_t influenced_ = 0;
   KahanSum nu_sum_;  // compensated: matches RicPool::nu's KahanSum
+  /// extend() scratch: extend_mark_[g] == extend_epoch_ means covered_[g]
+  /// already holds the current replay's running mask (so `before` reads it
+  /// instead of 0). Epoch-bumped per extend — no O(|R|) clearing.
+  std::vector<std::uint32_t> extend_mark_;
+  std::uint32_t extend_epoch_ = 0;
 };
 
 }  // namespace imc

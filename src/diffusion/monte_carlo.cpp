@@ -22,9 +22,22 @@ double mc_average(
     const Graph& graph, std::span<const NodeId> seeds,
     const MonteCarloOptions& options,
     const std::function<double(const std::vector<std::uint8_t>&)>& per_run) {
+  if (options.info != nullptr) *options.info = McRunInfo{};
   if (options.simulations == 0) return 0.0;
   const Rng master(options.seed);
 
+  // One poll per replication: a full cascade dwarfs the check. With no
+  // deadline/cancel attached this is a pair of null tests — completed ==
+  // simulations and the division below matches pre-truncation builds
+  // exactly.
+  const auto stopped = [&]() -> bool {
+    return (options.deadline != nullptr && options.deadline->expired()) ||
+           (options.cancel != nullptr &&
+            options.cancel->load(std::memory_order_relaxed));
+  };
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> truncated{false};
   const auto run_chunk = [&](std::uint64_t begin, std::uint64_t end,
                              unsigned chunk_index) -> double {
     Rng rng = master.split(chunk_index);
@@ -32,6 +45,10 @@ double mc_average(
     std::vector<NodeId> frontier;
     KahanSum sum;
     for (std::uint64_t i = begin; i < end; ++i) {
+      if (stopped()) {
+        truncated.store(true, std::memory_order_relaxed);
+        break;
+      }
       if (options.model == DiffusionModel::kIndependentCascade) {
         simulate_ic_into(graph, seeds, rng, active, frontier);
       } else {
@@ -40,24 +57,34 @@ double mc_average(
         for (const NodeId v : result) active[v] = 1;
       }
       sum.add(per_run(active));
+      completed.fetch_add(1, std::memory_order_relaxed);
     }
     return sum.value();
   };
 
+  double total_value = 0.0;
   if (!options.parallel) {
-    return run_chunk(0, options.simulations, 0) /
-           static_cast<double>(options.simulations);
+    total_value = run_chunk(0, options.simulations, 0);
+  } else {
+    std::mutex mutex;
+    KahanSum total;
+    parallel_for(default_pool(), options.simulations,
+                 [&](std::uint64_t begin, std::uint64_t end, unsigned chunk) {
+                   const double partial = run_chunk(begin, end, chunk);
+                   const std::lock_guard<std::mutex> lock(mutex);
+                   total.add(partial);
+                 });
+    total_value = total.value();
   }
 
-  std::mutex mutex;
-  KahanSum total;
-  parallel_for(default_pool(), options.simulations,
-               [&](std::uint64_t begin, std::uint64_t end, unsigned chunk) {
-                 const double partial = run_chunk(begin, end, chunk);
-                 const std::lock_guard<std::mutex> lock(mutex);
-                 total.add(partial);
-               });
-  return total.value() / static_cast<double>(options.simulations);
+  const std::uint64_t runs = completed.load(std::memory_order_relaxed);
+  if (options.info != nullptr) {
+    options.info->completed = runs;
+    options.info->truncated = truncated.load(std::memory_order_relaxed);
+  }
+  // Average over what actually ran, so a truncated call still reports an
+  // unbiased (if noisier) estimate instead of a deflated one.
+  return runs == 0 ? 0.0 : total_value / static_cast<double>(runs);
 }
 
 }  // namespace

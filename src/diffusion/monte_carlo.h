@@ -3,22 +3,41 @@
 // and they implement the paper's final-evaluation step for baseline seeds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
 #include "community/community_set.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/stopwatch.h"
 
 namespace imc {
 
 enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
+
+/// Outcome report for one mc_* call (see MonteCarloOptions::info).
+struct McRunInfo {
+  std::uint64_t completed = 0;  // replications actually simulated
+  bool truncated = false;       // deadline/cancel fired before all ran
+};
 
 struct MonteCarloOptions {
   std::uint64_t seed = 7;
   std::uint32_t simulations = 1000;
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   bool parallel = true;  // spread replications across default_pool()
+  /// Optional wall-clock budget (borrowed): replication loops poll it
+  /// before every simulation and stop early, averaging over the
+  /// replications that completed. Null = run all `simulations`.
+  const Deadline* deadline = nullptr;
+  /// Optional cooperative cancellation flag (borrowed); same effect as an
+  /// expired deadline.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional out-param filled with what actually ran. With no deadline or
+  /// cancellation the estimate is bit-identical to pre-truncation builds
+  /// (all replications complete, same division).
+  McRunInfo* info = nullptr;
 };
 
 /// Expected influence spread E[|active|] of the seed set.

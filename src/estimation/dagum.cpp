@@ -9,10 +9,13 @@
 
 namespace imc {
 
-DagumEstimate dagum_estimate_benefit(const Graph& graph,
-                                     const CommunitySet& communities,
-                                     std::span<const NodeId> seeds,
-                                     const DagumOptions& options) {
+namespace {
+
+DagumEstimate dagum_estimate_impl(const Graph& graph,
+                                  const CommunitySet& communities,
+                                  std::span<const NodeId> seeds,
+                                  const DagumOptions& options,
+                                  const ExecutionContext* context) {
   DagumEstimate result;
   if (communities.empty()) return result;
 
@@ -29,6 +32,12 @@ DagumEstimate dagum_estimate_benefit(const Graph& graph,
 
   std::uint64_t influenced = 0;
   for (std::uint64_t t = 1; t <= options.max_samples; ++t) {
+    // Coarse cooperative polling: one stop_requested() check per 64 draws
+    // keeps the overhead invisible next to the sample generation itself.
+    if (context != nullptr && t % 64 == 0 && context->stop_requested()) {
+      result.reached_deadline = true;
+      break;
+    }
     const RicSample g = sampler.generate(rng);
     // tmp of Alg. 6: members of C_g reached by the seed set.
     std::uint64_t covered = 0;
@@ -46,13 +55,31 @@ DagumEstimate dagum_estimate_benefit(const Graph& graph,
       return result;
     }
   }
-  // T_max exhausted: report the plain unbiased running estimate.
+  // T_max exhausted (or the deadline hit): report the plain unbiased
+  // running estimate.
   result.value = result.samples == 0
                      ? 0.0
                      : b * static_cast<double>(influenced) /
                            static_cast<double>(result.samples);
   result.converged = false;
   return result;
+}
+
+}  // namespace
+
+DagumEstimate dagum_estimate_benefit(const Graph& graph,
+                                     const CommunitySet& communities,
+                                     std::span<const NodeId> seeds,
+                                     const DagumOptions& options) {
+  return dagum_estimate_impl(graph, communities, seeds, options, nullptr);
+}
+
+DagumEstimate dagum_estimate_benefit(const Graph& graph,
+                                     const CommunitySet& communities,
+                                     std::span<const NodeId> seeds,
+                                     const DagumOptions& options,
+                                     const ExecutionContext& context) {
+  return dagum_estimate_impl(graph, communities, seeds, options, &context);
 }
 
 }  // namespace imc

@@ -18,6 +18,7 @@
 #include "diffusion/monte_carlo.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/context.h"
 
 namespace imc {
 
@@ -33,6 +34,9 @@ struct DagumEstimate {
   double value = 0.0;        // estimated c(S)
   std::uint64_t samples = 0; // T, samples actually drawn
   bool converged = false;    // false iff T_max hit first (paper returns -1)
+  /// The context's deadline expired (or its cancel flag was set) before
+  /// Λ' or T_max was reached; `value` is the partial running estimate.
+  bool reached_deadline = false;
 };
 
 /// Runs the stopping-rule estimator for c(S). A failure to converge leaves
@@ -40,5 +44,14 @@ struct DagumEstimate {
 [[nodiscard]] DagumEstimate dagum_estimate_benefit(
     const Graph& graph, const CommunitySet& communities,
     std::span<const NodeId> seeds, const DagumOptions& options = {});
+
+/// Deadline/cancellation-aware variant: polls context.stop_requested()
+/// every 64 draws and winds down with reached_deadline == true and the
+/// partial running estimate. With an inactive context this is
+/// bit-identical to the overload above (the seed stream is untouched).
+[[nodiscard]] DagumEstimate dagum_estimate_benefit(
+    const Graph& graph, const CommunitySet& communities,
+    std::span<const NodeId> seeds, const DagumOptions& options,
+    const ExecutionContext& context);
 
 }  // namespace imc

@@ -13,6 +13,7 @@
 
 // util
 #include "util/cli.h"
+#include "util/context.h"
 #include "util/logging.h"
 #include "util/mathx.h"
 #include "util/rng.h"
@@ -69,6 +70,7 @@
 #include "core/baselines/simple.h"
 #include "core/brute_force.h"
 #include "core/bt.h"
+#include "core/engine.h"
 #include "core/greedy.h"
 #include "core/imcaf.h"
 #include "core/maf.h"

@@ -101,6 +101,7 @@ RicPool::RicPool(RicPool&& other) noexcept
       communities_(other.communities_),
       model_(other.model_),
       total_benefit_(other.total_benefit_),
+      grows_(other.grows_),
       thresholds_(std::move(other.thresholds_)),
       source_community_(std::move(other.source_community_)),
       community_frequency_(std::move(other.community_frequency_)),
@@ -118,6 +119,7 @@ RicPool& RicPool::operator=(RicPool&& other) noexcept {
   communities_ = other.communities_;
   model_ = other.model_;
   total_benefit_ = other.total_benefit_;
+  grows_ = other.grows_;
   thresholds_ = std::move(other.thresholds_);
   source_community_ = std::move(other.source_community_);
   community_frequency_ = std::move(other.community_frequency_);
@@ -194,6 +196,7 @@ void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel,
     }
     release_sampler(std::move(sampler));
     merge_fresh_into_index(1, nullptr);
+    ++grows_;
     return;
   }
 
@@ -266,6 +269,7 @@ void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel,
   // the CSR eagerly: grow() is the bulk producer, and doing it here keeps
   // the read path branch-predictable.
   merge_fresh_into_index(pool->size(), pool);
+  ++grows_;
 }
 
 void RicPool::append(RicSample sample) {
@@ -308,6 +312,7 @@ void RicPool::append(RicSample sample) {
   // Defer the CSR merge: a deserialization loop appends |R| samples and
   // pays for ONE rebuild on the first read instead of |R| re-merges.
   index_stale_.store(true, std::memory_order_release);
+  ++grows_;
 }
 
 RicSample RicPool::sample(std::uint32_t i) const {
@@ -427,6 +432,14 @@ void RicPool::merge_fresh_into_index(unsigned chunks,
   touch_offsets_ = std::move(new_offsets);
   indexed_samples_ = total_samples;
   index_stale_.store(false, std::memory_order_release);
+}
+
+std::uint64_t RicPool::samples_since(PoolEpoch epoch) const {
+  if (epoch.samples > size() || epoch.grows > grows_) {
+    throw std::invalid_argument(
+        "RicPool::samples_since: epoch from a different or newer pool");
+  }
+  return size() - epoch.samples;
 }
 
 std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {

@@ -52,6 +52,19 @@ class RicPool {
   };
   static_assert(sizeof(Touch) == 16, "Touch must stay two words");
 
+  /// Append-only growth watermark. Captured by grow_epoch(), consumed by
+  /// samples_since() and CoverageState::extend: the sample range
+  /// [epoch.samples, size()) is exactly what growth appended since the
+  /// capture. `grows` counts completed grow()/append() operations — it lets
+  /// holders of an epoch assert they are looking at the same pool lineage
+  /// (a pool that shrank or was rebuilt would not just have a different
+  /// size, it would have replayed a different number of growth steps).
+  struct PoolEpoch {
+    std::uint64_t samples = 0;  // pool size at capture
+    std::uint64_t grows = 0;    // growth operations completed at capture
+    friend bool operator==(const PoolEpoch&, const PoolEpoch&) = default;
+  };
+
   RicPool(const Graph& graph, const CommunitySet& communities,
           DiffusionModel model = DiffusionModel::kIndependentCascade);
 
@@ -84,6 +97,19 @@ class RicPool {
   [[nodiscard]] std::uint64_t size() const noexcept {
     return thresholds_.size();
   }
+
+  /// Watermark of the current growth state. Samples are append-only, so a
+  /// captured epoch permanently names the prefix [0, epoch.samples).
+  [[nodiscard]] PoolEpoch grow_epoch() const noexcept {
+    return PoolEpoch{size(), grows_};
+  }
+
+  /// Number of samples appended since `epoch` was captured — the size of
+  /// the fresh range [epoch.samples, size()). Throws std::invalid_argument
+  /// when the epoch does not describe a prefix of THIS pool (captured from
+  /// another pool, or from a later state: epoch.samples > size() or
+  /// epoch.grows > the completed growth count).
+  [[nodiscard]] std::uint64_t samples_since(PoolEpoch epoch) const;
 
   /// Materializes sample g from the arenas (community/threshold from the
   /// SoA metadata, touching pairs from the sample-major arena). This is
@@ -216,6 +242,10 @@ class RicPool {
   const CommunitySet* communities_;
   DiffusionModel model_ = DiffusionModel::kIndependentCascade;
   double total_benefit_ = 0.0;
+
+  // Completed growth operations (grow with count > 0, append); see
+  // PoolEpoch.
+  std::uint64_t grows_ = 0;
 
   // SoA hot-path metadata, one entry per sample.
   std::vector<std::uint32_t> thresholds_;       // sample -> h_g

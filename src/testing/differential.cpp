@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "core/greedy.h"
+#include "core/maf.h"
 #include "core/objective.h"
+#include "core/ubg.h"
 #include "sampling/ric_pool.h"
 #include "sampling/ric_sample.h"
 #include "testing/reference_oracles.h"
@@ -357,6 +359,89 @@ std::optional<std::string> check_greedy(const InstanceSpec& spec,
 }
 
 // ---------------------------------------------------------------------------
+// Check: warm_vs_cold
+// ---------------------------------------------------------------------------
+
+/// The MaxrSolver::resume / CoverageState::extend contracts under random
+/// growth schedules: after every pool growth, a warm-started UBG/MAF solve
+/// must be BIT-IDENTICAL to a cold solve on the same pool, and an extended
+/// CoverageState must be operator== to a from-scratch rebuild. Cold paths
+/// are the oracles — they are themselves pinned against the slow reference
+/// oracles by check_greedy.
+std::optional<std::string> check_warm_vs_cold(const InstanceSpec& spec,
+                                              std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  ThreadPool two(2);
+  const GreedyOptions serial{};
+  const GreedyOptions par2{/*parallel=*/true, &two,
+                           /*min_parallel_candidates=*/1};
+
+  Rng rng(case_seed ^ 0xc01d57a7ULL);
+  const auto k = static_cast<std::uint32_t>(
+      rng.between(1, std::min<std::int64_t>(4, graph.node_count())));
+  const std::vector<std::uint32_t> tracked_seeds =
+      rng.sample_without_replacement(
+          graph.node_count(),
+          std::min<std::uint32_t>(2, graph.node_count()));
+
+  // Uneven growth slices so the stages are not a clean doubling.
+  const std::uint64_t slices[3] = {count / 2 + 1, count / 3 + 1,
+                                   count / 4 + 1};
+
+  for (const GreedyOptions* options : {&serial, &par2}) {
+    RicPool pool(graph, communities, spec.model);
+    UbgResume ubg_state;
+    MafResume maf_state;
+    CoverageState tracked(pool);
+    for (const NodeId v : tracked_seeds) tracked.add_seed(v);
+    RicPool::PoolEpoch epoch = pool.grow_epoch();
+
+    bool parallel_grow = false;
+    for (const std::uint64_t slice : slices) {
+      pool.grow(slice, case_seed, parallel_grow,
+                parallel_grow ? &two : nullptr);
+      parallel_grow = !parallel_grow;
+      const std::string at = " at |R|=" + std::to_string(pool.size()) +
+                             ", k=" + std::to_string(k) +
+                             (options->parallel ? ", parallel" : ", serial");
+
+      const UbgSolution warm = ubg_resume(pool, k, *options, ubg_state);
+      const UbgSolution cold = ubg_solve(pool, k, *options);
+      if (warm.seeds != cold.seeds) {
+        return "ubg_resume seeds " + describe_nodes(warm.seeds) +
+               " != cold " + describe_nodes(cold.seeds) + at;
+      }
+      if (warm.c_hat != cold.c_hat || warm.from_nu.nu != cold.from_nu.nu ||
+          warm.from_c_hat.c_hat != cold.from_c_hat.c_hat) {
+        return "ubg_resume metrics not bit-identical to cold solve" + at;
+      }
+
+      const MafSolution maf_warm =
+          maf_resume(pool, k, /*seed=*/case_seed, *options, maf_state);
+      const MafSolution maf_cold =
+          maf_solve(pool, k, /*seed=*/case_seed, *options);
+      if (maf_warm.seeds != maf_cold.seeds ||
+          maf_warm.c_hat != maf_cold.c_hat) {
+        return "maf_resume diverged from cold solve" + at;
+      }
+
+      tracked.extend(pool, epoch);
+      epoch = pool.grow_epoch();
+      CoverageState rebuilt(pool);
+      for (const NodeId v : tracked.seeds()) rebuilt.add_seed(v);
+      if (!(tracked == rebuilt)) {
+        return "CoverageState::extend != full rebuild on seeds " +
+               describe_nodes(tracked.seeds()) + at;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Check: sampler_distribution
 // ---------------------------------------------------------------------------
 
@@ -468,6 +553,7 @@ std::vector<FuzzCheck> default_checks() {
       {"append_path", check_append_path},
       {"evaluators", check_evaluators},
       {"greedy", check_greedy},
+      {"warm_vs_cold", check_warm_vs_cold},
       {"sampler_distribution", check_sampler_distribution},
   };
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "community/threshold_policy.h"
 #include "graph/generators/generators.h"
@@ -142,6 +143,82 @@ TEST(CoverageState, NuAccumulationDoesNotDriftOverManySeeds) {
           << "after " << state.seeds().size() << " seeds";
     }
   }
+}
+
+TEST(CoverageState, ExtendMatchesFullRebuild) {
+  // Interleave seed additions, pool growth (serial and parallel), and
+  // extend() catch-ups; after every extend the incremental state must be
+  // operator== to a fresh CoverageState replaying the same seeds on the
+  // grown pool — including the BITWISE Kahan-compensated nu_sum.
+  Rng rng(91);
+  BarabasiAlbertConfig config;
+  config.nodes = 200;
+  config.attach = 3;
+  EdgeList edges = barabasi_albert_edges(config, rng);
+  apply_weighted_cascade(edges, config.nodes);
+  const Graph graph(config.nodes, edges);
+  CommunitySet communities = test::chunk_communities(config.nodes, 5);
+  apply_constant_thresholds(communities, 2);
+  apply_population_benefits(communities);
+  RicPool pool(graph, communities);
+  pool.grow(300, 5, /*parallel=*/false);
+
+  const auto check = [&](const CoverageState& state) {
+    CoverageState rebuilt(pool);
+    for (const NodeId v : state.seeds()) rebuilt.add_seed(v);
+    EXPECT_TRUE(state == rebuilt)
+        << "after " << state.seeds().size() << " seeds at |R|="
+        << pool.size();
+  };
+
+  CoverageState state(pool);
+  RicPool::PoolEpoch epoch = pool.grow_epoch();
+  state.add_seed(1);
+  state.add_seed(3);
+  check(state);
+
+  pool.grow(500, 5, /*parallel=*/true);
+  state.extend(pool, epoch);
+  epoch = pool.grow_epoch();
+  check(state);
+
+  state.add_seed(0);
+  state.add_seed(42);
+  pool.grow(800, 5, /*parallel=*/false);
+  state.extend(pool, epoch);
+  epoch = pool.grow_epoch();
+  check(state);
+
+  // Extending with zero new samples is a no-op.
+  state.extend(pool, epoch);
+  check(state);
+
+  state.add_seed(7);
+  pool.grow(400, 5, /*parallel=*/true);
+  state.extend(pool, epoch);
+  check(state);
+}
+
+TEST(CoverageState, ExtendRejectsForeignPoolAndStaleEpoch) {
+  const Fixture fixture;
+  RicPool pool = make_pool(fixture, 100);
+  CoverageState state(pool);
+  const RicPool::PoolEpoch epoch = pool.grow_epoch();
+  state.add_seed(6);
+
+  const RicPool other = make_pool(fixture, 100);
+  EXPECT_THROW(state.extend(other, other.grow_epoch()),
+               std::invalid_argument);
+
+  pool.grow(50, 42);
+  // An epoch newer than the state's own coverage is rejected too.
+  EXPECT_THROW(state.extend(pool, pool.grow_epoch()), std::invalid_argument);
+  state.extend(pool, epoch);  // the matching epoch works
+  EXPECT_EQ(state.seeds().size(), 1U);
+
+  // The consumed epoch is now stale for this state.
+  pool.grow(50, 42);
+  EXPECT_THROW(state.extend(pool, epoch), std::invalid_argument);
 }
 
 TEST(CoverageState, ThresholdCrossingCounted) {

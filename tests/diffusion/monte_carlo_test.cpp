@@ -111,6 +111,61 @@ TEST(MonteCarlo, LtModelSupported) {
   EXPECT_DOUBLE_EQ(mc_expected_spread(graph, seeds, options), 4.0);
 }
 
+TEST(MonteCarlo, InfoReportsFullRunWithoutDeadline) {
+  const Graph graph = test::path_graph(4, 1.0);
+  McRunInfo info;
+  MonteCarloOptions options;
+  options.simulations = 200;
+  options.info = &info;
+  const std::vector<NodeId> seeds{0};
+  // No deadline/cancel: everything completes and the estimate matches the
+  // info-less run exactly (same replication count, same division).
+  MonteCarloOptions plain = options;
+  plain.info = nullptr;
+  EXPECT_EQ(mc_expected_spread(graph, seeds, options),
+            mc_expected_spread(graph, seeds, plain));
+  EXPECT_EQ(info.completed, 200U);
+  EXPECT_FALSE(info.truncated);
+}
+
+TEST(MonteCarlo, ExpiredDeadlineTruncatesReplications) {
+  const Graph graph = test::path_graph(4, 1.0);
+  const Deadline deadline(1e-9);  // effectively already expired
+  McRunInfo info;
+  MonteCarloOptions options;
+  options.simulations = 5000;
+  options.deadline = &deadline;
+  options.info = &info;
+  const std::vector<NodeId> seeds{0};
+  const double spread = mc_expected_spread(graph, seeds, options);
+  EXPECT_TRUE(info.truncated);
+  EXPECT_LT(info.completed, 5000U);
+  // The average is over completed replications only — on this certain
+  // path every completed run spreads to all 4 nodes, so any nonzero
+  // completion still reports 4; zero completions report 0.
+  if (info.completed > 0) {
+    EXPECT_DOUBLE_EQ(spread, 4.0);
+  } else {
+    EXPECT_DOUBLE_EQ(spread, 0.0);
+  }
+}
+
+TEST(MonteCarlo, CancellationFlagTruncatesReplications) {
+  const Graph graph = test::path_graph(4, 1.0);
+  const std::atomic<bool> cancel{true};
+  McRunInfo info;
+  MonteCarloOptions options;
+  options.simulations = 5000;
+  options.parallel = false;
+  options.cancel = &cancel;
+  options.info = &info;
+  const std::vector<NodeId> seeds{0};
+  const double spread = mc_expected_spread(graph, seeds, options);
+  EXPECT_TRUE(info.truncated);
+  EXPECT_EQ(info.completed, 0U);  // flag was set before the first poll
+  EXPECT_DOUBLE_EQ(spread, 0.0);
+}
+
 TEST(MonteCarlo, SerialAndParallelAgree) {
   const Graph graph = test::cycle_graph(10, 0.5);
   MonteCarloOptions serial;

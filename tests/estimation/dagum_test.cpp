@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "community/threshold_policy.h"
 #include "diffusion/monte_carlo.h"
 #include "estimation/concentration.h"
 #include "test_support.h"
+#include "util/context.h"
 
 namespace imc {
 namespace {
@@ -95,6 +98,54 @@ TEST(Dagum, RejectsOutOfRangeSeed) {
   const std::vector<NodeId> seeds{10};
   EXPECT_THROW((void)dagum_estimate_benefit(graph, communities, seeds),
                std::out_of_range);
+}
+
+TEST(Dagum, InactiveContextIsBitIdentical) {
+  // The context overload with no deadline/cancellation must not perturb
+  // the draw sequence — the two overloads share one implementation.
+  const test::NonSubmodularGadget gadget(0.5);
+  const std::vector<NodeId> seeds{0, 1};
+  DagumOptions options;
+  options.max_samples = 5000;
+  const DagumEstimate plain =
+      dagum_estimate_benefit(gadget.graph, gadget.communities, seeds,
+                             options);
+  const ExecutionContext context;  // inactive deadline, no cancel flag
+  const DagumEstimate with_context = dagum_estimate_benefit(
+      gadget.graph, gadget.communities, seeds, options, context);
+  EXPECT_EQ(plain.value, with_context.value);
+  EXPECT_EQ(plain.samples, with_context.samples);
+  EXPECT_EQ(plain.converged, with_context.converged);
+  EXPECT_FALSE(with_context.reached_deadline);
+}
+
+TEST(Dagum, ExpiredDeadlineWindsDownWithPartialEstimate) {
+  const test::NonSubmodularGadget gadget(0.5);
+  const std::vector<NodeId> seeds{0, 1};
+  const DagumOptions options;
+  ExecutionContext context;
+  context.deadline = Deadline(1e-9);  // effectively already expired
+  const DagumEstimate estimate = dagum_estimate_benefit(
+      gadget.graph, gadget.communities, seeds, options, context);
+  EXPECT_TRUE(estimate.reached_deadline);
+  EXPECT_FALSE(estimate.converged);
+  // Polling runs every 64 draws, so the wind-down happens within the
+  // first polling window.
+  EXPECT_LT(estimate.samples, 64U);
+}
+
+TEST(Dagum, CancellationFlagStopsDraws) {
+  const test::NonSubmodularGadget gadget(0.5);
+  const std::vector<NodeId> seeds{0, 1};
+  const DagumOptions options;
+  const std::atomic<bool> cancel{true};
+  ExecutionContext context;
+  context.cancel = &cancel;
+  const DagumEstimate estimate = dagum_estimate_benefit(
+      gadget.graph, gadget.communities, seeds, options, context);
+  EXPECT_TRUE(estimate.reached_deadline);
+  EXPECT_FALSE(estimate.converged);
+  EXPECT_LT(estimate.samples, 64U);
 }
 
 TEST(Dagum, EmptyCommunitiesGiveZero) {

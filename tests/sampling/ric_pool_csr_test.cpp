@@ -160,6 +160,52 @@ TEST_F(RicPoolCsrTest, SerialAndParallelGrowthProduceIdenticalPools) {
   }
 }
 
+TEST_F(RicPoolCsrTest, GrowEpochWatermarksEveryGrowthPath) {
+  RicPool pool(graph_, communities_);
+  const RicPool::PoolEpoch start = pool.grow_epoch();
+  EXPECT_EQ(start.samples, 0U);
+  EXPECT_EQ(pool.samples_since(start), 0U);
+
+  pool.grow(60, 11, /*parallel=*/false);
+  const RicPool::PoolEpoch after_serial = pool.grow_epoch();
+  EXPECT_EQ(pool.samples_since(start), 60U);
+  EXPECT_EQ(pool.samples_since(after_serial), 0U);
+  EXPECT_FALSE(start == after_serial);
+
+  // append() and parallel grow() advance the watermark too.
+  RicSampler sampler(graph_, communities_);
+  Rng rng(7);
+  pool.append(sampler.generate(rng));
+  EXPECT_EQ(pool.samples_since(after_serial), 1U);
+  const RicPool::PoolEpoch after_append = pool.grow_epoch();
+  EXPECT_FALSE(after_append == after_serial);
+
+  pool.grow(40, 23, /*parallel=*/true);
+  EXPECT_EQ(pool.samples_since(after_append), 40U);
+  EXPECT_EQ(pool.samples_since(start), 101U);
+  EXPECT_TRUE(pool.grow_epoch() == pool.grow_epoch());
+}
+
+TEST_F(RicPoolCsrTest, SamplesSinceRejectsForeignOrNewerEpochs) {
+  RicPool pool(graph_, communities_);
+  pool.grow(50, 11, /*parallel=*/false);
+  RicSampler sampler(graph_, communities_);
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) pool.append(sampler.generate(rng));
+
+  // An epoch from a pool with MORE samples than this one cannot be ours.
+  RicPool bigger(graph_, communities_);
+  bigger.grow(80, 3, /*parallel=*/false);
+  bigger.grow(80, 3, /*parallel=*/false);
+  EXPECT_THROW((void)pool.samples_since(bigger.grow_epoch()),
+               std::invalid_argument);
+  // ... and a foreign watermark whose sample count fits is still caught by
+  // the grow counter (pool has 4 growth events, bigger only 2).
+  EXPECT_THROW((void)bigger.samples_since(pool.grow_epoch()),
+               std::invalid_argument)
+      << "epoch with matching samples but foreign grow history accepted";
+}
+
 TEST_F(RicPoolCsrTest, GrowRejectsSampleIdOverflow) {
   RicPool pool(graph_, communities_);
   const std::uint64_t too_many =

@@ -13,9 +13,13 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIMC_SANITIZE=thread
-cmake --build "${build_dir}" -j "${jobs}" --target imc_concurrency_tests
+cmake --build "${build_dir}" -j "${jobs}" \
+  --target imc_concurrency_tests --target imc_engine_tests
 
 # halt_on_error makes any race fail the ctest invocation instead of just
 # printing a report; second_deadlock_stack improves lock-order diagnostics.
+# The engine label rides along: warm-start resume and solve_many exercise
+# the thread pool through the same deterministic-parallel sweeps.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
-  ctest --test-dir "${build_dir}" -L concurrency --output-on-failure -j "${jobs}"
+  ctest --test-dir "${build_dir}" -L 'concurrency|engine' \
+  --output-on-failure -j "${jobs}"

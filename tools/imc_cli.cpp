@@ -6,7 +6,8 @@
 //                       [--size-cap S] [--regime regular|bounded]
 //   imc_cli solve       [graph opts] [community opts] --algo ubg|maf|bt|mb
 //                       [--k K] [--max-samples N] [--model ic|lt]
-//                       [--parallel] [--threads N]
+//                       [--parallel] [--threads N] [--time-budget-s S]
+//                       [--metrics-json FILE] [--no-warm-start]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
 //   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
@@ -14,6 +15,7 @@
 //
 // Graphs come either from the synthetic Table-I stand-ins (--dataset) or a
 // SNAP edge-list file (--graph; weighted-cascade IC probabilities applied).
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -24,6 +26,14 @@
 namespace {
 
 using namespace imc;
+
+/// Argument mistakes the CLI can diagnose up front (bad values, flags that
+/// do not apply to the subcommand). main() prints the message plus the
+/// usage text and exits 2, distinguishing operator error from runtime
+/// failures (exit 1).
+struct UsageError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 Graph load_graph(const ArgParser& args) {
   if (args.has("graph")) {
@@ -191,9 +201,37 @@ int cmd_solve(const ArgParser& args) {
   config.model = load_model(args);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   config.parallel_sampling = args.get_bool("parallel-sampling", true);
+  config.warm_start = !args.get_bool("no-warm-start", false);
 
-  const ImcafResult result =
-      imcaf_solve(graph, communities, k, *solver, config);
+  const double time_budget = args.get_double("time-budget-s", 0.0);
+  if (args.has("time-budget-s") && !(time_budget > 0.0)) {
+    throw UsageError("--time-budget-s must be a positive number of seconds");
+  }
+  const std::string metrics_path = args.get_string("metrics-json", "");
+  if (args.has("metrics-json") && metrics_path.empty()) {
+    throw UsageError("--metrics-json requires a file path");
+  }
+
+  RecordingMetricsSink metrics;
+  ExecutionContext context;
+  context.seed = config.seed;
+  // Construct the Deadline last so the clock starts as close to the run as
+  // possible (the context doc's "build right before launching").
+  if (time_budget > 0.0) context.deadline = Deadline(time_budget);
+  if (!metrics_path.empty()) context.metrics = &metrics;
+
+  ImcEngine engine(graph, communities, config, context);
+  const ImcafResult result = engine.solve(k, *solver);
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      throw std::runtime_error("cannot open --metrics-json file " +
+                               metrics_path);
+    }
+    metrics.write_json(out);
+  }
+
   print_seeds(result.seeds);
   std::cout << "c_hat on final pool:   " << result.c_hat << "\n"
             << "independent estimate:  " << result.estimated_benefit << "\n"
@@ -202,6 +240,13 @@ int cmd_solve(const ArgParser& args) {
             << "runtime seconds:       " << result.runtime_seconds << "\n"
             << "total benefit in play: " << communities.total_benefit()
             << "\n";
+  if (result.reached_deadline) {
+    std::cout << "note: time budget expired; seeds are the best candidate "
+                 "from the completed stages\n";
+  }
+  if (!metrics_path.empty()) {
+    std::cout << "stage metrics written to " << metrics_path << "\n";
+  }
   return 0;
 }
 
@@ -274,7 +319,13 @@ void print_usage() {
       "  --scale S, --method louvain|random|lpa, --size-cap S,\n"
       "  --regime regular|bounded, --k K, --model ic|lt, --seed N,\n"
       "  --threads N (worker count; also via IMC_THREADS env),\n"
-      "  --parallel (deterministic parallel seed selection in solve)\n";
+      "  --parallel (deterministic parallel seed selection in solve)\n"
+      "solve-only options:\n"
+      "  --time-budget-s S   wall-clock budget; returns the best seeds from\n"
+      "                      the stages that completed in time\n"
+      "  --metrics-json F    write per-stage engine telemetry as JSON to F\n"
+      "  --no-warm-start     cold MAXR solve every doubling stage\n"
+      "                      (results are bit-identical; for benchmarking)\n";
 }
 
 }  // namespace
@@ -287,6 +338,15 @@ int main(int argc, char** argv) {
   }
   const std::string& command = args.positional().front();
   try {
+    if (command != "solve") {
+      for (const char* flag : {"time-budget-s", "metrics-json",
+                               "no-warm-start"}) {
+        if (args.has(flag)) {
+          throw UsageError(std::string("--") + flag +
+                           " only applies to the solve subcommand");
+        }
+      }
+    }
     // Size the shared pool before anything touches it.
     const auto threads = args.get_int("threads", 0);
     if (threads > 0) {
@@ -298,6 +358,10 @@ int main(int argc, char** argv) {
     if (command == "baseline") return cmd_baseline(args);
     if (command == "simulate") return cmd_simulate(args);
     std::cerr << "unknown subcommand: " << command << "\n";
+    print_usage();
+    return 2;
+  } catch (const UsageError& error) {
+    std::cerr << "error: " << error.what() << "\n";
     print_usage();
     return 2;
   } catch (const std::exception& error) {
