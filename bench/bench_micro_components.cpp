@@ -9,6 +9,7 @@
 //   IMC_MICRO_POOL         large-fixture RIC pool size       (default 40000)
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -29,6 +30,7 @@
 #include "graph/generators/dataset_catalog.h"
 #include "graph/generators/generators.h"
 #include "graph/weights.h"
+#include "sampling/pool_snapshot.h"
 #include "sampling/ric_pool.h"
 #include "sampling/ric_sample.h"
 #include "sampling/rr_set.h"
@@ -214,6 +216,45 @@ void BM_PoolCHatLarge(benchmark::State& state) {
   state.counters["pool_size"] = static_cast<double>(pool.size());
 }
 BENCHMARK(BM_PoolCHatLarge);
+
+// Binary snapshot persistence on the large (~40k sample) pool. Save is one
+// sequential arena write; Load contrasts the two reload paths — Arg 0 is
+// the streamed read (checksum + full per-sample validation, O(pool)),
+// Arg 1 the zero-copy mmap attach whose cost must stay independent of
+// pool size (the acceptance bar for `imc_cli --load-pool` restarts).
+void BM_PoolSnapshotSave(benchmark::State& state) {
+  const RicPool& pool = large_pool();
+  const std::string path = "/tmp/imc_bench_pool_save.snap";
+  for (auto _ : state) {
+    save_ric_pool_snapshot(path, pool);
+  }
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  state.counters["pool_size"] = static_cast<double>(pool.size());
+  state.counters["snapshot_bytes"] = static_cast<double>(probe.tellg());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PoolSnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_PoolSnapshotLoad(benchmark::State& state) {
+  const RicPool& pool = large_pool();
+  const std::string path = "/tmp/imc_bench_pool_load.snap";
+  save_ric_pool_snapshot(path, pool);
+  const bool mmap_attach = state.range(0) != 0;
+  for (auto _ : state) {
+    RicPool loaded =
+        mmap_attach
+            ? attach_ric_pool_snapshot(path, large_graph(),
+                                       large_communities())
+            : load_ric_pool_snapshot(path, large_graph(),
+                                     large_communities());
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.counters["pool_size"] = static_cast<double>(pool.size());
+  state.counters["mmap"] = mmap_attach ? 1 : 0;
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PoolSnapshotLoad)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CoverageMarginal(benchmark::State& state) {
   const Graph& graph = facebook_graph();

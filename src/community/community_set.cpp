@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/mathx.h"
+
 namespace imc {
 
 CommunitySet::CommunitySet(NodeId node_count,
@@ -134,6 +136,20 @@ double CommunitySet::coverage() const noexcept {
     if (c != kInvalidCommunity) ++assigned;
   }
   return static_cast<double>(assigned) / static_cast<double>(node_count_);
+}
+
+std::uint64_t CommunitySet::fingerprint() const {
+  Fnv1a64 digest;
+  digest.add_u64(node_count_);
+  digest.add_u64(size());
+  for (const auto& group : groups_) {
+    digest.add_u64(group.size());
+    digest.add_bytes(group.data(), group.size() * sizeof(NodeId));
+  }
+  digest.add_bytes(thresholds_.data(),
+                   thresholds_.size() * sizeof(std::uint32_t));
+  digest.add_bytes(benefits_.data(), benefits_.size() * sizeof(double));
+  return digest.value();
 }
 
 std::string CommunitySet::summary() const {

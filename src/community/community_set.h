@@ -65,6 +65,12 @@ class CommunitySet {
   /// Fraction of nodes assigned to some community.
   [[nodiscard]] double coverage() const noexcept;
 
+  /// Order-stable 64-bit digest of the full structure: memberships,
+  /// thresholds and benefit bit patterns. Pool snapshots
+  /// (sampling/pool_snapshot.h) store it so a pool can refuse to attach
+  /// to a community structure it was not sampled from. O(n + r).
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
   [[nodiscard]] std::string summary() const;
 
  private:

@@ -6,6 +6,7 @@
 
 #include "estimation/concentration.h"
 #include "estimation/dagum.h"
+#include "sampling/pool_snapshot.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -28,7 +29,20 @@ ImcEngine::ImcEngine(const Graph& graph, const CommunitySet& communities,
       communities_(&require_communities(communities)),
       config_(config),
       context_(context),
-      pool_(graph, communities, config_.model) {}
+      pool_(graph, communities, config_.model, config_.pool_backend) {}
+
+void ImcEngine::attach_pool(const std::string& path) {
+  RicPool loaded = load_ric_pool_any(path, *graph_, *communities_);
+  if (loaded.model() != config_.model) {
+    throw std::invalid_argument(
+        "ImcEngine::attach_pool: pool file was sampled under a different "
+        "diffusion model than the engine is configured for");
+  }
+  pool_ = std::move(loaded);
+  log(LogLevel::kDebug) << "IMCAF attach: |R|=" << pool_.size()
+                        << (pool_.attached() ? " (zero-copy mmap)"
+                                             : " (owned arenas)");
+}
 
 void ImcEngine::timed_grow(std::uint64_t count, ImcafResult& result) {
   const Stopwatch grow_watch;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "community/community_set.h"
@@ -61,6 +62,17 @@ class ImcEngine {
   /// time — the pool size differs between its runs).
   [[nodiscard]] std::vector<ImcafResult> solve_many(
       std::span<const EngineQuery> queries);
+
+  /// Replaces the engine's pool with one loaded from `path` — a binary v2
+  /// snapshot (attached zero-copy via mmap) or a text v1 pool file.
+  /// The file must have been saved against the SAME graph and community
+  /// structure (fingerprint-checked for snapshots) and the same diffusion
+  /// model as config().model. The restored PoolEpoch watermark means
+  /// solver warm-start carriers captured against the saved pool validate
+  /// against the reloaded one. Throws std::runtime_error /
+  /// std::invalid_argument on any mismatch; the current pool is untouched
+  /// on failure.
+  void attach_pool(const std::string& path);
 
   [[nodiscard]] const RicPool& pool() const noexcept { return pool_; }
   [[nodiscard]] const ImcafConfig& config() const noexcept { return config_; }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/mathx.h"
+
 namespace imc {
 
 namespace {
@@ -167,6 +169,20 @@ std::string Graph::summary() const {
   std::ostringstream out;
   out << "Graph(n=" << node_count() << ", m=" << edge_count() << ")";
   return out.str();
+}
+
+std::uint64_t Graph::fingerprint() const {
+  // The out-direction CSR already determines the graph (the in-direction
+  // arrays and uniformity tables are derived from it), so digesting
+  // offsets + adjacency + weight bits pins the whole structure.
+  Fnv1a64 digest;
+  digest.add_u64(node_count());
+  digest.add_u64(edge_count());
+  digest.add_bytes(out_offsets_.data(),
+                   out_offsets_.size() * sizeof(EdgeId));
+  digest.add_bytes(out_adjacency_.data(),
+                   out_adjacency_.size() * sizeof(Neighbor));
+  return digest.value();
 }
 
 }  // namespace imc

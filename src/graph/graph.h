@@ -111,6 +111,13 @@ class Graph {
   /// Human-readable one-line summary, e.g. "Graph(n=747, m=60050)".
   [[nodiscard]] std::string summary() const;
 
+  /// Order-stable 64-bit digest of the full structure (CSR offsets,
+  /// adjacency, weight bit patterns). Two graphs with equal fingerprints
+  /// are byte-identical in CSR form for practical purposes; pool
+  /// snapshots (sampling/pool_snapshot.h) store it so a pool can refuse
+  /// to attach to the wrong graph. O(n + m), computed on demand.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
  private:
   void check_node(NodeId v) const {
     if (v >= node_count()) {

@@ -51,6 +51,7 @@
 
 // sampling
 #include "sampling/pool_io.h"
+#include "sampling/pool_snapshot.h"
 #include "sampling/ric_pool.h"
 #include "sampling/ric_sample.h"
 #include "sampling/rr_set.h"

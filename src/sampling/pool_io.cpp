@@ -20,7 +20,24 @@ const char* model_tag(DiffusionModel model) {
 
 }  // namespace
 
+/// Restores a stream's formatting state on scope exit: write_ric_pool
+/// toggles std::hex/std::dec for the mask fields, and leaking that to the
+/// caller would silently corrupt whatever they print next.
+class StreamFlagsGuard {
+ public:
+  explicit StreamFlagsGuard(std::ios_base& stream)
+      : stream_(stream), flags_(stream.flags()) {}
+  ~StreamFlagsGuard() { stream_.flags(flags_); }
+  StreamFlagsGuard(const StreamFlagsGuard&) = delete;
+  StreamFlagsGuard& operator=(const StreamFlagsGuard&) = delete;
+
+ private:
+  std::ios_base& stream_;
+  std::ios_base::fmtflags flags_;
+};
+
 void write_ric_pool(std::ostream& out, const RicPool& pool) {
+  const StreamFlagsGuard guard(out);
   out << "imc-ric-pool v1\n";
   out << "nodes " << pool.graph().node_count() << " samples " << pool.size()
       << " model " << model_tag(pool.model()) << "\n";
@@ -39,14 +56,21 @@ void write_ric_pool(std::ostream& out, const RicPool& pool) {
     }
     out << '\n';
   }
-  out << std::dec;
 }
 
 void save_ric_pool(const std::string& path, const RicPool& pool) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_ric_pool: cannot open " + path);
   write_ric_pool(out, pool);
+  // Flush + close-check: buffered bytes can still fail at the filesystem
+  // (ENOSPC) after every operator<< "succeeded", and reporting success on
+  // a truncated pool file would poison later runs.
+  out.flush();
   if (!out) throw std::runtime_error("save_ric_pool: write failed");
+  out.close();
+  if (out.fail()) {
+    throw std::runtime_error("save_ric_pool: close failed for " + path);
+  }
 }
 
 RicPool read_ric_pool(std::istream& in, const Graph& graph,
@@ -101,10 +125,14 @@ RicPool read_ric_pool(std::istream& in, const Graph& graph,
     if (!(fields >> sample.community >> sample.threshold >> touch_count)) {
       fail(line_number, "bad sample header");
     }
-    sample.member_count = static_cast<std::uint32_t>(
-        communities.population(sample.community < communities.size()
-                                   ? sample.community
-                                   : 0));
+    if (sample.community >= communities.size()) {
+      // Used to clamp to community 0, which silently rewrote the sample's
+      // member count (and masked the corruption until append() — or worse,
+      // accepted a wrong member_count when populations coincided).
+      fail(line_number, "sample community id out of range");
+    }
+    sample.member_count =
+        static_cast<std::uint32_t>(communities.population(sample.community));
     sample.touching.reserve(touch_count);
     for (std::size_t i = 0; i < touch_count; ++i) {
       NodeId node = 0;
@@ -113,6 +141,13 @@ RicPool read_ric_pool(std::istream& in, const Graph& graph,
         fail(line_number, "bad touching pair");
       }
       sample.touching.emplace_back(node, mask);
+    }
+    // The declared touch count must consume the whole line: trailing
+    // non-whitespace means the count and the data disagree (a truncated
+    // edit or a concatenation bug), not extra harmless tokens.
+    std::string trailing;
+    if (fields >> trailing) {
+      fail(line_number, "trailing tokens after the declared touch pairs");
     }
     try {
       pool.append(std::move(sample));

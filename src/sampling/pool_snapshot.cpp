@@ -1,0 +1,405 @@
+#include "sampling/pool_snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "sampling/pool_io.h"
+#include "util/mathx.h"
+
+namespace imc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ric pool snapshot: " + what);
+}
+
+constexpr std::size_t kHeaderBytes = 128;
+
+/// Byte length of each section, padded position independent: sections are
+/// laid out back to back, each starting on a 64-byte boundary.
+struct SectionLayout {
+  std::size_t bytes = 0;    // raw payload bytes
+  std::size_t padded = 0;   // bytes + zero padding to the next boundary
+  std::size_t offset = 0;   // absolute file offset of the raw payload
+};
+
+/// The seven sections in their fixed file order, with offsets resolved.
+/// All lengths derive from the header counts — there is no section table.
+struct SnapshotLayout {
+  SectionLayout sections[7];
+  std::size_t total_bytes = 0;
+
+  static SnapshotLayout from_counts(std::uint64_t nodes,
+                                    std::uint64_t communities,
+                                    std::uint64_t samples,
+                                    std::uint64_t sample_pairs,
+                                    std::uint64_t csr_touches) {
+    const std::size_t raw[7] = {
+        samples * sizeof(std::uint32_t),        // thresholds
+        samples * sizeof(CommunityId),          // source_community
+        communities * sizeof(std::uint32_t),    // community_frequency
+        (samples + 1) * sizeof(std::uint64_t),  // sample_offsets
+        sample_pairs * sizeof(std::pair<NodeId, std::uint64_t>),
+        (nodes + 1) * sizeof(std::uint64_t),    // touch_offsets
+        csr_touches * sizeof(RicPool::Touch),   // touches
+    };
+    SnapshotLayout layout;
+    std::size_t cursor = kHeaderBytes;
+    for (int i = 0; i < 7; ++i) {
+      layout.sections[i].bytes = raw[i];
+      layout.sections[i].padded = detail::round_up_64(raw[i]);
+      layout.sections[i].offset = cursor;
+      cursor += layout.sections[i].padded;
+    }
+    layout.total_bytes = cursor;
+    return layout;
+  }
+};
+
+/// FNV-1a over the raw (unpadded) bytes of every section, in file order.
+/// Padding is excluded so the digest only covers meaningful data.
+std::uint64_t payload_checksum(const RicPool::SnapshotView& view) {
+  Fnv1a64 digest;
+  const auto add = [&digest](const auto& span) {
+    digest.add_bytes(span.data(),
+                     span.size() * sizeof(typename std::remove_reference_t<
+                                          decltype(span)>::element_type));
+  };
+  add(view.thresholds);
+  add(view.source_community);
+  add(view.community_frequency);
+  add(view.sample_offsets);
+  add(view.sample_arena);
+  add(view.touch_offsets);
+  add(view.touches);
+  return digest.value();
+}
+
+void write_padded(std::ostream& out, const void* data, std::size_t bytes,
+                  std::size_t padded) {
+  static constexpr char kZeros[64] = {};
+  if (bytes > 0) {
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(bytes));
+  }
+  if (padded > bytes) {
+    out.write(kZeros, static_cast<std::streamsize>(padded - bytes));
+  }
+}
+
+PoolSnapshotHeader make_header(const RicPool& pool,
+                               const RicPool::SnapshotView& view) {
+  PoolSnapshotHeader header;
+  std::memcpy(header.magic, kPoolSnapshotMagic, sizeof(header.magic));
+  header.version = kPoolSnapshotVersion;
+  header.model = static_cast<std::uint32_t>(view.model);
+  header.node_count = pool.graph().node_count();
+  header.community_count = pool.communities().size();
+  header.sample_count = view.thresholds.size();
+  header.sample_pair_count = view.sample_arena.size();
+  header.csr_touch_count = view.touches.size();
+  header.epoch_samples = view.epoch.samples;
+  header.epoch_grows = view.epoch.grows;
+  header.rng_contract = kRicSamplerRngContract;
+  header.graph_fingerprint = pool.graph().fingerprint();
+  header.community_fingerprint = pool.communities().fingerprint();
+  const SnapshotLayout layout = SnapshotLayout::from_counts(
+      header.node_count, header.community_count, header.sample_count,
+      header.sample_pair_count, header.csr_touch_count);
+  header.payload_bytes = layout.total_bytes;
+  header.payload_checksum = payload_checksum(view);
+  return header;
+}
+
+/// Shared header validation for both loaders: everything that can be
+/// checked without touching the arena payload.
+void validate_header(const PoolSnapshotHeader& header, const Graph& graph,
+                     const CommunitySet& communities) {
+  if (std::memcmp(header.magic, kPoolSnapshotMagic, sizeof(header.magic)) !=
+      0) {
+    fail("bad magic (not an imcpool2 snapshot)");
+  }
+  if (header.version != kPoolSnapshotVersion) {
+    fail("unsupported version " + std::to_string(header.version));
+  }
+  if (header.rng_contract != kRicSamplerRngContract) {
+    fail("rng contract mismatch (snapshot " +
+         std::to_string(header.rng_contract) + ", sampler " +
+         std::to_string(kRicSamplerRngContract) + ")");
+  }
+  if (header.model > static_cast<std::uint32_t>(
+                         DiffusionModel::kLinearThreshold)) {
+    fail("unknown diffusion model tag " + std::to_string(header.model));
+  }
+  if (header.node_count != graph.node_count()) {
+    fail("node count does not match the supplied graph");
+  }
+  if (header.community_count != communities.size()) {
+    fail("community count does not match the supplied communities");
+  }
+  if (header.graph_fingerprint != graph.fingerprint()) {
+    fail("graph fingerprint mismatch");
+  }
+  if (header.community_fingerprint != communities.fingerprint()) {
+    fail("community fingerprint mismatch");
+  }
+  if (header.sample_count > std::numeric_limits<std::uint32_t>::max()) {
+    fail("sample count exceeds the 32-bit id range");
+  }
+  if (header.epoch_samples != header.sample_count) {
+    fail("epoch watermark disagrees with the sample count");
+  }
+  const SnapshotLayout layout = SnapshotLayout::from_counts(
+      header.node_count, header.community_count, header.sample_count,
+      header.sample_pair_count, header.csr_touch_count);
+  if (header.payload_bytes != layout.total_bytes) {
+    fail("declared payload size disagrees with the section counts");
+  }
+}
+
+/// Deep per-sample validation for the streamed loader (the attach path
+/// skips this by design — see the header's trust model).
+void validate_payload(const RicPool::PoolArenas& arenas,
+                      const Graph& graph, const CommunitySet& communities) {
+  const auto thresholds = arenas.thresholds.span();
+  const auto source = arenas.source_community.span();
+  const auto offsets = arenas.sample_offsets.span();
+  const auto pairs = arenas.sample_arena.span();
+  for (std::size_t g = 0; g < source.size(); ++g) {
+    const CommunityId c = source[g];
+    if (c >= communities.size()) {
+      fail("sample " + std::to_string(g) + ": community id out of range");
+    }
+    if (thresholds[g] != communities.threshold(c)) {
+      fail("sample " + std::to_string(g) +
+           ": threshold disagrees with the community structure");
+    }
+    if (offsets[g] > offsets[g + 1]) {
+      fail("sample " + std::to_string(g) + ": offsets not monotone");
+    }
+    const NodeId population = communities.population(c);
+    const std::uint64_t full =
+        population >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << population) - 1;
+    for (std::uint64_t i = offsets[g]; i < offsets[g + 1]; ++i) {
+      if (pairs[i].first >= graph.node_count()) {
+        fail("sample " + std::to_string(g) + ": touching node out of range");
+      }
+      if ((pairs[i].second & ~full) != 0) {
+        fail("sample " + std::to_string(g) +
+             ": member mask wider than the community population");
+      }
+    }
+  }
+  const auto touch_offsets = arenas.touch_offsets.span();
+  const auto touches = arenas.touches.span();
+  for (std::size_t v = 0; v + 1 < touch_offsets.size(); ++v) {
+    if (touch_offsets[v] > touch_offsets[v + 1]) {
+      fail("csr: touch offsets not monotone");
+    }
+    for (std::uint64_t i = touch_offsets[v]; i < touch_offsets[v + 1]; ++i) {
+      const RicPool::Touch& t = touches[i];
+      if (t.sample >= thresholds.size()) {
+        fail("csr: touch references a sample out of range");
+      }
+      if (t.threshold != thresholds[t.sample]) {
+        fail("csr: touch threshold disagrees with the sample metadata");
+      }
+      if (i > touch_offsets[v] && touches[i - 1].sample >= t.sample) {
+        fail("csr: touches not strictly ordered by sample id");
+      }
+    }
+  }
+}
+
+/// Reads one section into an owned ArenaVector and folds its raw bytes
+/// into the running checksum, then skips the alignment padding.
+template <typename T>
+ArenaVector<T> read_section(std::istream& in, const SectionLayout& section,
+                            ArenaBackend backend, Fnv1a64& digest) {
+  ArenaVector<T> arena(backend);
+  const std::size_t count = section.bytes / sizeof(T);
+  arena.resize(count);
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(arena.data()),
+            static_cast<std::streamsize>(section.bytes));
+    if (!in) fail("truncated arena section");
+    digest.add_bytes(arena.data(), section.bytes);
+  }
+  const std::size_t pad = section.padded - section.bytes;
+  if (pad > 0) {
+    in.ignore(static_cast<std::streamsize>(pad));
+    if (!in) fail("truncated arena section");
+  }
+  return arena;
+}
+
+/// Borrowed zero-copy view of one section inside the mapped snapshot.
+template <typename T>
+ArenaVector<T> borrow_section(const std::shared_ptr<const MmapStorage>& map,
+                              const SectionLayout& section) {
+  const auto* base =
+      reinterpret_cast<const T*>(map->data() + section.offset);
+  return ArenaVector<T>::borrowed(base, section.bytes / sizeof(T), map);
+}
+
+}  // namespace
+
+void write_ric_pool_snapshot(std::ostream& out, const RicPool& pool) {
+  const RicPool::SnapshotView view = pool.snapshot_view();
+  const PoolSnapshotHeader header = make_header(pool, view);
+  const SnapshotLayout layout = SnapshotLayout::from_counts(
+      header.node_count, header.community_count, header.sample_count,
+      header.sample_pair_count, header.csr_touch_count);
+
+  char header_block[kHeaderBytes] = {};
+  std::memcpy(header_block, &header, sizeof(header));
+  out.write(header_block, kHeaderBytes);
+
+  const auto section = [&](int i, const auto& span) {
+    write_padded(out, span.data(), layout.sections[i].bytes,
+                 layout.sections[i].padded);
+  };
+  section(0, view.thresholds);
+  section(1, view.source_community);
+  section(2, view.community_frequency);
+  section(3, view.sample_offsets);
+  section(4, view.sample_arena);
+  section(5, view.touch_offsets);
+  section(6, view.touches);
+  if (!out) fail("write failed");
+}
+
+void save_ric_pool_snapshot(const std::string& path, const RicPool& pool) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open " + path);
+  write_ric_pool_snapshot(out, pool);
+  out.flush();
+  if (!out) fail("write failed for " + path);
+  out.close();
+  if (out.fail()) fail("close failed for " + path);
+}
+
+RicPool read_ric_pool_snapshot(std::istream& in, const Graph& graph,
+                               const CommunitySet& communities,
+                               ArenaBackend backend) {
+  char header_block[kHeaderBytes] = {};
+  in.read(header_block, kHeaderBytes);
+  if (!in) fail("truncated header");
+  PoolSnapshotHeader header;
+  std::memcpy(&header, header_block, sizeof(header));
+  validate_header(header, graph, communities);
+
+  const SnapshotLayout layout = SnapshotLayout::from_counts(
+      header.node_count, header.community_count, header.sample_count,
+      header.sample_pair_count, header.csr_touch_count);
+
+  Fnv1a64 digest;
+  RicPool::PoolArenas arenas;
+  arenas.thresholds = read_section<std::uint32_t>(in, layout.sections[0],
+                                                  backend, digest);
+  arenas.source_community = read_section<CommunityId>(in, layout.sections[1],
+                                                      backend, digest);
+  arenas.community_frequency = read_section<std::uint32_t>(
+      in, layout.sections[2], backend, digest);
+  arenas.sample_offsets = read_section<std::uint64_t>(in, layout.sections[3],
+                                                      backend, digest);
+  arenas.sample_arena = read_section<std::pair<NodeId, std::uint64_t>>(
+      in, layout.sections[4], backend, digest);
+  arenas.touch_offsets = read_section<std::uint64_t>(in, layout.sections[5],
+                                                     backend, digest);
+  arenas.touches = read_section<RicPool::Touch>(in, layout.sections[6],
+                                                backend, digest);
+  if (digest.value() != header.payload_checksum) {
+    fail("payload checksum mismatch (corrupt snapshot)");
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    fail("trailing bytes after the last arena section");
+  }
+  validate_payload(arenas, graph, communities);
+
+  try {
+    return RicPool::restore_snapshot(
+        graph, communities, static_cast<DiffusionModel>(header.model),
+        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows},
+        std::move(arenas));
+  } catch (const std::invalid_argument& error) {
+    fail(error.what());
+  }
+}
+
+RicPool load_ric_pool_snapshot(const std::string& path, const Graph& graph,
+                               const CommunitySet& communities,
+                               ArenaBackend backend) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  return read_ric_pool_snapshot(in, graph, communities, backend);
+}
+
+RicPool attach_ric_pool_snapshot(const std::string& path, const Graph& graph,
+                                 const CommunitySet& communities) {
+  auto map = std::make_shared<const MmapStorage>(
+      MmapStorage::open_readonly(path));
+  if (map->size() < kHeaderBytes) fail("truncated header");
+  PoolSnapshotHeader header;
+  std::memcpy(&header, map->data(), sizeof(header));
+  validate_header(header, graph, communities);
+  if (map->size() != header.payload_bytes) {
+    fail("snapshot file size disagrees with its declared payload");
+  }
+
+  const SnapshotLayout layout = SnapshotLayout::from_counts(
+      header.node_count, header.community_count, header.sample_count,
+      header.sample_pair_count, header.csr_touch_count);
+
+  RicPool::PoolArenas arenas;
+  arenas.thresholds =
+      borrow_section<std::uint32_t>(map, layout.sections[0]);
+  arenas.source_community =
+      borrow_section<CommunityId>(map, layout.sections[1]);
+  arenas.community_frequency =
+      borrow_section<std::uint32_t>(map, layout.sections[2]);
+  arenas.sample_offsets =
+      borrow_section<std::uint64_t>(map, layout.sections[3]);
+  arenas.sample_arena =
+      borrow_section<std::pair<NodeId, std::uint64_t>>(map,
+                                                       layout.sections[4]);
+  arenas.touch_offsets =
+      borrow_section<std::uint64_t>(map, layout.sections[5]);
+  arenas.touches = borrow_section<RicPool::Touch>(map, layout.sections[6]);
+
+  try {
+    return RicPool::restore_snapshot(
+        graph, communities, static_cast<DiffusionModel>(header.model),
+        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows},
+        std::move(arenas));
+  } catch (const std::invalid_argument& error) {
+    fail(error.what());
+  }
+}
+
+bool is_pool_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[sizeof(kPoolSnapshotMagic)] = {};
+  in.read(magic, sizeof(magic));
+  return in &&
+         std::memcmp(magic, kPoolSnapshotMagic, sizeof(magic)) == 0;
+}
+
+RicPool load_ric_pool_any(const std::string& path, const Graph& graph,
+                          const CommunitySet& communities) {
+  if (is_pool_snapshot_file(path)) {
+    return attach_ric_pool_snapshot(path, graph, communities);
+  }
+  return load_ric_pool(path, graph, communities);
+}
+
+}  // namespace imc

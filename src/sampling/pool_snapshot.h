@@ -1,0 +1,125 @@
+// Binary RIC-pool snapshot, format v2 — the persisted pool IS the live
+// pool (DESIGN.md §13).
+//
+// The text format (pool_io.h) re-parses and re-appends every sample:
+// O(pool) work and allocations before the first query can run. The v2
+// snapshot instead persists the pool's flat arenas verbatim — SoA
+// metadata, sample-major twin, community counters AND the CSR inverted
+// index — so a reload is either one sequential read (streamed) or, with
+// `attach_ric_pool_snapshot`, a single mmap whose cost is independent of
+// pool size: the arenas are served zero-copy straight out of the page
+// cache and a restart resumes warm-started solves in milliseconds.
+//
+// Layout (all integers little-endian, host-width as noted):
+//
+//   [0, 128)   PoolSnapshotHeader — magic "imcpool2", version, model,
+//              node/community/sample counts, epoch watermark
+//              {samples, grows}, RNG-contract id, graph + community
+//              fingerprints, payload byte count, payload checksum.
+//   sections   seven raw arena sections, each padded to a 64-byte
+//              boundary, in this fixed order (lengths derive from the
+//              header counts — no section table needed):
+//                1. thresholds          u32  × samples
+//                2. source_community    u32  × samples
+//                3. community_frequency u32  × communities
+//                4. sample_offsets      u64  × samples + 1
+//                5. sample_arena        {u32 node, u64 mask} × pairs (16 B)
+//                6. touch_offsets       u64  × nodes + 1
+//                7. touches             {u32 sample, u32 threshold,
+//                                        u64 mask} × csr touches (16 B)
+//
+// Validation contract: BOTH loaders check magic, version, RNG contract,
+// counts against the supplied graph/communities, the epoch watermark and
+// the two fingerprints. The STREAMED loader additionally verifies the
+// payload checksum and every per-sample invariant (community ids,
+// thresholds, masks, touch ordering) — it is the path for snapshots of
+// unknown provenance. The mmap ATTACH path deliberately skips the
+// O(pool) deep checks so attach time stays flat; it is for snapshots this
+// code wrote, guarded by the fingerprints (see DESIGN.md §13 for the
+// trust model). Endianness is not translated: a snapshot is portable
+// between machines of the same byte order only.
+//
+// Ownership: an attached pool pins the file mapping via shared keepalives
+// inside its borrowed arenas; the mapping unmaps when the last arena (or
+// the pool holding them) dies. The first grow()/append() after an attach
+// copy-on-write-materializes the arenas, after which the file is no
+// longer referenced.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sampling/ric_pool.h"
+
+namespace imc {
+
+inline constexpr char kPoolSnapshotMagic[8] = {'i', 'm', 'c', 'p',
+                                               'o', 'o', 'l', '2'};
+inline constexpr std::uint32_t kPoolSnapshotVersion = 2;
+
+/// Fixed-size on-disk header; the arena sections follow at 64-byte-aligned
+/// offsets.
+struct PoolSnapshotHeader {
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t model = 0;  // DiffusionModel underlying value
+  std::uint64_t node_count = 0;
+  std::uint64_t community_count = 0;
+  std::uint64_t sample_count = 0;
+  std::uint64_t sample_pair_count = 0;  // sample-major arena entries
+  std::uint64_t csr_touch_count = 0;    // inverted-index arena entries
+  std::uint64_t epoch_samples = 0;      // PoolEpoch at save time
+  std::uint64_t epoch_grows = 0;
+  std::uint32_t rng_contract = 0;  // kRicSamplerRngContract of the writer
+  std::uint32_t reserved = 0;
+  std::uint64_t graph_fingerprint = 0;
+  std::uint64_t community_fingerprint = 0;
+  std::uint64_t payload_bytes = 0;     // total snapshot size, header included
+  std::uint64_t payload_checksum = 0;  // FNV-1a over the section bytes
+};
+static_assert(sizeof(PoolSnapshotHeader) <= 128,
+              "header must fit its reserved 128 bytes");
+
+/// Writes the v2 snapshot. The pool's pending index merge (if any) is
+/// materialized first so the CSR sections are current.
+void write_ric_pool_snapshot(std::ostream& out, const RicPool& pool);
+
+/// Saves to a file; throws std::runtime_error on I/O failure (the stream
+/// is flushed and close-checked before success is reported).
+void save_ric_pool_snapshot(const std::string& path, const RicPool& pool);
+
+/// Streamed load with FULL validation (checksum + per-sample invariants).
+/// Arenas are owned copies in `backend` storage. Throws std::runtime_error
+/// on malformed/corrupt input or graph/community mismatch.
+[[nodiscard]] RicPool read_ric_pool_snapshot(
+    std::istream& in, const Graph& graph, const CommunitySet& communities,
+    ArenaBackend backend = ArenaBackend::kRam);
+
+/// Convenience file wrapper around read_ric_pool_snapshot.
+[[nodiscard]] RicPool load_ric_pool_snapshot(
+    const std::string& path, const Graph& graph,
+    const CommunitySet& communities,
+    ArenaBackend backend = ArenaBackend::kRam);
+
+/// Zero-copy attach: mmaps the snapshot and serves the arenas in place.
+/// Cost is O(graph validation), independent of pool size — no arena copy
+/// happens until the pool is grown. Header, counts, epoch and
+/// fingerprints are verified; per-sample contents are trusted (see the
+/// header comment's trust model). Throws std::runtime_error on mismatch.
+[[nodiscard]] RicPool attach_ric_pool_snapshot(
+    const std::string& path, const Graph& graph,
+    const CommunitySet& communities);
+
+/// True when `path` starts with the v2 snapshot magic (a cheap sniff for
+/// format dispatch; false for unreadable files).
+[[nodiscard]] bool is_pool_snapshot_file(const std::string& path);
+
+/// Format-dispatching load: v2 snapshots are ATTACHED zero-copy, anything
+/// else goes through the text v1 loader. The one-stop entry point for
+/// `imc_cli --load-pool` and ImcEngine::attach_pool.
+[[nodiscard]] RicPool load_ric_pool_any(const std::string& path,
+                                        const Graph& graph,
+                                        const CommunitySet& communities);
+
+}  // namespace imc

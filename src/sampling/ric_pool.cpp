@@ -81,11 +81,19 @@ EvalScratch& accumulate_masks(const RicPool& pool,
 }  // namespace
 
 RicPool::RicPool(const Graph& graph, const CommunitySet& communities,
-                 DiffusionModel model)
+                 DiffusionModel model, ArenaBackend backend)
     : graph_(&graph),
       communities_(&communities),
       model_(model),
-      total_benefit_(communities.total_benefit()) {
+      backend_(backend),
+      total_benefit_(communities.total_benefit()),
+      thresholds_(backend),
+      source_community_(backend),
+      community_frequency_(backend),
+      sample_offsets_(backend),
+      sample_arena_(backend),
+      touch_offsets_(backend),
+      touches_(backend) {
   // Validate eagerly so misconfiguration surfaces at pool construction;
   // the validation sampler seeds the reuse cache instead of being thrown
   // away.
@@ -100,6 +108,7 @@ RicPool::RicPool(RicPool&& other) noexcept
     : graph_(other.graph_),
       communities_(other.communities_),
       model_(other.model_),
+      backend_(other.backend_),
       total_benefit_(other.total_benefit_),
       grows_(other.grows_),
       thresholds_(std::move(other.thresholds_)),
@@ -118,6 +127,7 @@ RicPool& RicPool::operator=(RicPool&& other) noexcept {
   graph_ = other.graph_;
   communities_ = other.communities_;
   model_ = other.model_;
+  backend_ = other.backend_;
   total_benefit_ = other.total_benefit_;
   grows_ = other.grows_;
   thresholds_ = std::move(other.thresholds_);
@@ -169,10 +179,19 @@ void RicPool::register_metadata(CommunityId community, std::uint32_t threshold,
   sample_offsets_.push_back(sample_offsets_.back() + touch_count);
 }
 
+void RicPool::ensure_mutable() {
+  thresholds_.ensure_owned();
+  source_community_.ensure_owned();
+  community_frequency_.ensure_owned();
+  sample_offsets_.ensure_owned();
+  sample_arena_.ensure_owned();
+}
+
 void RicPool::grow(std::uint64_t count, std::uint64_t seed, bool parallel,
                    ThreadPool* workers) {
   if (count == 0) return;
   check_capacity(count);
+  ensure_mutable();
   const std::uint64_t base = size();
 
   ThreadPool* pool = nullptr;
@@ -305,8 +324,9 @@ void RicPool::append(RicSample sample) {
     first = false;
   }
   check_capacity(1);
-  sample_arena_.insert(sample_arena_.end(), sample.touching.begin(),
-                       sample.touching.end());
+  ensure_mutable();
+  sample_arena_.append(sample.touching.data(),
+                       sample.touching.data() + sample.touching.size());
   register_metadata(sample.community, sample.threshold,
                     sample.touching.size());
   // Defer the CSR merge: a deserialization loop appends |R| samples and
@@ -373,14 +393,15 @@ void RicPool::merge_fresh_into_index(unsigned chunks,
   // fresh touches, then chunk 1's, ... Sample ids ascend within each run
   // and across runs, so the merged CSR equals the serial append order for
   // ANY chunk count: the keystone of deterministic parallel rebuilds.
-  std::vector<std::uint64_t> new_offsets(n + 1, 0);
-  std::vector<Touch> new_arena;
+  ArenaVector<std::uint64_t> new_offsets(n + 1, 0, backend_);
+  ArenaVector<Touch> new_arena(backend_);
+  const std::span<const std::uint64_t> old_offsets = touch_offsets_.span();
   const auto prefix_sum = [&] {
     std::uint64_t total = 0;
     for (std::uint64_t v = 0; v < n; ++v) {
       new_offsets[v] = total;
       std::uint64_t running =
-          total + (touch_offsets_[v + 1] - touch_offsets_[v]);
+          total + (old_offsets[v + 1] - old_offsets[v]);
       for (std::uint64_t p = 0; p < parts; ++p) {
         const std::uint64_t count = cursors[p * n + v];
         cursors[p * n + v] = running;  // becomes the chunk's write cursor
@@ -393,11 +414,16 @@ void RicPool::merge_fresh_into_index(unsigned chunks,
   };
 
   // Pass 2a — relocate each node's existing run into its new position.
+  // Old touches are read through the const span so an attached pool's
+  // borrowed CSR is streamed out of the mapping, not materialized first.
+  const std::span<const Touch> old_touches = touches_.span();
   const auto relocate_range = [&](std::uint64_t begin, std::uint64_t end,
                                   unsigned) {
     for (std::uint64_t v = begin; v < end; ++v) {
-      std::copy(touches_.begin() + touch_offsets_[v],
-                touches_.begin() + touch_offsets_[v + 1],
+      std::copy(old_touches.begin() +
+                    static_cast<std::ptrdiff_t>(old_offsets[v]),
+                old_touches.begin() +
+                    static_cast<std::ptrdiff_t>(old_offsets[v + 1]),
                 new_arena.begin() + new_offsets[v]);
     }
   };
@@ -432,6 +458,77 @@ void RicPool::merge_fresh_into_index(unsigned chunks,
   touch_offsets_ = std::move(new_offsets);
   indexed_samples_ = total_samples;
   index_stale_.store(false, std::memory_order_release);
+}
+
+RicPool::SnapshotView RicPool::snapshot_view() const {
+  ensure_index();  // never persist a stale CSR
+  SnapshotView view;
+  view.thresholds = thresholds_.span();
+  view.source_community = source_community_.span();
+  view.community_frequency = community_frequency_.span();
+  view.sample_offsets = sample_offsets_.span();
+  view.sample_arena = sample_arena_.span();
+  view.touch_offsets = touch_offsets_.span();
+  view.touches = touches_.span();
+  view.epoch = grow_epoch();
+  view.model = model_;
+  return view;
+}
+
+RicPool RicPool::restore_snapshot(const Graph& graph,
+                                  const CommunitySet& communities,
+                                  DiffusionModel model, PoolEpoch epoch,
+                                  PoolArenas&& arenas) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("RicPool::restore_snapshot: " + what);
+  };
+  const std::uint64_t samples = arenas.thresholds.size();
+  if (arenas.source_community.size() != samples) {
+    fail("metadata arenas disagree on the sample count");
+  }
+  if (epoch.samples != samples) {
+    fail("epoch watermark does not match the sample count");
+  }
+  if (samples > std::numeric_limits<std::uint32_t>::max()) {
+    fail("sample count overflows 32-bit sample ids");
+  }
+  if (arenas.sample_offsets.size() != samples + 1 ||
+      arenas.sample_offsets.span()[0] != 0 ||
+      arenas.sample_offsets.back() != arenas.sample_arena.size()) {
+    fail("sample-major offsets inconsistent with the arena");
+  }
+  if (arenas.community_frequency.size() != communities.size()) {
+    fail("community frequency table does not match the community set");
+  }
+  std::uint64_t frequency_sum = 0;
+  for (const std::uint32_t count : arenas.community_frequency.span()) {
+    frequency_sum += count;
+  }
+  if (frequency_sum != samples) {
+    fail("community frequencies do not sum to the sample count");
+  }
+  if (arenas.touch_offsets.size() !=
+          static_cast<std::uint64_t>(graph.node_count()) + 1 ||
+      arenas.touch_offsets.span()[0] != 0 ||
+      arenas.touch_offsets.back() != arenas.touches.size()) {
+    fail("CSR offsets inconsistent with the graph / touch arena");
+  }
+
+  // The restored pool inherits the arenas' backend (the attach path hands
+  // over borrowed views whose materialize target is kMmap) so later
+  // growth keeps allocating from the same kind of storage.
+  RicPool pool(graph, communities, model, arenas.sample_arena.backend());
+  pool.thresholds_ = std::move(arenas.thresholds);
+  pool.source_community_ = std::move(arenas.source_community);
+  pool.community_frequency_ = std::move(arenas.community_frequency);
+  pool.sample_offsets_ = std::move(arenas.sample_offsets);
+  pool.sample_arena_ = std::move(arenas.sample_arena);
+  pool.touch_offsets_ = std::move(arenas.touch_offsets);
+  pool.touches_ = std::move(arenas.touches);
+  pool.grows_ = epoch.grows;
+  pool.indexed_samples_ = samples;
+  pool.index_stale_.store(false, std::memory_order_release);
+  return pool;
 }
 
 std::uint64_t RicPool::samples_since(PoolEpoch epoch) const {

@@ -27,11 +27,13 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "community/community_set.h"
 #include "graph/graph.h"
 #include "sampling/ric_sample.h"
+#include "util/mmap_arena.h"
 #include "util/rng.h"
 
 namespace imc {
@@ -65,8 +67,13 @@ class RicPool {
     friend bool operator==(const PoolEpoch&, const PoolEpoch&) = default;
   };
 
+  /// The arena backend every growth path allocates from: kRam keeps the
+  /// pre-mmap behavior (aligned heap slabs), kMmap puts the arenas in
+  /// anonymous mappings grown via mremap. Content is bit-identical either
+  /// way — the backend only decides where the bytes live.
   RicPool(const Graph& graph, const CommunitySet& communities,
-          DiffusionModel model = DiffusionModel::kIndependentCascade);
+          DiffusionModel model = DiffusionModel::kIndependentCascade,
+          ArenaBackend backend = ArenaBackend::kRam);
 
   // Movable (the CSR cache mutex is per-object, not part of the value).
   RicPool(RicPool&& other) noexcept;
@@ -111,6 +118,62 @@ class RicPool {
   /// epoch.grows > the completed growth count).
   [[nodiscard]] std::uint64_t samples_since(PoolEpoch epoch) const;
 
+  /// Every arena the pool owns, in one movable bundle — the unit the
+  /// binary snapshot format (sampling/pool_snapshot.h) persists and
+  /// restores. Includes the CSR index so a restored pool answers
+  /// touches_of() without an O(pool) rebuild.
+  struct PoolArenas {
+    ArenaVector<std::uint32_t> thresholds;
+    ArenaVector<CommunityId> source_community;
+    ArenaVector<std::uint32_t> community_frequency;
+    ArenaVector<std::uint64_t> sample_offsets;
+    ArenaVector<std::pair<NodeId, std::uint64_t>> sample_arena;
+    ArenaVector<std::uint64_t> touch_offsets;
+    ArenaVector<Touch> touches;
+  };
+
+  /// Read-only view of every arena plus the growth watermark — what the
+  /// snapshot writer serializes. Materializes any pending index merge
+  /// first so the CSR sections are never stale.
+  struct SnapshotView {
+    std::span<const std::uint32_t> thresholds;
+    std::span<const CommunityId> source_community;
+    std::span<const std::uint32_t> community_frequency;
+    std::span<const std::uint64_t> sample_offsets;
+    std::span<const std::pair<NodeId, std::uint64_t>> sample_arena;
+    std::span<const std::uint64_t> touch_offsets;
+    std::span<const Touch> touches;
+    PoolEpoch epoch;
+    DiffusionModel model = DiffusionModel::kIndependentCascade;
+  };
+  [[nodiscard]] SnapshotView snapshot_view() const;
+
+  /// Installs fully built arenas (deserialization back door for
+  /// sampling/pool_snapshot.cpp). Arenas may be owned (the streamed
+  /// loader) or borrowed zero-copy views into an mmapped snapshot (the
+  /// attach path) — a borrowed pool serves reads in place and
+  /// copy-on-write-materializes on the first grow()/append(). Validates
+  /// the cheap structural invariants (sizes and final offsets coherent,
+  /// community frequencies sum to the sample count, epoch matches);
+  /// deep per-sample validation is the STREAMED loader's job — the
+  /// zero-copy path deliberately trusts fingerprint-verified snapshots so
+  /// attach cost stays independent of pool size. Throws
+  /// std::invalid_argument on any structural mismatch.
+  [[nodiscard]] static RicPool restore_snapshot(const Graph& graph,
+                                                const CommunitySet& communities,
+                                                DiffusionModel model,
+                                                PoolEpoch epoch,
+                                                PoolArenas&& arenas);
+
+  /// Backend growth allocates from (fixed at construction / restore).
+  [[nodiscard]] ArenaBackend backend() const noexcept { return backend_; }
+
+  /// True while any arena is still a zero-copy view into an attached
+  /// snapshot mapping (i.e. no mutation has materialized it yet).
+  [[nodiscard]] bool attached() const noexcept {
+    return sample_arena_.is_borrowed() || touches_.is_borrowed();
+  }
+
   /// Materializes sample g from the arenas (community/threshold from the
   /// SoA metadata, touching pairs from the sample-major arena). This is
   /// the slow path for serialization, BT instance construction and tests;
@@ -152,24 +215,24 @@ class RicPool {
   }
   /// Per-sample thresholds, indexed by sample id.
   [[nodiscard]] std::span<const std::uint32_t> thresholds() const noexcept {
-    return thresholds_;
+    return thresholds_.span();
   }
   /// Per-sample source community ids, indexed by sample id.
   [[nodiscard]] std::span<const CommunityId> source_communities()
       const noexcept {
-    return source_community_;
+    return source_community_.span();
   }
 
   /// CSR begin offsets (node -> first touch; node_count()+1 entries). The
   /// span [touch_offsets()[v], touch_offsets()[v+1]) indexes touch_arena().
   [[nodiscard]] std::span<const std::uint64_t> touch_offsets() const {
     ensure_index();
-    return touch_offsets_;
+    return touch_offsets_.span();
   }
   /// The contiguous touch arena the offsets point into.
   [[nodiscard]] std::span<const Touch> touch_arena() const {
     ensure_index();
-    return touches_;
+    return touches_.span();
   }
 
   /// Number of samples whose source community is c (MAF community
@@ -181,7 +244,7 @@ class RicPool {
   /// All per-community source counts, indexed by community id.
   [[nodiscard]] std::span<const std::uint32_t> community_frequencies()
       const noexcept {
-    return community_frequency_;
+    return community_frequency_.span();
   }
 
   /// ĉ_R(S) = (b / |R|) · #influenced samples (paper eq. 3). O(Σ_{v∈S}
@@ -222,6 +285,13 @@ class RicPool {
   void register_metadata(CommunityId community, std::uint32_t threshold,
                          std::uint64_t touch_count);
 
+  /// Copy-on-write gate for attached pools: the first mutation after a
+  /// zero-copy snapshot attach materializes the borrowed sample-side
+  /// arenas into owned storage (one O(pool) copy, then never again). The
+  /// CSR arenas are replaced wholesale by the next index merge, so they
+  /// need no eager copy. No-op for pools that own their arenas.
+  void ensure_mutable();
+
   /// Cheap staleness gate in front of every index read.
   void ensure_index() const {
     if (index_stale_.load(std::memory_order_acquire)) materialize_index();
@@ -241,22 +311,25 @@ class RicPool {
   const Graph* graph_;
   const CommunitySet* communities_;
   DiffusionModel model_ = DiffusionModel::kIndependentCascade;
+  ArenaBackend backend_ = ArenaBackend::kRam;
   double total_benefit_ = 0.0;
 
   // Completed growth operations (grow with count > 0, append); see
   // PoolEpoch.
   std::uint64_t grows_ = 0;
 
-  // SoA hot-path metadata, one entry per sample.
-  std::vector<std::uint32_t> thresholds_;       // sample -> h_g
-  std::vector<CommunityId> source_community_;   // sample -> C_g
-  std::vector<std::uint32_t> community_frequency_;  // community -> #samples
+  // SoA hot-path metadata, one entry per sample. All arenas below live in
+  // ArenaVector slabs (util/mmap_arena.h): heap or anonymous-mmap per
+  // backend_, or zero-copy borrowed views while attached() to a snapshot.
+  ArenaVector<std::uint32_t> thresholds_;       // sample -> h_g
+  ArenaVector<CommunityId> source_community_;   // sample -> C_g
+  ArenaVector<std::uint32_t> community_frequency_;  // community -> #samples
 
   // Canonical per-sample storage: touch lists concatenated in insertion
   // order (offsets in sample_offsets_, size+1 entries). Sample-major gain
   // passes stream it; sample() materializes views from it.
-  std::vector<std::uint64_t> sample_offsets_;            // sample -> begin
-  std::vector<std::pair<NodeId, std::uint64_t>> sample_arena_;
+  ArenaVector<std::uint64_t> sample_offsets_;            // sample -> begin
+  ArenaVector<std::pair<NodeId, std::uint64_t>> sample_arena_;
 
   // Cached RicSampler instances, reused across grow() parts and calls so
   // repeated growth never reconstructs O(n) scratch buffers.
@@ -265,8 +338,8 @@ class RicPool {
 
   // Flat CSR inverted index over samples [0, indexed_samples_); mutable so
   // const readers can materialize pending appends on demand.
-  mutable std::vector<std::uint64_t> touch_offsets_;  // node -> begin
-  mutable std::vector<Touch> touches_;                // contiguous arena
+  mutable ArenaVector<std::uint64_t> touch_offsets_;  // node -> begin
+  mutable ArenaVector<Touch> touches_;                // contiguous arena
   mutable std::uint64_t indexed_samples_ = 0;
   mutable std::atomic<bool> index_stale_{false};
   mutable std::mutex index_mutex_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "diffusion/lt_model.h"
+#include "util/mmap_arena.h"
 
 namespace imc {
 
@@ -68,14 +69,16 @@ RicSample RicSampler::generate_for_community(CommunityId community, Rng& rng) {
   return sample;
 }
 
-RicSampleMeta RicSampler::generate_into(Rng& rng, TouchArena& out) {
+template <typename Arena>
+RicSampleMeta RicSampler::generate_into(Rng& rng, Arena& out) {
   return generate_for_community_into(
       static_cast<CommunityId>(rho_.sample(rng)), rng, out);
 }
 
+template <typename Arena>
 RicSampleMeta RicSampler::generate_for_community_into(CommunityId community,
                                                       Rng& rng,
-                                                      TouchArena& out) {
+                                                      Arena& out) {
   const auto members = communities_->members(community);  // range-checked
   RicSampleMeta meta;
   meta.community = community;
@@ -193,5 +196,17 @@ RicSampleMeta RicSampler::generate_for_community_into(CommunityId community,
   live_next_.clear();
   return meta;
 }
+
+// The two arena types pool growth actually emits into: per-part scratch
+// vectors and the pool's own ArenaVector slabs (heap or mmap backend).
+using PoolArena = ArenaVector<std::pair<NodeId, std::uint64_t>>;
+template RicSampleMeta RicSampler::generate_into(Rng&,
+                                                 RicSampler::TouchArena&);
+template RicSampleMeta RicSampler::generate_into(Rng&, PoolArena&);
+template RicSampleMeta RicSampler::generate_for_community_into(
+    CommunityId, Rng&, RicSampler::TouchArena&);
+template RicSampleMeta RicSampler::generate_for_community_into(CommunityId,
+                                                               Rng&,
+                                                               PoolArena&);
 
 }  // namespace imc

@@ -1,7 +1,10 @@
 #include "testing/differential.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +13,8 @@
 #include "core/maf.h"
 #include "core/objective.h"
 #include "core/ubg.h"
+#include "sampling/pool_io.h"
+#include "sampling/pool_snapshot.h"
 #include "sampling/ric_pool.h"
 #include "sampling/ric_sample.h"
 #include "testing/reference_oracles.h"
@@ -442,6 +447,158 @@ std::optional<std::string> check_warm_vs_cold(const InstanceSpec& spec,
 }
 
 // ---------------------------------------------------------------------------
+// Check: pool_roundtrip
+// ---------------------------------------------------------------------------
+
+/// Bit-level pool equality over everything persistence must preserve: the
+/// SoA metadata, both arenas and the CSR index. Deliberately NOT the grow
+/// epoch — the text v1 loader rebuilds through append() (one "grow" per
+/// sample), which is its documented behavior.
+std::string pool_content_diff(const RicPool& got, const RicPool& want) {
+  if (got.size() != want.size()) return "size mismatch";
+  if (got.model() != want.model()) return "model tag mismatch";
+  const auto same = [](const auto& a, const auto& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  };
+  if (!same(got.thresholds(), want.thresholds())) {
+    return "thresholds mismatch";
+  }
+  if (!same(got.source_communities(), want.source_communities())) {
+    return "source_communities mismatch";
+  }
+  if (!same(got.community_frequencies(), want.community_frequencies())) {
+    return "community_frequencies mismatch";
+  }
+  for (std::uint32_t g = 0; g < want.size(); ++g) {
+    const auto mine = got.sample_touches(g);
+    const auto theirs = want.sample_touches(g);
+    if (!std::equal(mine.begin(), mine.end(), theirs.begin(), theirs.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first == b.first && a.second == b.second;
+                    })) {
+      return "sample-major arena mismatch at sample " + std::to_string(g);
+    }
+  }
+  if (!same(got.touch_offsets(), want.touch_offsets())) {
+    return "CSR touch_offsets mismatch";
+  }
+  const auto mine = got.touch_arena();
+  const auto theirs = want.touch_arena();
+  for (std::size_t i = 0; i < theirs.size(); ++i) {
+    if (mine[i].sample != theirs[i].sample ||
+        mine[i].threshold != theirs[i].threshold ||
+        mine[i].mask != theirs[i].mask) {
+      return "CSR touch arena mismatch at slot " + std::to_string(i);
+    }
+  }
+  return "";
+}
+
+/// Every persistence path — text v1 re-parse, binary v2 streamed read,
+/// binary v2 zero-copy mmap attach — must hand back the ORIGINAL pool
+/// bit-for-bit, and solves on the reloaded pools must be bit-identical to
+/// solves on the original at every parallelism level. This is the
+/// round-trip certificate behind `imc_cli --save-pool/--load-pool`.
+std::optional<std::string> check_pool_roundtrip(const InstanceSpec& spec,
+                                                std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  RicPool original(graph, communities, spec.model);
+  original.grow(count, case_seed, /*parallel=*/false);
+
+  // Leg 1: text v1 through a string stream.
+  std::stringstream text;
+  write_ric_pool(text, original);
+  const RicPool from_text = read_ric_pool(text, graph, communities);
+
+  // Leg 2: binary v2, streamed read with full validation.
+  std::stringstream binary;
+  write_ric_pool_snapshot(binary, original);
+  const RicPool from_stream =
+      read_ric_pool_snapshot(binary, graph, communities);
+
+  // Leg 3: binary v2, zero-copy mmap attach from a real file. The file is
+  // unlinked immediately after the attach — the mapping must pin it.
+  char path[] = "/tmp/imc_fuzz_pool_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) return "mkstemp failed for the mmap round-trip leg";
+  ::close(fd);
+  std::optional<RicPool> from_mmap;
+  std::string attach_error;
+  try {
+    save_ric_pool_snapshot(path, original);
+    from_mmap.emplace(attach_ric_pool_snapshot(path, graph, communities));
+  } catch (const std::exception& e) {
+    attach_error = e.what();
+  }
+  std::remove(path);
+  if (!from_mmap) return "mmap attach leg failed: " + attach_error;
+  if (!from_mmap->attached()) {
+    return "mmap attach leg did not produce a zero-copy attached pool";
+  }
+
+  const struct {
+    const char* name;
+    const RicPool* pool;
+  } legs[] = {{"text-v1", &from_text},
+              {"binary-v2-streamed", &from_stream},
+              {"binary-v2-mmap", &*from_mmap}};
+  for (const auto& leg : legs) {
+    const std::string diff = pool_content_diff(*leg.pool, original);
+    if (!diff.empty()) {
+      return std::string(leg.name) + " round-trip not bit-identical: " +
+             diff;
+    }
+  }
+  // The binary format persists the epoch watermark exactly.
+  if (from_stream.grow_epoch().samples != original.grow_epoch().samples ||
+      from_stream.grow_epoch().grows != original.grow_epoch().grows ||
+      from_mmap->grow_epoch().grows != original.grow_epoch().grows) {
+    return "binary v2 round-trip lost the epoch watermark";
+  }
+
+  // Solves on the reloaded pools, across the thread grid {1, 2, 8}: same
+  // arenas must mean the same deterministic selection, bit for bit.
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  const GreedyOptions serial{};
+  const GreedyOptions par2{/*parallel=*/true, &two,
+                           /*min_parallel_candidates=*/1};
+  const GreedyOptions par8{/*parallel=*/true, &eight,
+                           /*min_parallel_candidates=*/1};
+  Rng rng(case_seed ^ 0x9001f11eULL);
+  const auto k = static_cast<std::uint32_t>(
+      rng.between(1, std::min<std::int64_t>(4, graph.node_count())));
+  for (const GreedyOptions* options : {&serial, &par2, &par8}) {
+    const UbgSolution want_ubg = ubg_solve(original, k, *options);
+    const MafSolution want_maf =
+        maf_solve(original, k, /*seed=*/case_seed, *options);
+    for (const auto& leg : legs) {
+      const UbgSolution got_ubg = ubg_solve(*leg.pool, k, *options);
+      if (got_ubg.seeds != want_ubg.seeds ||
+          got_ubg.c_hat != want_ubg.c_hat) {
+        return std::string(leg.name) + ": ubg_solve diverged (seeds " +
+               describe_nodes(got_ubg.seeds) + " vs " +
+               describe_nodes(want_ubg.seeds) + ", " +
+               (options->parallel ? "parallel" : "serial") + ")";
+      }
+      const MafSolution got_maf =
+          maf_solve(*leg.pool, k, /*seed=*/case_seed, *options);
+      if (got_maf.seeds != want_maf.seeds ||
+          got_maf.c_hat != want_maf.c_hat) {
+        return std::string(leg.name) + ": maf_solve diverged (seeds " +
+               describe_nodes(got_maf.seeds) + " vs " +
+               describe_nodes(want_maf.seeds) + ", " +
+               (options->parallel ? "parallel" : "serial") + ")";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Check: sampler_distribution
 // ---------------------------------------------------------------------------
 
@@ -554,6 +711,7 @@ std::vector<FuzzCheck> default_checks() {
       {"evaluators", check_evaluators},
       {"greedy", check_greedy},
       {"warm_vs_cold", check_warm_vs_cold},
+      {"pool_roundtrip", check_pool_roundtrip},
       {"sampler_distribution", check_sampler_distribution},
   };
 }

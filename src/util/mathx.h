@@ -47,6 +47,28 @@ class KahanSum {
   return (a + b - 1) / b;
 }
 
+/// Streaming FNV-1a (64-bit): the digest behind Graph/CommunitySet
+/// fingerprints and the pool-snapshot payload checksum. Not
+/// cryptographic — it guards against corruption and mismatched inputs,
+/// not adversaries.
+class Fnv1a64 {
+ public:
+  void add_bytes(const void* data, std::size_t bytes) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void add_u64(std::uint64_t value) noexcept {
+    add_bytes(&value, sizeof(value));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
 /// Population count of a 64-bit mask (thin wrapper, keeps call sites tidy).
 [[nodiscard]] constexpr int popcount64(std::uint64_t mask) noexcept {
   return __builtin_popcountll(mask);

@@ -1,0 +1,344 @@
+// Memory-mapped arena storage: the substrate that lets RicPool's flat
+// arenas live outside any single process (DESIGN.md §13, "Pool persistence
+// & arena backends").
+//
+// Two layers:
+//   * MmapStorage  — an untyped, growable mapping. Anonymous (a RAM slab
+//     the kernel can lazily back and swap), file-backed read-write (an
+//     out-of-core slab that IS its on-disk representation), or a read-only
+//     view of an existing file (the zero-copy snapshot-attach path).
+//     Growth goes through mremap on Linux (the common case: the mapping
+//     extends in place or moves without a copy) with a map-copy-unmap
+//     fallback elsewhere.
+//   * ArenaVector<T> — a std::vector-shaped container for memcpy-safe
+//     element types over one of three storages: a 64-byte-aligned heap
+//     slab (ArenaBackend::kRam), an anonymous/file MmapStorage slab
+//     (ArenaBackend::kMmap), or a BORROWED read-only view into somebody
+//     else's mapping (a pool snapshot opened with mmap). Borrowed vectors
+//     serve reads zero-copy and materialize an owned copy on the first
+//     mutation (copy-on-write), so attaching a multi-gigabyte pool costs
+//     page-table setup, not a pass over the data.
+//
+// Lifetime contract for borrowed vectors: the view pins the mapping via a
+// shared_ptr<const MmapStorage> keepalive, so the file mapping lives
+// exactly as long as the last vector (or pool) that still reads from it —
+// callers never manage the mapping's lifetime by hand.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace imc {
+
+/// Where an ArenaVector keeps its owned bytes.
+enum class ArenaBackend {
+  kRam,   // 64-byte-aligned heap slab (aligned_alloc)
+  kMmap,  // anonymous mmap slab, grown via mremap
+};
+
+class MmapStorage {
+ public:
+  MmapStorage() = default;
+  ~MmapStorage();
+
+  MmapStorage(MmapStorage&& other) noexcept;
+  MmapStorage& operator=(MmapStorage&& other) noexcept;
+  MmapStorage(const MmapStorage&) = delete;
+  MmapStorage& operator=(const MmapStorage&) = delete;
+
+  /// Anonymous read-write mapping of at least `bytes` (rounded up to a
+  /// 64-byte multiple; zero-filled). Throws std::runtime_error on failure.
+  [[nodiscard]] static MmapStorage anonymous(std::size_t bytes);
+
+  /// Creates (or truncates) `path` at `bytes` and maps it read-write,
+  /// MAP_SHARED: stores hit the page cache and reach the file without an
+  /// explicit write pass. Throws std::runtime_error on failure.
+  [[nodiscard]] static MmapStorage create_file(const std::string& path,
+                                               std::size_t bytes);
+
+  /// Maps an existing file read-only, whole length. The snapshot-attach
+  /// path: reads fault pages straight from the page cache / disk, no copy.
+  /// Throws std::runtime_error when the file cannot be opened or mapped.
+  [[nodiscard]] static MmapStorage open_readonly(const std::string& path);
+
+  /// Grows the mapping to at least `bytes` (no-op when already that big).
+  /// The base address MAY move — callers must refresh their pointers.
+  /// File-backed mappings extend the file first. Throws on failure or on a
+  /// read-only mapping.
+  void grow(std::size_t bytes);
+
+  [[nodiscard]] std::byte* data() noexcept {
+    assert(writable_ || address_ == nullptr);
+    return static_cast<std::byte*>(address_);
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return static_cast<const std::byte*>(address_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_; }
+  [[nodiscard]] bool valid() const noexcept { return address_ != nullptr; }
+  [[nodiscard]] bool writable() const noexcept { return writable_; }
+
+ private:
+  void reset() noexcept;
+
+  void* address_ = nullptr;
+  std::size_t bytes_ = 0;
+  int fd_ = -1;  // >= 0 only for file-backed mappings
+  bool writable_ = false;
+};
+
+namespace detail {
+/// The arena element contract: memcpy-safe. std::is_trivially_copyable
+/// would be the textbook trait, but libstdc++'s std::pair (the sample
+/// arena's element type) has a non-trivial assignment operator while still
+/// being bitwise-relocatable — so the contract is expressed through the
+/// copy-construction/destruction traits that actually license memcpy here.
+template <typename T>
+inline constexpr bool kArenaSafe = std::is_trivially_copy_constructible_v<T> &&
+                                   std::is_trivially_destructible_v<T>;
+}  // namespace detail
+
+template <typename T>
+class ArenaVector {
+  static_assert(detail::kArenaSafe<T>,
+                "ArenaVector requires memcpy-safe element types");
+
+ public:
+  ArenaVector() = default;
+  explicit ArenaVector(ArenaBackend backend) : backend_(backend) {}
+  ArenaVector(std::size_t count, const T& value,
+              ArenaBackend backend = ArenaBackend::kRam)
+      : backend_(backend) {
+    resize(count, value);
+  }
+
+  /// Zero-copy view over `count` elements inside an externally owned
+  /// mapping. Reads are served in place; the first mutation (or an
+  /// explicit ensure_owned()) copies the contents into owned storage of
+  /// `materialize_backend`. The keepalive pins the mapping while any view
+  /// of it is alive.
+  [[nodiscard]] static ArenaVector borrowed(
+      const T* data, std::size_t count,
+      std::shared_ptr<const MmapStorage> keepalive,
+      ArenaBackend materialize_backend = ArenaBackend::kMmap) {
+    ArenaVector v(materialize_backend);
+    v.data_ = const_cast<T*>(data);  // never written while borrowed_
+    v.size_ = count;
+    v.capacity_ = count;
+    v.keepalive_ = std::move(keepalive);
+    v.borrowed_ = true;
+    return v;
+  }
+
+  ~ArenaVector() { release(); }
+
+  ArenaVector(ArenaVector&& other) noexcept { steal(other); }
+  ArenaVector& operator=(ArenaVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] ArenaBackend backend() const noexcept { return backend_; }
+  [[nodiscard]] bool is_borrowed() const noexcept { return borrowed_; }
+
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] T* data() {
+    ensure_owned();
+    return data_;
+  }
+  [[nodiscard]] const T* begin() const noexcept { return data_; }
+  [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+  [[nodiscard]] T* begin() {
+    ensure_owned();
+    return data_;
+  }
+  [[nodiscard]] T* end() {
+    ensure_owned();
+    return data_ + size_;
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    ensure_owned();
+    return data_[i];
+  }
+  [[nodiscard]] const T& back() const noexcept {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_, size_};
+  }
+
+  void reserve(std::size_t count) {
+    ensure_owned();
+    if (count > capacity_) grow_capacity(count);
+  }
+
+  void resize(std::size_t count, const T& value = T{}) {
+    ensure_owned();
+    if (count > capacity_) grow_capacity(count);
+    for (std::size_t i = size_; i < count; ++i) data_[i] = value;
+    size_ = count;
+  }
+
+  void assign(std::size_t count, const T& value) {
+    ensure_owned();
+    size_ = 0;
+    resize(count, value);
+  }
+
+  void clear() {
+    ensure_owned();
+    size_ = 0;
+  }
+
+  void push_back(const T& value) {
+    ensure_owned();
+    if (size_ == capacity_) grow_capacity(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T(std::forward<Args>(args)...));
+  }
+
+  /// Bulk append of a contiguous range (the insert-at-end pattern).
+  void append(const T* first, const T* last) {
+    const auto count = static_cast<std::size_t>(last - first);
+    ensure_owned();
+    if (size_ + count > capacity_) grow_capacity(size_ + count);
+    // void* casts: GCC's -Wclass-memaccess flags memcpy into types with a
+    // non-trivial copy-assignment (std::pair); kArenaSafe licenses it.
+    if (count > 0) {
+      std::memcpy(static_cast<void*>(data_ + size_),
+                  static_cast<const void*>(first), count * sizeof(T));
+    }
+    size_ += count;
+  }
+
+  /// Copy-on-write materialization: after this call the contents live in
+  /// owned storage of backend() and the keepalive (if any) is released.
+  void ensure_owned() {
+    if (borrowed_) materialize();
+  }
+
+ private:
+  void steal(ArenaVector& other) noexcept {
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    backend_ = other.backend_;
+    borrowed_ = other.borrowed_;
+    heap_ = other.heap_;
+    storage_ = std::move(other.storage_);
+    keepalive_ = std::move(other.keepalive_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+    other.heap_ = nullptr;
+    other.borrowed_ = false;
+  }
+
+  void release() noexcept {
+    if (heap_ != nullptr) std::free(heap_);
+    heap_ = nullptr;
+    storage_ = MmapStorage();
+    keepalive_.reset();
+    data_ = nullptr;
+    size_ = 0;
+    capacity_ = 0;
+    borrowed_ = false;
+  }
+
+  void materialize();
+  void grow_capacity(std::size_t min_count);
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  ArenaBackend backend_ = ArenaBackend::kRam;
+  bool borrowed_ = false;
+
+  void* heap_ = nullptr;     // kRam owned slab (aligned_alloc)
+  MmapStorage storage_;      // kMmap owned slab
+  std::shared_ptr<const MmapStorage> keepalive_;  // borrowed mode
+};
+
+namespace detail {
+[[nodiscard]] inline std::size_t round_up_64(std::size_t bytes) noexcept {
+  return (bytes + 63) & ~static_cast<std::size_t>(63);
+}
+[[noreturn]] void throw_bad_arena_alloc(std::size_t bytes);
+[[nodiscard]] void* aligned_slab(std::size_t bytes);
+}  // namespace detail
+
+template <typename T>
+void ArenaVector<T>::grow_capacity(std::size_t min_count) {
+  assert(!borrowed_);
+  std::size_t target = capacity_ < 8 ? 8 : capacity_ * 2;
+  if (target < min_count) target = min_count;
+  const std::size_t bytes = detail::round_up_64(target * sizeof(T));
+  if (backend_ == ArenaBackend::kRam) {
+    void* slab = detail::aligned_slab(bytes);
+    if (size_ > 0) {
+      std::memcpy(slab, static_cast<const void*>(data_), size_ * sizeof(T));
+    }
+    if (heap_ != nullptr) std::free(heap_);
+    heap_ = slab;
+    data_ = static_cast<T*>(slab);
+  } else {
+    if (!storage_.valid()) {
+      storage_ = MmapStorage::anonymous(bytes);
+      if (size_ > 0) {
+        std::memcpy(storage_.data(), static_cast<const void*>(data_),
+                    size_ * sizeof(T));
+      }
+    } else {
+      storage_.grow(bytes);  // may move; contents travel with the mapping
+    }
+    data_ = reinterpret_cast<T*>(storage_.data());
+  }
+  capacity_ = bytes / sizeof(T);
+}
+
+template <typename T>
+void ArenaVector<T>::materialize() {
+  assert(borrowed_);
+  const T* source = data_;
+  const std::size_t count = size_;
+  borrowed_ = false;
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+  if (count > 0) {
+    grow_capacity(count);
+    std::memcpy(static_cast<void*>(data_), static_cast<const void*>(source),
+                count * sizeof(T));
+    size_ = count;
+  }
+  keepalive_.reset();
+}
+
+}  // namespace imc

@@ -160,6 +160,69 @@ TEST(PoolIo, RejectsMalformedInput) {
   }
 }
 
+/// Runs the loader on `text` and returns the error message (failing the
+/// test when it unexpectedly succeeds) — the corrupted-corpus tests pin
+/// exact diagnostics, not just "some exception".
+std::string load_error(const Fixture& fixture, const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_ric_pool(in, fixture.graph, fixture.communities);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "loader accepted corrupt input: " << text;
+  return "";
+}
+
+TEST(PoolIo, RejectsOutOfRangeSampleCommunity) {
+  // Regression: the loader used to clamp an out-of-range community id to
+  // community 0 when computing member_count — corrupt input was silently
+  // reinterpreted instead of rejected.
+  const Fixture fixture;
+  EXPECT_EQ(load_error(fixture,
+                       "imc-ric-pool v1\nnodes 12 samples 1 model ic\n"
+                       "sample 7 2 1 0 1\n"),
+            "ric pool file, line 3: sample community id out of range");
+}
+
+TEST(PoolIo, RejectsTrailingTokensAfterTouchPairs) {
+  // Regression: tokens after the declared touch pairs were ignored, so a
+  // sample line whose count disagreed with its data loaded "successfully"
+  // with the tail dropped.
+  const Fixture fixture;
+  EXPECT_EQ(load_error(fixture,
+                       "imc-ric-pool v1\nnodes 12 samples 1 model ic\n"
+                       "sample 0 2 1 0 1 5 3\n"),
+            "ric pool file, line 3: trailing tokens after the declared "
+            "touch pairs");
+}
+
+TEST(PoolIo, WriterPreservesCallerStreamFormatting) {
+  // Regression: write_ric_pool left the caller's stream in std::dec (and
+  // mid-write, std::hex), clobbering whatever formatting state the caller
+  // had set around the call.
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  pool.grow(10, 4);
+
+  std::ostringstream out;
+  out << std::hex << std::uppercase;
+  const auto before = out.flags();
+  write_ric_pool(out, pool);
+  EXPECT_EQ(out.flags(), before);
+  out.str("");
+  out << 255;
+  EXPECT_EQ(out.str(), "FF");
+}
+
+TEST(PoolIo, SaveReportsFailureOnUnwritablePath) {
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  pool.grow(5, 1);
+  EXPECT_THROW(save_ric_pool("/no/such/dir/pool.txt", pool),
+               std::runtime_error);
+}
+
 TEST(PoolIo, FileRoundTrip) {
   const Fixture fixture;
   RicPool pool(fixture.graph, fixture.communities);

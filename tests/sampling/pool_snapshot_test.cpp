@@ -1,0 +1,477 @@
+#include "sampling/pool_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "community/threshold_policy.h"
+#include "core/engine.h"
+#include "sampling/pool_io.h"
+#include "core/maxr_solver.h"
+#include "test_support.h"
+#include "util/mathx.h"
+
+namespace imc {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  CommunitySet communities;
+
+  Fixture() {
+    graph = test::cycle_graph(12, 0.5);
+    communities = test::chunk_communities(12, 3);
+    apply_population_benefits(communities);
+    apply_constant_thresholds(communities, 2);
+  }
+};
+
+/// Full structural comparison down to the arenas — the "restored pool IS
+/// the saved pool" contract, CSR index and epoch watermark included.
+void expect_pools_bit_identical(const RicPool& loaded,
+                                const RicPool& original) {
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.model(), original.model());
+  EXPECT_EQ(loaded.grow_epoch(), original.grow_epoch());
+  EXPECT_TRUE(std::equal(loaded.thresholds().begin(),
+                         loaded.thresholds().end(),
+                         original.thresholds().begin(),
+                         original.thresholds().end()));
+  EXPECT_TRUE(std::equal(loaded.source_communities().begin(),
+                         loaded.source_communities().end(),
+                         original.source_communities().begin(),
+                         original.source_communities().end()));
+  EXPECT_TRUE(std::equal(loaded.community_frequencies().begin(),
+                         loaded.community_frequencies().end(),
+                         original.community_frequencies().begin(),
+                         original.community_frequencies().end()));
+  for (std::uint32_t g = 0; g < original.size(); ++g) {
+    const auto mine = loaded.sample_touches(g);
+    const auto theirs = original.sample_touches(g);
+    ASSERT_TRUE(
+        std::equal(mine.begin(), mine.end(), theirs.begin(), theirs.end()))
+        << "sample-major arena diverges at sample " << g;
+  }
+  ASSERT_TRUE(std::equal(loaded.touch_offsets().begin(),
+                         loaded.touch_offsets().end(),
+                         original.touch_offsets().begin(),
+                         original.touch_offsets().end()));
+  const auto arena = loaded.touch_arena();
+  const auto expected = original.touch_arena();
+  ASSERT_EQ(arena.size(), expected.size());
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    ASSERT_EQ(arena[i].sample, expected[i].sample) << "arena slot " << i;
+    ASSERT_EQ(arena[i].threshold, expected[i].threshold)
+        << "arena slot " << i;
+    ASSERT_EQ(arena[i].mask, expected[i].mask) << "arena slot " << i;
+  }
+}
+
+std::string snapshot_bytes(const RicPool& pool) {
+  std::ostringstream out(std::ios::binary);
+  write_ric_pool_snapshot(out, pool);
+  return out.str();
+}
+
+std::string temp_snapshot(const RicPool& pool, const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  save_ric_pool_snapshot(path, pool);
+  return path;
+}
+
+TEST(PoolSnapshot, StreamedRoundTripIsBitIdentical) {
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(250, 41);
+
+  std::istringstream in(snapshot_bytes(original), std::ios::binary);
+  const RicPool loaded =
+      read_ric_pool_snapshot(in, fixture.graph, fixture.communities);
+  EXPECT_FALSE(loaded.attached());
+  expect_pools_bit_identical(loaded, original);
+
+  const std::vector<NodeId> seeds{0, 5, 9};
+  EXPECT_DOUBLE_EQ(loaded.c_hat(seeds), original.c_hat(seeds));
+  EXPECT_DOUBLE_EQ(loaded.nu(seeds), original.nu(seeds));
+}
+
+TEST(PoolSnapshot, StreamedRoundTripIntoMmapBackend) {
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(120, 7);
+  std::istringstream in(snapshot_bytes(original), std::ios::binary);
+  const RicPool loaded = read_ric_pool_snapshot(
+      in, fixture.graph, fixture.communities, ArenaBackend::kMmap);
+  EXPECT_EQ(loaded.backend(), ArenaBackend::kMmap);
+  expect_pools_bit_identical(loaded, original);
+}
+
+TEST(PoolSnapshot, MmapAttachIsBitIdenticalAndZeroCopy) {
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(250, 41);
+  const std::string path = temp_snapshot(original, "imc_snap_attach.bin");
+
+  const RicPool attached =
+      attach_ric_pool_snapshot(path, fixture.graph, fixture.communities);
+  EXPECT_TRUE(attached.attached());
+  expect_pools_bit_identical(attached, original);
+  std::remove(path.c_str());
+}
+
+TEST(PoolSnapshot, AttachedPoolSurvivesSnapshotFileRemoval) {
+  // POSIX semantics: the mapping pins the inode, so an attached pool keeps
+  // serving reads after the snapshot file is unlinked.
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(60, 3);
+  const std::string path = temp_snapshot(original, "imc_snap_unlink.bin");
+  const RicPool attached =
+      attach_ric_pool_snapshot(path, fixture.graph, fixture.communities);
+  std::remove(path.c_str());
+  const std::vector<NodeId> seeds{1, 4};
+  EXPECT_DOUBLE_EQ(attached.c_hat(seeds), original.c_hat(seeds));
+}
+
+TEST(PoolSnapshot, AttachThenGrowCopyOnWriteMatchesStraightGrowth) {
+  // grow() after attach must (a) materialize the borrowed arenas and
+  // (b) continue the RNG substream schedule exactly where the saved pool
+  // stopped — so attach+grow == grow-straight-through, bit for bit.
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(150, 77);
+  const std::string path = temp_snapshot(original, "imc_snap_cow.bin");
+
+  RicPool attached =
+      attach_ric_pool_snapshot(path, fixture.graph, fixture.communities);
+  ASSERT_TRUE(attached.attached());
+  attached.grow(100, 77);
+  EXPECT_FALSE(attached.attached());
+
+  original.grow(100, 77);
+  expect_pools_bit_identical(attached, original);
+  std::remove(path.c_str());
+}
+
+TEST(PoolSnapshot, RestoredEpochValidatesWarmStartWatermarks) {
+  // The epoch watermark written at save time is restored verbatim: a
+  // PoolEpoch captured against the saved pool (what PR-5 warm-start
+  // carriers hold) must validate against the reloaded pool.
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(80, 5);
+  original.grow(40, 5);
+  const RicPool::PoolEpoch epoch = original.grow_epoch();
+
+  std::istringstream in(snapshot_bytes(original), std::ios::binary);
+  const RicPool loaded =
+      read_ric_pool_snapshot(in, fixture.graph, fixture.communities);
+  EXPECT_EQ(loaded.grow_epoch(), epoch);
+  EXPECT_EQ(loaded.samples_since(epoch), 0U);
+}
+
+TEST(PoolSnapshot, LoadAnyDispatchesOnMagic) {
+  const Fixture fixture;
+  RicPool pool(fixture.graph, fixture.communities);
+  pool.grow(30, 5);
+
+  const std::string binary = temp_snapshot(pool, "imc_snap_any.bin");
+  const RicPool from_binary =
+      load_ric_pool_any(binary, fixture.graph, fixture.communities);
+  EXPECT_TRUE(from_binary.attached());
+  expect_pools_bit_identical(from_binary, pool);
+
+  const std::string text = ::testing::TempDir() + "/imc_snap_any.txt";
+  save_ric_pool(text, pool);
+  EXPECT_FALSE(is_pool_snapshot_file(text));
+  const RicPool from_text =
+      load_ric_pool_any(text, fixture.graph, fixture.communities);
+  EXPECT_FALSE(from_text.attached());
+  // The text v1 format does not persist the epoch watermark (its loader
+  // replays one append per sample), so compare content, not the epoch.
+  ASSERT_EQ(from_text.size(), pool.size());
+  const std::vector<NodeId> probe{0, 5, 9};
+  EXPECT_DOUBLE_EQ(from_text.c_hat(probe), pool.c_hat(probe));
+  EXPECT_DOUBLE_EQ(from_text.nu(probe), pool.nu(probe));
+
+  std::remove(binary.c_str());
+  std::remove(text.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted-file corpus: every rejection path, with its pinned diagnostic.
+
+/// Section layout mirror (same math as the implementation) so corpus
+/// entries can patch payload bytes and re-seal the checksum.
+struct Layout {
+  std::size_t offset[7];
+  std::size_t bytes[7];
+
+  explicit Layout(const PoolSnapshotHeader& header) {
+    const std::size_t raw[7] = {
+        header.sample_count * sizeof(std::uint32_t),
+        header.sample_count * sizeof(CommunityId),
+        header.community_count * sizeof(std::uint32_t),
+        (header.sample_count + 1) * sizeof(std::uint64_t),
+        header.sample_pair_count * sizeof(std::pair<NodeId, std::uint64_t>),
+        (header.node_count + 1) * sizeof(std::uint64_t),
+        header.csr_touch_count * sizeof(RicPool::Touch),
+    };
+    std::size_t cursor = 128;
+    for (int i = 0; i < 7; ++i) {
+      offset[i] = cursor;
+      bytes[i] = raw[i];
+      cursor += detail::round_up_64(raw[i]);
+    }
+  }
+};
+
+PoolSnapshotHeader header_of(const std::string& blob) {
+  PoolSnapshotHeader header;
+  std::memcpy(&header, blob.data(), sizeof(header));
+  return header;
+}
+
+/// Recomputes the payload checksum after a test patched section bytes, so
+/// the corpus can target validation stages BEHIND the checksum gate.
+void reseal_checksum(std::string& blob) {
+  PoolSnapshotHeader header = header_of(blob);
+  const Layout layout(header);
+  Fnv1a64 digest;
+  for (int i = 0; i < 7; ++i) {
+    digest.add_bytes(blob.data() + layout.offset[i], layout.bytes[i]);
+  }
+  header.payload_checksum = digest.value();
+  std::memcpy(blob.data(), &header, sizeof(header));
+}
+
+std::string streamed_error(const Fixture& fixture, const std::string& blob) {
+  std::istringstream in(blob, std::ios::binary);
+  try {
+    (void)read_ric_pool_snapshot(in, fixture.graph, fixture.communities);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "snapshot loader accepted corrupt input";
+  return "";
+}
+
+std::string attach_error(const Fixture& fixture, const std::string& blob,
+                         const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  std::string message;
+  try {
+    (void)attach_ric_pool_snapshot(path, fixture.graph,
+                                   fixture.communities);
+    ADD_FAILURE() << "snapshot attach accepted corrupt input: " << name;
+  } catch (const std::runtime_error& error) {
+    message = error.what();
+  }
+  std::remove(path.c_str());
+  return message;
+}
+
+class PoolSnapshotCorpus : public ::testing::Test {
+ protected:
+  Fixture fixture_;
+  std::string blob_;
+
+  void SetUp() override {
+    RicPool pool(fixture_.graph, fixture_.communities);
+    pool.grow(50, 13);
+    blob_ = snapshot_bytes(pool);
+  }
+
+  /// Overwrites a header field given its byte offset inside the struct.
+  template <typename T>
+  void patch_header(std::size_t offset, T value) {
+    std::memcpy(blob_.data() + offset, &value, sizeof(value));
+  }
+};
+
+TEST_F(PoolSnapshotCorpus, BadMagic) {
+  blob_[0] = 'X';
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: bad magic (not an imcpool2 snapshot)");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_magic.bin"),
+            "ric pool snapshot: bad magic (not an imcpool2 snapshot)");
+}
+
+TEST_F(PoolSnapshotCorpus, UnsupportedVersion) {
+  patch_header<std::uint32_t>(offsetof(PoolSnapshotHeader, version), 9);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: unsupported version 9");
+}
+
+TEST_F(PoolSnapshotCorpus, RngContractMismatch) {
+  patch_header<std::uint32_t>(offsetof(PoolSnapshotHeader, rng_contract),
+                              kRicSamplerRngContract + 1);
+  const std::string expected =
+      "ric pool snapshot: rng contract mismatch (snapshot " +
+      std::to_string(kRicSamplerRngContract + 1) + ", sampler " +
+      std::to_string(kRicSamplerRngContract) + ")";
+  EXPECT_EQ(streamed_error(fixture_, blob_), expected);
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_rng.bin"), expected);
+}
+
+TEST_F(PoolSnapshotCorpus, WrongGraphFingerprint) {
+  // Same node count, different weights: only the fingerprint can tell.
+  Fixture other;
+  other.graph = test::cycle_graph(12, 0.9);
+  EXPECT_EQ(streamed_error(other, blob_),
+            "ric pool snapshot: graph fingerprint mismatch");
+}
+
+TEST_F(PoolSnapshotCorpus, WrongCommunityFingerprint) {
+  // Same communities, different thresholds — exactly the mismatch that
+  // would silently poison ν/MAF if attach accepted it.
+  Fixture other;
+  apply_constant_thresholds(other.communities, 3);
+  EXPECT_EQ(streamed_error(other, blob_),
+            "ric pool snapshot: community fingerprint mismatch");
+  EXPECT_EQ(attach_error(other, blob_, "corpus_coms.bin"),
+            "ric pool snapshot: community fingerprint mismatch");
+}
+
+TEST_F(PoolSnapshotCorpus, WrongNodeCount) {
+  Fixture other;
+  other.graph = test::cycle_graph(20, 0.5);
+  other.communities = test::chunk_communities(20, 4);
+  EXPECT_EQ(streamed_error(other, blob_),
+            "ric pool snapshot: node count does not match the supplied "
+            "graph");
+}
+
+TEST_F(PoolSnapshotCorpus, EpochWatermarkDisagreesWithSampleCount) {
+  patch_header<std::uint64_t>(offsetof(PoolSnapshotHeader, epoch_samples),
+                              51);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: epoch watermark disagrees with the sample "
+            "count");
+}
+
+TEST_F(PoolSnapshotCorpus, TruncatedHeader) {
+  blob_.resize(100);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: truncated header");
+}
+
+TEST_F(PoolSnapshotCorpus, TruncatedArenaSection) {
+  blob_.resize(blob_.size() - 64);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: truncated arena section");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_trunc.bin"),
+            "ric pool snapshot: snapshot file size disagrees with its "
+            "declared payload");
+}
+
+TEST_F(PoolSnapshotCorpus, TrailingGarbage) {
+  blob_ += "garbage";
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: trailing bytes after the last arena "
+            "section");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_trail.bin"),
+            "ric pool snapshot: snapshot file size disagrees with its "
+            "declared payload");
+}
+
+TEST_F(PoolSnapshotCorpus, FlippedPayloadByteFailsChecksum) {
+  blob_[200] = static_cast<char>(blob_[200] ^ 0x40);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: payload checksum mismatch (corrupt "
+            "snapshot)");
+}
+
+TEST_F(PoolSnapshotCorpus, OutOfRangeCommunityBehindValidChecksum) {
+  // Patch a source-community entry out of range AND re-seal the checksum:
+  // this must die in deep validation, not slip through as "checksum ok".
+  const Layout layout(header_of(blob_));
+  const CommunityId bogus = 7;
+  std::memcpy(blob_.data() + layout.offset[1], &bogus, sizeof(bogus));
+  reseal_checksum(blob_);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: sample 0: community id out of range");
+}
+
+TEST_F(PoolSnapshotCorpus, TouchingNodeOutOfRangeBehindValidChecksum) {
+  const Layout layout(header_of(blob_));
+  const NodeId bogus = 99;  // > node_count = 12
+  std::memcpy(blob_.data() + layout.offset[4], &bogus, sizeof(bogus));
+  reseal_checksum(blob_);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: sample 0: touching node out of range");
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+TEST(PoolSnapshotEngine, AttachPoolRestoresTheEngineState) {
+  const Fixture fixture;
+  ImcafConfig config;
+  config.max_samples = 400;
+  const auto solver = make_maxr_solver(MaxrAlgorithm::kUbg, {});
+
+  // Cold engine: solve grows the pool; snapshot the result.
+  ImcEngine cold(fixture.graph, fixture.communities, config);
+  const ImcafResult cold_result = cold.solve(2, *solver);
+  const std::string path =
+      ::testing::TempDir() + "/imc_engine_attach.bin";
+  save_ric_pool_snapshot(path, cold.pool());
+
+  // Warm engine: attach the saved pool, then solve the same query. The
+  // attached pool is the cold engine's final pool, so the solve sees the
+  // same |R| and must pick the same seeds with the same objective.
+  ImcEngine warm(fixture.graph, fixture.communities, config);
+  warm.attach_pool(path);
+  EXPECT_EQ(warm.pool().size(), cold.pool().size());
+  EXPECT_TRUE(warm.pool().attached());
+  const ImcafResult warm_result = warm.solve(2, *solver);
+  EXPECT_EQ(warm_result.seeds, cold_result.seeds);
+  EXPECT_DOUBLE_EQ(warm_result.c_hat, cold_result.c_hat);
+  std::remove(path.c_str());
+}
+
+TEST(PoolSnapshotEngine, AttachPoolRejectsModelMismatch) {
+  const Fixture fixture;
+  RicPool lt_pool(fixture.graph, fixture.communities,
+                  DiffusionModel::kLinearThreshold);
+  lt_pool.grow(20, 3);
+  const std::string path = ::testing::TempDir() + "/imc_engine_lt.bin";
+  save_ric_pool_snapshot(path, lt_pool);
+
+  ImcEngine engine(fixture.graph, fixture.communities, {});  // IC config
+  EXPECT_THROW(engine.attach_pool(path), std::invalid_argument);
+  // Failure left the engine's own pool untouched.
+  EXPECT_EQ(engine.pool().size(), 0U);
+  std::remove(path.c_str());
+}
+
+TEST(PoolSnapshotEngine, MmapBackendConfigIsBitIdenticalToRam) {
+  const Fixture fixture;
+  const auto solver = make_maxr_solver(MaxrAlgorithm::kUbg, {});
+  ImcafConfig ram_config;
+  ram_config.max_samples = 300;
+  ImcafConfig mmap_config = ram_config;
+  mmap_config.pool_backend = ArenaBackend::kMmap;
+
+  ImcEngine ram_engine(fixture.graph, fixture.communities, ram_config);
+  ImcEngine mmap_engine(fixture.graph, fixture.communities, mmap_config);
+  const ImcafResult ram_result = ram_engine.solve(2, *solver);
+  const ImcafResult mmap_result = mmap_engine.solve(2, *solver);
+  EXPECT_EQ(ram_result.seeds, mmap_result.seeds);
+  EXPECT_DOUBLE_EQ(ram_result.c_hat, mmap_result.c_hat);
+  expect_pools_bit_identical(mmap_engine.pool(), ram_engine.pool());
+}
+
+}  // namespace
+}  // namespace imc

@@ -1,0 +1,199 @@
+#include "util/mmap_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace imc {
+namespace {
+
+TEST(MmapStorage, AnonymousMappingIsZeroFilledAndWritable) {
+  MmapStorage storage = MmapStorage::anonymous(100);
+  ASSERT_TRUE(storage.valid());
+  EXPECT_TRUE(storage.writable());
+  EXPECT_GE(storage.size(), 100U);
+  EXPECT_EQ(storage.size() % 64, 0U);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    EXPECT_EQ(std::to_integer<int>(storage.data()[i]), 0) << "byte " << i;
+  }
+  storage.data()[0] = std::byte{42};
+  EXPECT_EQ(std::to_integer<int>(storage.data()[0]), 42);
+}
+
+TEST(MmapStorage, GrowPreservesContentsAcrossRemap) {
+  MmapStorage storage = MmapStorage::anonymous(4096);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    storage.data()[i] = static_cast<std::byte>(i % 251);
+  }
+  // Large enough that the kernel may well have to move the mapping — the
+  // contract is "contents travel", wherever the base ends up.
+  storage.grow(1 << 22);
+  ASSERT_GE(storage.size(), std::size_t{1} << 22);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ASSERT_EQ(std::to_integer<int>(storage.data()[i]),
+              static_cast<int>(i % 251))
+        << "byte " << i << " lost in grow";
+  }
+}
+
+TEST(MmapStorage, FileBackedMappingPersistsToDisk) {
+  const std::string path = ::testing::TempDir() + "/imc_mmap_file_test.bin";
+  {
+    MmapStorage storage = MmapStorage::create_file(path, 256);
+    ASSERT_TRUE(storage.valid());
+    std::memcpy(storage.data(), "persisted-through-the-page-cache", 32);
+  }  // unmap + close flush the shared mapping
+  MmapStorage reopened = MmapStorage::open_readonly(path);
+  ASSERT_TRUE(reopened.valid());
+  EXPECT_FALSE(reopened.writable());
+  ASSERT_GE(reopened.size(), 32U);
+  EXPECT_EQ(std::memcmp(reopened.data(),
+                        "persisted-through-the-page-cache", 32),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(MmapStorage, OpenReadonlyRejectsMissingFile) {
+  EXPECT_THROW((void)MmapStorage::open_readonly("/no/such/mapping.bin"),
+               std::runtime_error);
+}
+
+TEST(MmapStorage, GrowOnReadonlyMappingThrows) {
+  const std::string path = ::testing::TempDir() + "/imc_mmap_ro_test.bin";
+  { (void)MmapStorage::create_file(path, 64); }
+  MmapStorage storage = MmapStorage::open_readonly(path);
+  EXPECT_THROW(storage.grow(128), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+class ArenaVectorBackends
+    : public ::testing::TestWithParam<ArenaBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, ArenaVectorBackends,
+                         ::testing::Values(ArenaBackend::kRam,
+                                           ArenaBackend::kMmap),
+                         [](const auto& info) {
+                           return info.param == ArenaBackend::kRam ? "Ram"
+                                                                   : "Mmap";
+                         });
+
+TEST_P(ArenaVectorBackends, PushBackGrowthPreservesContents) {
+  ArenaVector<std::uint64_t> arena(GetParam());
+  for (std::uint64_t i = 0; i < 10'000; ++i) arena.push_back(i * i);
+  ASSERT_EQ(arena.size(), 10'000U);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(arena[i], i * i) << "slot " << i;
+  }
+  EXPECT_EQ(arena.back(), 9'999ULL * 9'999ULL);
+}
+
+TEST_P(ArenaVectorBackends, VectorShapedOperations) {
+  ArenaVector<int> arena(GetParam());
+  arena.assign(5, 7);
+  ASSERT_EQ(arena.size(), 5U);
+  EXPECT_EQ(arena[4], 7);
+  arena.resize(8, -1);
+  EXPECT_EQ(arena[4], 7);
+  EXPECT_EQ(arena[7], -1);
+  arena.clear();
+  EXPECT_TRUE(arena.empty());
+  const int block[3] = {1, 2, 3};
+  arena.append(block, block + 3);
+  ASSERT_EQ(arena.size(), 3U);
+  EXPECT_EQ(arena[2], 3);
+  EXPECT_EQ(arena.span().size(), 3U);
+  EXPECT_EQ(arena.span()[0], 1);
+}
+
+TEST_P(ArenaVectorBackends, PairElementsSurviveGrowth) {
+  // The sample arena's element type — the one that motivated kArenaSafe
+  // (libstdc++ std::pair is not trivially copyable, but is memcpy-safe).
+  ArenaVector<std::pair<std::uint32_t, std::uint64_t>> arena(GetParam());
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    arena.emplace_back(i, ~std::uint64_t{i});
+  }
+  for (std::uint32_t i = 0; i < 5'000; ++i) {
+    ASSERT_EQ(arena[i].first, i);
+    ASSERT_EQ(arena[i].second, ~std::uint64_t{i});
+  }
+}
+
+TEST_P(ArenaVectorBackends, MoveTransfersOwnership) {
+  ArenaVector<int> arena(GetParam());
+  arena.assign(100, 9);
+  const int* before = arena.data();
+  ArenaVector<int> moved = std::move(arena);
+  EXPECT_EQ(moved.data(), before);
+  ASSERT_EQ(moved.size(), 100U);
+  EXPECT_EQ(moved[99], 9);
+  EXPECT_EQ(arena.size(), 0U);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ArenaVector, RamAndMmapProduceIdenticalContents) {
+  ArenaVector<std::uint64_t> ram(ArenaBackend::kRam);
+  ArenaVector<std::uint64_t> mapped(ArenaBackend::kMmap);
+  for (std::uint64_t i = 0; i < 4'097; ++i) {
+    ram.push_back(i * 2654435761ULL);
+    mapped.push_back(i * 2654435761ULL);
+  }
+  ASSERT_EQ(ram.size(), mapped.size());
+  EXPECT_EQ(std::memcmp(ram.data(), mapped.data(),
+                        ram.size() * sizeof(std::uint64_t)),
+            0);
+}
+
+TEST(ArenaVector, BorrowedViewServesReadsZeroCopy) {
+  auto map = std::make_shared<const MmapStorage>(MmapStorage::anonymous(
+      64 * sizeof(std::uint64_t)));
+  auto* slab =
+      reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(map->data()));
+  std::iota(slab, slab + 64, 100);
+
+  ArenaVector<std::uint64_t> view = ArenaVector<std::uint64_t>::borrowed(
+      slab, 64, map, ArenaBackend::kRam);
+  EXPECT_TRUE(view.is_borrowed());
+  // Const access is genuinely zero-copy (non-const data() would
+  // copy-on-write materialize — that is the next test).
+  EXPECT_EQ(std::as_const(view).data(), slab);
+  EXPECT_EQ(std::as_const(view)[63], 163U);
+  EXPECT_TRUE(view.is_borrowed());
+}
+
+TEST(ArenaVector, BorrowedViewMaterializesOnFirstMutation) {
+  auto map = std::make_shared<const MmapStorage>(MmapStorage::anonymous(
+      16 * sizeof(std::uint64_t)));
+  auto* slab =
+      reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(map->data()));
+  std::iota(slab, slab + 16, 0);
+  std::weak_ptr<const MmapStorage> watcher = map;
+
+  ArenaVector<std::uint64_t> view = ArenaVector<std::uint64_t>::borrowed(
+      slab, 16, std::move(map), ArenaBackend::kRam);
+  view.push_back(16);  // first mutation: copy-on-write
+  EXPECT_FALSE(view.is_borrowed());
+  EXPECT_NE(view.data(), slab);
+  ASSERT_EQ(view.size(), 17U);
+  for (std::uint64_t i = 0; i < 17; ++i) ASSERT_EQ(view[i], i);
+  // The keepalive was released with the borrow — nothing pins the mapping.
+  EXPECT_TRUE(watcher.expired());
+}
+
+TEST(ArenaVector, BorrowedKeepaliveOutlivesTheSourceHandle) {
+  auto map = std::make_shared<const MmapStorage>(MmapStorage::anonymous(
+      8 * sizeof(std::uint64_t)));
+  auto* slab =
+      reinterpret_cast<std::uint64_t*>(const_cast<std::byte*>(map->data()));
+  slab[7] = 777;
+  ArenaVector<std::uint64_t> view =
+      ArenaVector<std::uint64_t>::borrowed(slab, 8, map);
+  map.reset();  // the view's keepalive must keep the mapping alive
+  EXPECT_EQ(std::as_const(view)[7], 777U);
+}
+
+}  // namespace
+}  // namespace imc

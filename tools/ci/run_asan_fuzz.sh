@@ -16,14 +16,18 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIMC_SANITIZE=address
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target imc_fuzz_tests --target imc_engine_tests
+  --target imc_fuzz_tests --target imc_engine_tests \
+  --target imc_io_tests
 
 # abort_on_error turns the first ASan report into a test failure instead of
 # a log line; detect_leaks catches pool/arena ownership bugs the
 # differential checks can't see. halt_on_error does the same for UBSan.
 # The engine label rides along: CoverageState::extend and the warm-start
-# carriers shuffle heap buffers that ASan should watch too.
+# carriers shuffle heap buffers that ASan should watch too. The io label
+# rides along for the same reason: mmap arena growth, copy-on-write
+# materialization and the snapshot loaders move raw bytes with lifetimes
+# that the sanitizers — not the differential checks — are built to police.
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1 detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
-  ctest --test-dir "${build_dir}" -L 'fuzz|engine' \
+  ctest --test-dir "${build_dir}" -L 'fuzz|engine|io' \
   --output-on-failure -j "${jobs}"

@@ -8,6 +8,8 @@
 //                       [--k K] [--max-samples N] [--model ic|lt]
 //                       [--parallel] [--threads N] [--time-budget-s S]
 //                       [--metrics-json FILE] [--no-warm-start]
+//                       [--pool-backend ram|mmap] [--save-pool FILE]
+//                       [--load-pool FILE]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
 //   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
@@ -202,6 +204,14 @@ int cmd_solve(const ArgParser& args) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   config.parallel_sampling = args.get_bool("parallel-sampling", true);
   config.warm_start = !args.get_bool("no-warm-start", false);
+  const std::string backend = args.get_string("pool-backend", "ram");
+  if (backend == "ram") {
+    config.pool_backend = ArenaBackend::kRam;
+  } else if (backend == "mmap") {
+    config.pool_backend = ArenaBackend::kMmap;
+  } else {
+    throw UsageError("--pool-backend must be ram or mmap");
+  }
 
   const double time_budget = args.get_double("time-budget-s", 0.0);
   if (args.has("time-budget-s") && !(time_budget > 0.0)) {
@@ -221,7 +231,22 @@ int cmd_solve(const ArgParser& args) {
   if (!metrics_path.empty()) context.metrics = &metrics;
 
   ImcEngine engine(graph, communities, config, context);
+  if (args.has("load-pool")) {
+    const std::string pool_path = args.get_string("load-pool", "");
+    if (pool_path.empty()) throw UsageError("--load-pool requires a path");
+    engine.attach_pool(pool_path);
+    std::cout << "attached pool " << pool_path << " (|R|="
+              << engine.pool().size() << ")\n";
+  }
   const ImcafResult result = engine.solve(k, *solver);
+
+  if (args.has("save-pool")) {
+    const std::string pool_path = args.get_string("save-pool", "");
+    if (pool_path.empty()) throw UsageError("--save-pool requires a path");
+    save_ric_pool_snapshot(pool_path, engine.pool());
+    std::cout << "pool snapshot written to " << pool_path << " (|R|="
+              << engine.pool().size() << ")\n";
+  }
 
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -325,7 +350,12 @@ void print_usage() {
       "                      the stages that completed in time\n"
       "  --metrics-json F    write per-stage engine telemetry as JSON to F\n"
       "  --no-warm-start     cold MAXR solve every doubling stage\n"
-      "                      (results are bit-identical; for benchmarking)\n";
+      "                      (results are bit-identical; for benchmarking)\n"
+      "  --pool-backend B    ram (default) or mmap arena storage for the\n"
+      "                      RIC pool (bit-identical content either way)\n"
+      "  --save-pool F       write the final pool as a binary v2 snapshot\n"
+      "  --load-pool F       start from a saved pool (binary snapshots are\n"
+      "                      attached zero-copy via mmap; text v1 accepted)\n";
 }
 
 }  // namespace
@@ -340,7 +370,8 @@ int main(int argc, char** argv) {
   try {
     if (command != "solve") {
       for (const char* flag : {"time-budget-s", "metrics-json",
-                               "no-warm-start"}) {
+                               "no-warm-start", "pool-backend", "save-pool",
+                               "load-pool"}) {
         if (args.has(flag)) {
           throw UsageError(std::string("--") + flag +
                            " only applies to the solve subcommand");
