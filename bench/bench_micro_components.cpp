@@ -218,10 +218,12 @@ void BM_PoolCHatLarge(benchmark::State& state) {
 BENCHMARK(BM_PoolCHatLarge);
 
 // Binary snapshot persistence on the large (~40k sample) pool. Save is one
-// sequential arena write; Load contrasts the two reload paths — Arg 0 is
-// the streamed read (checksum + full per-sample validation, O(pool)),
-// Arg 1 the zero-copy mmap attach whose cost must stay independent of
-// pool size (the acceptance bar for `imc_cli --load-pool` restarts).
+// sequential arena write; Load contrasts the three reload paths — Arg 0
+// is the streamed read (checksum + full per-sample validation, O(pool),
+// owned arenas), Arg 1 the default zero-copy mmap attach (same checks,
+// one pass over the mapping, no copy), Arg 2 the opt-in TRUSTED attach
+// (`--load-pool --trust-pool`) whose cost must stay independent of pool
+// size — the acceptance bar for warm restarts.
 void BM_PoolSnapshotSave(benchmark::State& state) {
   const RicPool& pool = large_pool();
   const std::string path = "/tmp/imc_bench_pool_save.snap";
@@ -239,21 +241,23 @@ void BM_PoolSnapshotLoad(benchmark::State& state) {
   const RicPool& pool = large_pool();
   const std::string path = "/tmp/imc_bench_pool_load.snap";
   save_ric_pool_snapshot(path, pool);
-  const bool mmap_attach = state.range(0) != 0;
+  const int mode = static_cast<int>(state.range(0));
   for (auto _ : state) {
     RicPool loaded =
-        mmap_attach
-            ? attach_ric_pool_snapshot(path, large_graph(),
-                                       large_communities())
-            : load_ric_pool_snapshot(path, large_graph(),
-                                     large_communities());
+        mode == 0 ? load_ric_pool_snapshot(path, large_graph(),
+                                           large_communities())
+                  : attach_ric_pool_snapshot(
+                        path, large_graph(), large_communities(),
+                        mode == 2 ? SnapshotTrust::kTrustPayload
+                                  : SnapshotTrust::kVerifyPayload);
     benchmark::DoNotOptimize(loaded.size());
   }
   state.counters["pool_size"] = static_cast<double>(pool.size());
-  state.counters["mmap"] = mmap_attach ? 1 : 0;
+  state.counters["mmap"] = mode != 0 ? 1 : 0;
+  state.counters["trusted"] = mode == 2 ? 1 : 0;
   std::remove(path.c_str());
 }
-BENCHMARK(BM_PoolSnapshotLoad)->Arg(0)->Arg(1)
+BENCHMARK(BM_PoolSnapshotLoad)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CoverageMarginal(benchmark::State& state) {

@@ -31,8 +31,9 @@ ImcEngine::ImcEngine(const Graph& graph, const CommunitySet& communities,
       context_(context),
       pool_(graph, communities, config_.model, config_.pool_backend) {}
 
-void ImcEngine::attach_pool(const std::string& path) {
-  RicPool loaded = load_ric_pool_any(path, *graph_, *communities_);
+void ImcEngine::attach_pool(const std::string& path, SnapshotTrust trust) {
+  RicPool loaded = load_ric_pool_any(path, *graph_, *communities_,
+                                     config_.pool_backend, trust);
   if (loaded.model() != config_.model) {
     throw std::invalid_argument(
         "ImcEngine::attach_pool: pool file was sampled under a different "

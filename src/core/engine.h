@@ -30,6 +30,7 @@
 #include "core/imcaf.h"
 #include "core/maxr_solver.h"
 #include "graph/graph.h"
+#include "sampling/pool_snapshot.h"
 #include "sampling/ric_pool.h"
 #include "util/context.h"
 
@@ -67,12 +68,16 @@ class ImcEngine {
   /// snapshot (attached zero-copy via mmap) or a text v1 pool file.
   /// The file must have been saved against the SAME graph and community
   /// structure (fingerprint-checked for snapshots) and the same diffusion
-  /// model as config().model. The restored PoolEpoch watermark means
-  /// solver warm-start carriers captured against the saved pool validate
-  /// against the reloaded one. Throws std::runtime_error /
-  /// std::invalid_argument on any mismatch; the current pool is untouched
-  /// on failure.
-  void attach_pool(const std::string& path);
+  /// model as config().model. Snapshot payloads are checksum- and
+  /// invariant-verified by default; pass SnapshotTrust::kTrustPayload for
+  /// files this host wrote to keep attach cost independent of pool size.
+  /// Post-attach growth allocates from config().pool_backend either way.
+  /// The restored PoolEpoch watermark means solver warm-start carriers
+  /// captured against the saved pool validate against the reloaded one.
+  /// Throws std::runtime_error / std::invalid_argument on any mismatch;
+  /// the current pool is untouched on failure.
+  void attach_pool(const std::string& path,
+                   SnapshotTrust trust = SnapshotTrust::kVerifyPayload);
 
   [[nodiscard]] const RicPool& pool() const noexcept { return pool_; }
   [[nodiscard]] const ImcafConfig& config() const noexcept { return config_; }

@@ -74,7 +74,8 @@ void save_ric_pool(const std::string& path, const RicPool& pool) {
 }
 
 RicPool read_ric_pool(std::istream& in, const Graph& graph,
-                      const CommunitySet& communities) {
+                      const CommunitySet& communities,
+                      ArenaBackend backend) {
   std::string line;
   std::size_t line_number = 0;
   const auto next_line = [&]() -> bool {
@@ -114,7 +115,7 @@ RicPool read_ric_pool(std::istream& in, const Graph& graph,
     fail(line_number, "unknown model '" + model_text + "'");
   }
 
-  RicPool pool(graph, communities, model);
+  RicPool pool(graph, communities, model, backend);
   while (next_line()) {
     std::istringstream fields(line);
     std::string keyword;
@@ -162,10 +163,11 @@ RicPool read_ric_pool(std::istream& in, const Graph& graph,
 }
 
 RicPool load_ric_pool(const std::string& path, const Graph& graph,
-                      const CommunitySet& communities) {
+                      const CommunitySet& communities,
+                      ArenaBackend backend) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_ric_pool: cannot open " + path);
-  return read_ric_pool(in, graph, communities);
+  return read_ric_pool(in, graph, communities, backend);
 }
 
 }  // namespace imc

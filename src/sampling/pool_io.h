@@ -23,15 +23,18 @@ void write_ric_pool(std::ostream& out, const RicPool& pool);
 /// Saves to a file; throws std::runtime_error on I/O failure.
 void save_ric_pool(const std::string& path, const RicPool& pool);
 
-/// Reads samples into a fresh pool bound to (graph, communities). Throws
-/// std::runtime_error on malformed input or structural mismatch (node
-/// count, community ids, thresholds out of range).
+/// Reads samples into a fresh pool bound to (graph, communities), with
+/// arenas in `backend` storage. Throws std::runtime_error on malformed
+/// input or structural mismatch (node count, community ids, thresholds
+/// out of range).
 [[nodiscard]] RicPool read_ric_pool(std::istream& in, const Graph& graph,
-                                    const CommunitySet& communities);
+                                    const CommunitySet& communities,
+                                    ArenaBackend backend = ArenaBackend::kRam);
 
 /// Loads from a file; throws std::runtime_error if unreadable.
 [[nodiscard]] RicPool load_ric_pool(const std::string& path,
                                     const Graph& graph,
-                                    const CommunitySet& communities);
+                                    const CommunitySet& communities,
+                                    ArenaBackend backend = ArenaBackend::kRam);
 
 }  // namespace imc

@@ -41,14 +41,27 @@ struct SnapshotLayout {
                                     std::uint64_t samples,
                                     std::uint64_t sample_pairs,
                                     std::uint64_t csr_touches) {
+    // All products and the running cursor are overflow-checked: a crafted
+    // header count (e.g. 2^60 pairs) would otherwise wrap a section size
+    // to a tiny value that stays self-consistent with payload_bytes while
+    // disagreeing with the declared counts.
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+    const auto section_bytes = [](std::uint64_t count,
+                                  std::size_t element) -> std::size_t {
+      if (count > (kMax - 63) / element) {
+        fail("header counts overflow the section layout");
+      }
+      return static_cast<std::size_t>(count) * element;
+    };
     const std::size_t raw[7] = {
-        samples * sizeof(std::uint32_t),        // thresholds
-        samples * sizeof(CommunityId),          // source_community
-        communities * sizeof(std::uint32_t),    // community_frequency
-        (samples + 1) * sizeof(std::uint64_t),  // sample_offsets
-        sample_pairs * sizeof(std::pair<NodeId, std::uint64_t>),
-        (nodes + 1) * sizeof(std::uint64_t),    // touch_offsets
-        csr_touches * sizeof(RicPool::Touch),   // touches
+        section_bytes(samples, sizeof(std::uint32_t)),      // thresholds
+        section_bytes(samples, sizeof(CommunityId)),        // source_community
+        section_bytes(communities, sizeof(std::uint32_t)),  // community_freq
+        section_bytes(samples + 1, sizeof(std::uint64_t)),  // sample_offsets
+        section_bytes(sample_pairs,
+                      sizeof(std::pair<NodeId, std::uint64_t>)),
+        section_bytes(nodes + 1, sizeof(std::uint64_t)),    // touch_offsets
+        section_bytes(csr_touches, sizeof(RicPool::Touch)),  // touches
     };
     SnapshotLayout layout;
     std::size_t cursor = kHeaderBytes;
@@ -56,6 +69,9 @@ struct SnapshotLayout {
       layout.sections[i].bytes = raw[i];
       layout.sections[i].padded = detail::round_up_64(raw[i]);
       layout.sections[i].offset = cursor;
+      if (layout.sections[i].padded > kMax - cursor) {
+        fail("header counts overflow the section layout");
+      }
       cursor += layout.sections[i].padded;
     }
     layout.total_bytes = cursor;
@@ -164,14 +180,34 @@ void validate_header(const PoolSnapshotHeader& header, const Graph& graph,
   }
 }
 
-/// Deep per-sample validation for the streamed loader (the attach path
-/// skips this by design — see the header's trust model).
+/// Deep per-sample validation for untrusted snapshots (streamed loads and
+/// the default verifying attach; SnapshotTrust::kTrustPayload skips it).
+///
+/// Both offset tables get a full endpoints + monotonicity pass BEFORE any
+/// offset is used to index its arena: front == 0, back == arena size and
+/// pairwise monotone together bound every span by the arena length. The
+/// per-step check cannot live inside the content loop — there it would
+/// only have validated the prefix scanned so far, and a hostile
+/// offsets[g + 1] past the arena would be dereferenced before its own
+/// monotonicity check ran.
 void validate_payload(const RicPool::PoolArenas& arenas,
                       const Graph& graph, const CommunitySet& communities) {
   const auto thresholds = arenas.thresholds.span();
   const auto source = arenas.source_community.span();
   const auto offsets = arenas.sample_offsets.span();
   const auto pairs = arenas.sample_arena.span();
+  if (thresholds.size() != source.size() ||
+      offsets.size() != source.size() + 1) {
+    fail("metadata arenas disagree on the sample count");
+  }
+  if (offsets.front() != 0 || offsets.back() != pairs.size()) {
+    fail("sample-major offsets do not span the sample arena");
+  }
+  for (std::size_t g = 0; g + 1 < offsets.size(); ++g) {
+    if (offsets[g] > offsets[g + 1]) {
+      fail("sample " + std::to_string(g) + ": offsets not monotone");
+    }
+  }
   for (std::size_t g = 0; g < source.size(); ++g) {
     const CommunityId c = source[g];
     if (c >= communities.size()) {
@@ -180,9 +216,6 @@ void validate_payload(const RicPool::PoolArenas& arenas,
     if (thresholds[g] != communities.threshold(c)) {
       fail("sample " + std::to_string(g) +
            ": threshold disagrees with the community structure");
-    }
-    if (offsets[g] > offsets[g + 1]) {
-      fail("sample " + std::to_string(g) + ": offsets not monotone");
     }
     const NodeId population = communities.population(c);
     const std::uint64_t full =
@@ -200,10 +233,19 @@ void validate_payload(const RicPool::PoolArenas& arenas,
   }
   const auto touch_offsets = arenas.touch_offsets.span();
   const auto touches = arenas.touches.span();
+  if (touch_offsets.size() !=
+      static_cast<std::size_t>(graph.node_count()) + 1) {
+    fail("csr: offsets table does not match the graph");
+  }
+  if (touch_offsets.front() != 0 || touch_offsets.back() != touches.size()) {
+    fail("csr: touch offsets do not span the touch arena");
+  }
   for (std::size_t v = 0; v + 1 < touch_offsets.size(); ++v) {
     if (touch_offsets[v] > touch_offsets[v + 1]) {
       fail("csr: touch offsets not monotone");
     }
+  }
+  for (std::size_t v = 0; v + 1 < touch_offsets.size(); ++v) {
     for (std::uint64_t i = touch_offsets[v]; i < touch_offsets[v + 1]; ++i) {
       const RicPool::Touch& t = touches[i];
       if (t.sample >= thresholds.size()) {
@@ -241,13 +283,27 @@ ArenaVector<T> read_section(std::istream& in, const SectionLayout& section,
   return arena;
 }
 
-/// Borrowed zero-copy view of one section inside the mapped snapshot.
+/// Borrowed zero-copy view of one section inside the mapped snapshot;
+/// the first mutation materializes into `materialize_backend` storage.
 template <typename T>
 ArenaVector<T> borrow_section(const std::shared_ptr<const MmapStorage>& map,
-                              const SectionLayout& section) {
+                              const SectionLayout& section,
+                              ArenaBackend materialize_backend) {
   const auto* base =
       reinterpret_cast<const T*>(map->data() + section.offset);
-  return ArenaVector<T>::borrowed(base, section.bytes / sizeof(T), map);
+  return ArenaVector<T>::borrowed(base, section.bytes / sizeof(T), map,
+                                  materialize_backend);
+}
+
+/// FNV-1a over the raw (unpadded) section bytes of a mapped snapshot —
+/// the attach-path twin of the streamed loader's incremental digest.
+std::uint64_t mapped_checksum(const MmapStorage& map,
+                              const SnapshotLayout& layout) {
+  Fnv1a64 digest;
+  for (const SectionLayout& section : layout.sections) {
+    digest.add_bytes(map.data() + section.offset, section.bytes);
+  }
+  return digest.value();
 }
 
 }  // namespace
@@ -344,7 +400,9 @@ RicPool load_ric_pool_snapshot(const std::string& path, const Graph& graph,
 }
 
 RicPool attach_ric_pool_snapshot(const std::string& path, const Graph& graph,
-                                 const CommunitySet& communities) {
+                                 const CommunitySet& communities,
+                                 SnapshotTrust trust,
+                                 ArenaBackend materialize_backend) {
   auto map = std::make_shared<const MmapStorage>(
       MmapStorage::open_readonly(path));
   if (map->size() < kHeaderBytes) fail("truncated header");
@@ -360,20 +418,27 @@ RicPool attach_ric_pool_snapshot(const std::string& path, const Graph& graph,
       header.sample_pair_count, header.csr_touch_count);
 
   RicPool::PoolArenas arenas;
-  arenas.thresholds =
-      borrow_section<std::uint32_t>(map, layout.sections[0]);
-  arenas.source_community =
-      borrow_section<CommunityId>(map, layout.sections[1]);
-  arenas.community_frequency =
-      borrow_section<std::uint32_t>(map, layout.sections[2]);
-  arenas.sample_offsets =
-      borrow_section<std::uint64_t>(map, layout.sections[3]);
-  arenas.sample_arena =
-      borrow_section<std::pair<NodeId, std::uint64_t>>(map,
-                                                       layout.sections[4]);
-  arenas.touch_offsets =
-      borrow_section<std::uint64_t>(map, layout.sections[5]);
-  arenas.touches = borrow_section<RicPool::Touch>(map, layout.sections[6]);
+  arenas.thresholds = borrow_section<std::uint32_t>(map, layout.sections[0],
+                                                    materialize_backend);
+  arenas.source_community = borrow_section<CommunityId>(
+      map, layout.sections[1], materialize_backend);
+  arenas.community_frequency = borrow_section<std::uint32_t>(
+      map, layout.sections[2], materialize_backend);
+  arenas.sample_offsets = borrow_section<std::uint64_t>(
+      map, layout.sections[3], materialize_backend);
+  arenas.sample_arena = borrow_section<std::pair<NodeId, std::uint64_t>>(
+      map, layout.sections[4], materialize_backend);
+  arenas.touch_offsets = borrow_section<std::uint64_t>(
+      map, layout.sections[5], materialize_backend);
+  arenas.touches = borrow_section<RicPool::Touch>(map, layout.sections[6],
+                                                  materialize_backend);
+
+  if (trust == SnapshotTrust::kVerifyPayload) {
+    if (mapped_checksum(*map, layout) != header.payload_checksum) {
+      fail("payload checksum mismatch (corrupt snapshot)");
+    }
+    validate_payload(arenas, graph, communities);
+  }
 
   try {
     return RicPool::restore_snapshot(
@@ -395,11 +460,13 @@ bool is_pool_snapshot_file(const std::string& path) {
 }
 
 RicPool load_ric_pool_any(const std::string& path, const Graph& graph,
-                          const CommunitySet& communities) {
+                          const CommunitySet& communities,
+                          ArenaBackend backend, SnapshotTrust trust) {
   if (is_pool_snapshot_file(path)) {
-    return attach_ric_pool_snapshot(path, graph, communities);
+    return attach_ric_pool_snapshot(path, graph, communities, trust,
+                                    backend);
   }
-  return load_ric_pool(path, graph, communities);
+  return load_ric_pool(path, graph, communities, backend);
 }
 
 }  // namespace imc

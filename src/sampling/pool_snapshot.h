@@ -30,14 +30,18 @@
 //
 // Validation contract: BOTH loaders check magic, version, RNG contract,
 // counts against the supplied graph/communities, the epoch watermark and
-// the two fingerprints. The STREAMED loader additionally verifies the
-// payload checksum and every per-sample invariant (community ids,
-// thresholds, masks, touch ordering) — it is the path for snapshots of
-// unknown provenance. The mmap ATTACH path deliberately skips the
-// O(pool) deep checks so attach time stays flat; it is for snapshots this
-// code wrote, guarded by the fingerprints (see DESIGN.md §13 for the
-// trust model). Endianness is not translated: a snapshot is portable
-// between machines of the same byte order only.
+// the two fingerprints. By DEFAULT both also verify the payload checksum
+// and every per-sample invariant (community ids, thresholds, masks,
+// offset monotonicity/endpoints, touch ordering) — snapshots are treated
+// as untrusted input unless the caller says otherwise. The mmap attach
+// can skip the O(pool) deep checks with SnapshotTrust::kTrustPayload so
+// attach time stays flat in pool size; that is an explicit opt-in for
+// snapshots this host wrote, guarded by the fingerprints (see DESIGN.md
+// §13 for the trust model). Even a trusted attach cannot produce
+// out-of-bounds spans: RicPool::restore_snapshot independently checks
+// both offset tables for endpoints and monotonicity. Endianness is not
+// translated: a snapshot is portable between machines of the same byte
+// order only.
 //
 // Ownership: an attached pool pins the file mapping via shared keepalives
 // inside its borrowed arenas; the mapping unmaps when the last arena (or
@@ -81,6 +85,19 @@ struct PoolSnapshotHeader {
 static_assert(sizeof(PoolSnapshotHeader) <= 128,
               "header must fit its reserved 128 bytes");
 
+/// How much of a snapshot's payload the attach paths verify before
+/// serving it. Header, counts, epoch and fingerprints are always checked.
+enum class SnapshotTrust {
+  /// Default: verify the payload checksum and every per-sample invariant
+  /// (one sequential O(pool) pass; still zero-copy on the attach path).
+  kVerifyPayload,
+  /// Explicit opt-in for snapshots this host wrote: skip the O(pool)
+  /// payload pass so attach cost stays independent of pool size. The
+  /// structural offset checks in RicPool::restore_snapshot still run, so
+  /// corrupt offsets fail the load rather than index out of bounds.
+  kTrustPayload,
+};
+
 /// Writes the v2 snapshot. The pool's pending index merge (if any) is
 /// materialized first so the CSR sections are current.
 void write_ric_pool_snapshot(std::ostream& out, const RicPool& pool);
@@ -102,24 +119,34 @@ void save_ric_pool_snapshot(const std::string& path, const RicPool& pool);
     const CommunitySet& communities,
     ArenaBackend backend = ArenaBackend::kRam);
 
-/// Zero-copy attach: mmaps the snapshot and serves the arenas in place.
-/// Cost is O(graph validation), independent of pool size — no arena copy
-/// happens until the pool is grown. Header, counts, epoch and
-/// fingerprints are verified; per-sample contents are trusted (see the
-/// header comment's trust model). Throws std::runtime_error on mismatch.
+/// Zero-copy attach: mmaps the snapshot and serves the arenas in place —
+/// no arena copy happens until the pool is grown, and growth materializes
+/// into `materialize_backend` storage. With the default kVerifyPayload
+/// the checksum and per-sample invariants are verified in one sequential
+/// pass over the mapping; kTrustPayload skips that pass so attach cost is
+/// O(offset tables), independent of the arena payload. Throws
+/// std::runtime_error on mismatch or (when verifying) corruption.
 [[nodiscard]] RicPool attach_ric_pool_snapshot(
     const std::string& path, const Graph& graph,
-    const CommunitySet& communities);
+    const CommunitySet& communities,
+    SnapshotTrust trust = SnapshotTrust::kVerifyPayload,
+    ArenaBackend materialize_backend = ArenaBackend::kMmap);
 
 /// True when `path` starts with the v2 snapshot magic (a cheap sniff for
 /// format dispatch; false for unreadable files).
 [[nodiscard]] bool is_pool_snapshot_file(const std::string& path);
 
-/// Format-dispatching load: v2 snapshots are ATTACHED zero-copy, anything
-/// else goes through the text v1 loader. The one-stop entry point for
-/// `imc_cli --load-pool` and ImcEngine::attach_pool.
-[[nodiscard]] RicPool load_ric_pool_any(const std::string& path,
-                                        const Graph& graph,
-                                        const CommunitySet& communities);
+/// Format-dispatching load: v2 snapshots are ATTACHED zero-copy (with
+/// `trust` forwarded — payload-verifying by default), anything else goes
+/// through the text v1 loader. `backend` is where the loaded pool's owned
+/// arenas live (text path) or where an attached pool materializes on its
+/// first grow, so a configured --pool-backend survives the load. The
+/// one-stop entry point for `imc_cli --load-pool` and
+/// ImcEngine::attach_pool.
+[[nodiscard]] RicPool load_ric_pool_any(
+    const std::string& path, const Graph& graph,
+    const CommunitySet& communities,
+    ArenaBackend backend = ArenaBackend::kRam,
+    SnapshotTrust trust = SnapshotTrust::kVerifyPayload);
 
 }  // namespace imc

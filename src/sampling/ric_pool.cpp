@@ -497,6 +497,18 @@ RicPool RicPool::restore_snapshot(const Graph& graph,
       arenas.sample_offsets.back() != arenas.sample_arena.size()) {
     fail("sample-major offsets inconsistent with the arena");
   }
+  // Monotonicity of both offset tables is load-bearing even on the
+  // trusted attach path: sample_touches()/touches_of() compute spans as
+  // offsets[i + 1] - offsets[i] in unsigned arithmetic, so a non-monotone
+  // pair would wrap to a huge span and read out of bounds during solves.
+  // Endpoints + monotonicity bound every span by the arena size.
+  const std::span<const std::uint64_t> sample_offsets =
+      arenas.sample_offsets.span();
+  for (std::uint64_t g = 0; g + 1 < sample_offsets.size(); ++g) {
+    if (sample_offsets[g] > sample_offsets[g + 1]) {
+      fail("sample-major offsets not monotone");
+    }
+  }
   if (arenas.community_frequency.size() != communities.size()) {
     fail("community frequency table does not match the community set");
   }
@@ -512,6 +524,13 @@ RicPool RicPool::restore_snapshot(const Graph& graph,
       arenas.touch_offsets.span()[0] != 0 ||
       arenas.touch_offsets.back() != arenas.touches.size()) {
     fail("CSR offsets inconsistent with the graph / touch arena");
+  }
+  const std::span<const std::uint64_t> csr_offsets =
+      arenas.touch_offsets.span();
+  for (std::uint64_t v = 0; v + 1 < csr_offsets.size(); ++v) {
+    if (csr_offsets[v] > csr_offsets[v + 1]) {
+      fail("CSR offsets not monotone");
+    }
   }
 
   // The restored pool inherits the arenas' backend (the attach path hands

@@ -153,12 +153,13 @@ class RicPool {
   /// loader) or borrowed zero-copy views into an mmapped snapshot (the
   /// attach path) — a borrowed pool serves reads in place and
   /// copy-on-write-materializes on the first grow()/append(). Validates
-  /// the cheap structural invariants (sizes and final offsets coherent,
-  /// community frequencies sum to the sample count, epoch matches);
-  /// deep per-sample validation is the STREAMED loader's job — the
-  /// zero-copy path deliberately trusts fingerprint-verified snapshots so
-  /// attach cost stays independent of pool size. Throws
-  /// std::invalid_argument on any structural mismatch.
+  /// the cheap structural invariants (sizes coherent, both offset tables'
+  /// endpoints AND monotonicity — so no span can wrap out of bounds even
+  /// for trusted input — community frequencies sum to the sample count,
+  /// epoch matches); deep per-sample content validation is the loaders'
+  /// job (pool_snapshot's validate step, skipped only by the explicit
+  /// SnapshotTrust::kTrustPayload attach). Throws std::invalid_argument
+  /// on any structural mismatch.
   [[nodiscard]] static RicPool restore_snapshot(const Graph& graph,
                                                 const CommunitySet& communities,
                                                 DiffusionModel model,

@@ -401,6 +401,10 @@ TEST_F(PoolSnapshotCorpus, OutOfRangeCommunityBehindValidChecksum) {
   reseal_checksum(blob_);
   EXPECT_EQ(streamed_error(fixture_, blob_),
             "ric pool snapshot: sample 0: community id out of range");
+  // The attach path verifies payloads by default, so the same corruption
+  // dies at load time there too.
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_community.bin"),
+            "ric pool snapshot: sample 0: community id out of range");
 }
 
 TEST_F(PoolSnapshotCorpus, TouchingNodeOutOfRangeBehindValidChecksum) {
@@ -410,6 +414,113 @@ TEST_F(PoolSnapshotCorpus, TouchingNodeOutOfRangeBehindValidChecksum) {
   reseal_checksum(blob_);
   EXPECT_EQ(streamed_error(fixture_, blob_),
             "ric pool snapshot: sample 0: touching node out of range");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_node.bin"),
+            "ric pool snapshot: sample 0: touching node out of range");
+}
+
+TEST_F(PoolSnapshotCorpus, FlippedPayloadByteFailsAttachChecksum) {
+  blob_[200] = static_cast<char>(blob_[200] ^ 0x40);
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_attach_checksum.bin"),
+            "ric pool snapshot: payload checksum mismatch (corrupt "
+            "snapshot)");
+}
+
+TEST_F(PoolSnapshotCorpus, NonMonotoneSampleOffsetsBehindValidChecksum) {
+  // offsets[1] pointing past the arena used to be dereferenced by the
+  // validator itself (the monotone check ran a step too late): the
+  // sample-0 content scan read pairs[0, huge) out of bounds. Now the
+  // endpoints + monotonicity pre-pass rejects it before any indexing.
+  const Layout layout(header_of(blob_));
+  const std::uint64_t huge = ~std::uint64_t{0};
+  std::memcpy(blob_.data() + layout.offset[3] + sizeof(std::uint64_t),
+              &huge, sizeof(huge));
+  reseal_checksum(blob_);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: sample 1: offsets not monotone");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_monotone.bin"),
+            "ric pool snapshot: sample 1: offsets not monotone");
+}
+
+TEST_F(PoolSnapshotCorpus, SampleOffsetsMustSpanTheArena) {
+  // A final offset short of the arena would leave pairs unreachable (and
+  // an oversized one would unbound every span): both are endpoint errors.
+  PoolSnapshotHeader header = header_of(blob_);
+  const Layout layout(header);
+  const std::uint64_t bogus_end = header.sample_pair_count + 1;
+  std::memcpy(blob_.data() + layout.offset[3] +
+                  header.sample_count * sizeof(std::uint64_t),
+              &bogus_end, sizeof(bogus_end));
+  reseal_checksum(blob_);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: sample-major offsets do not span the "
+            "sample arena");
+}
+
+TEST_F(PoolSnapshotCorpus, NonMonotoneTouchOffsetsBehindValidChecksum) {
+  const Layout layout(header_of(blob_));
+  const std::uint64_t huge = ~std::uint64_t{0};
+  std::memcpy(blob_.data() + layout.offset[5] + sizeof(std::uint64_t),
+              &huge, sizeof(huge));
+  reseal_checksum(blob_);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: csr: touch offsets not monotone");
+}
+
+TEST_F(PoolSnapshotCorpus, HugePairCountOverflowsTheLayout) {
+  // A pair count of 2^60 used to wrap the section size to a small value
+  // that stayed self-consistent with payload_bytes; the layout math now
+  // rejects counts it cannot represent.
+  patch_header<std::uint64_t>(
+      offsetof(PoolSnapshotHeader, sample_pair_count), std::uint64_t{1}
+                                                           << 60);
+  EXPECT_EQ(streamed_error(fixture_, blob_),
+            "ric pool snapshot: header counts overflow the section layout");
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_overflow.bin"),
+            "ric pool snapshot: header counts overflow the section layout");
+}
+
+TEST_F(PoolSnapshotCorpus, TrustedAttachSkipsContentButBoundsOffsets) {
+  // kTrustPayload skips the O(pool) content checks (the out-of-range
+  // community loads)...
+  const Layout layout(header_of(blob_));
+  const CommunityId bogus = 7;
+  std::memcpy(blob_.data() + layout.offset[1], &bogus, sizeof(bogus));
+  reseal_checksum(blob_);
+  const std::string path = ::testing::TempDir() + "/corpus_trusted.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob_.data(), static_cast<std::streamsize>(blob_.size()));
+  }
+  const RicPool trusted = attach_ric_pool_snapshot(
+      path, fixture_.graph, fixture_.communities,
+      SnapshotTrust::kTrustPayload);
+  EXPECT_EQ(trusted.size(), 50U);
+  std::remove(path.c_str());
+
+  // ...but restore_snapshot still rejects non-monotone offsets, so even a
+  // trusted attach cannot produce wraparound spans during solves.
+  std::string bent = blob_;
+  const std::uint64_t huge = ~std::uint64_t{0};
+  std::memcpy(bent.data() + layout.offset[3] + sizeof(std::uint64_t),
+              &huge, sizeof(huge));
+  reseal_checksum(bent);
+  const std::string bent_path =
+      ::testing::TempDir() + "/corpus_trusted_monotone.bin";
+  {
+    std::ofstream out(bent_path, std::ios::binary | std::ios::trunc);
+    out.write(bent.data(), static_cast<std::streamsize>(bent.size()));
+  }
+  try {
+    (void)attach_ric_pool_snapshot(bent_path, fixture_.graph,
+                                   fixture_.communities,
+                                   SnapshotTrust::kTrustPayload);
+    ADD_FAILURE() << "trusted attach accepted non-monotone offsets";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()),
+              "ric pool snapshot: RicPool::restore_snapshot: sample-major "
+              "offsets not monotone");
+  }
+  std::remove(bent_path.c_str());
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +565,38 @@ TEST(PoolSnapshotEngine, AttachPoolRejectsModelMismatch) {
   // Failure left the engine's own pool untouched.
   EXPECT_EQ(engine.pool().size(), 0U);
   std::remove(path.c_str());
+}
+
+TEST(PoolSnapshotEngine, AttachPoolHonorsConfiguredBackend) {
+  // Attaching used to leave the pool on the loaded arenas' backend (kMmap
+  // for snapshots), silently overriding --pool-backend for all later
+  // growth. The configured backend must survive the attach.
+  const Fixture fixture;
+  RicPool original(fixture.graph, fixture.communities);
+  original.grow(40, 9);
+  const std::string path = temp_snapshot(original, "imc_engine_backend.bin");
+
+  ImcafConfig ram_config;  // pool_backend defaults to kRam
+  ImcEngine engine(fixture.graph, fixture.communities, ram_config);
+  engine.attach_pool(path);
+  EXPECT_EQ(engine.pool().backend(), ArenaBackend::kRam);
+  EXPECT_TRUE(engine.pool().attached());
+
+  ImcafConfig mmap_config;
+  mmap_config.pool_backend = ArenaBackend::kMmap;
+  ImcEngine mmap_engine(fixture.graph, fixture.communities, mmap_config);
+  mmap_engine.attach_pool(path, SnapshotTrust::kTrustPayload);
+  EXPECT_EQ(mmap_engine.pool().backend(), ArenaBackend::kMmap);
+
+  // The text v1 path routes the backend through load_ric_pool too.
+  const std::string text = ::testing::TempDir() + "/imc_engine_backend.txt";
+  save_ric_pool(text, original);
+  mmap_engine.attach_pool(text);
+  EXPECT_EQ(mmap_engine.pool().backend(), ArenaBackend::kMmap);
+  EXPECT_FALSE(mmap_engine.pool().attached());
+
+  std::remove(path.c_str());
+  std::remove(text.c_str());
 }
 
 TEST(PoolSnapshotEngine, MmapBackendConfigIsBitIdenticalToRam) {

@@ -9,7 +9,7 @@
 //                       [--parallel] [--threads N] [--time-budget-s S]
 //                       [--metrics-json FILE] [--no-warm-start]
 //                       [--pool-backend ram|mmap] [--save-pool FILE]
-//                       [--load-pool FILE]
+//                       [--load-pool FILE [--trust-pool]]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
 //   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
@@ -231,10 +231,15 @@ int cmd_solve(const ArgParser& args) {
   if (!metrics_path.empty()) context.metrics = &metrics;
 
   ImcEngine engine(graph, communities, config, context);
+  if (args.has("trust-pool") && !args.has("load-pool")) {
+    throw UsageError("--trust-pool only applies with --load-pool");
+  }
   if (args.has("load-pool")) {
     const std::string pool_path = args.get_string("load-pool", "");
     if (pool_path.empty()) throw UsageError("--load-pool requires a path");
-    engine.attach_pool(pool_path);
+    engine.attach_pool(pool_path, args.get_bool("trust-pool", false)
+                                      ? SnapshotTrust::kTrustPayload
+                                      : SnapshotTrust::kVerifyPayload);
     std::cout << "attached pool " << pool_path << " (|R|="
               << engine.pool().size() << ")\n";
   }
@@ -355,7 +360,11 @@ void print_usage() {
       "                      RIC pool (bit-identical content either way)\n"
       "  --save-pool F       write the final pool as a binary v2 snapshot\n"
       "  --load-pool F       start from a saved pool (binary snapshots are\n"
-      "                      attached zero-copy via mmap; text v1 accepted)\n";
+      "                      attached zero-copy via mmap and fully verified\n"
+      "                      by default; text v1 accepted)\n"
+      "  --trust-pool        skip the O(pool) checksum + payload checks on\n"
+      "                      --load-pool (for snapshots this host wrote;\n"
+      "                      attach cost becomes independent of pool size)\n";
 }
 
 }  // namespace
@@ -371,7 +380,7 @@ int main(int argc, char** argv) {
     if (command != "solve") {
       for (const char* flag : {"time-budget-s", "metrics-json",
                                "no-warm-start", "pool-backend", "save-pool",
-                               "load-pool"}) {
+                               "load-pool", "trust-pool"}) {
         if (args.has(flag)) {
           throw UsageError(std::string("--") + flag +
                            " only applies to the solve subcommand");
