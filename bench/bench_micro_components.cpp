@@ -7,6 +7,9 @@
 //   IMC_BENCH_SCALE        small-fixture dataset scale       (default 0.12)
 //   IMC_MICRO_LARGE_SCALE  large-fixture dataset scale       (default 1.0)
 //   IMC_MICRO_POOL         large-fixture RIC pool size       (default 40000)
+//   IMC_MICRO_HUGE_POOL    huge-fixture RIC pool size      (default 1000000)
+// Kernel selection: IMC_KERNEL=scalar|popcnt|avx2|avx512 pins the gain
+// kernel the selection benches run on (default: best supported).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -54,6 +57,12 @@ double micro_large_scale() {
 std::uint64_t micro_pool_samples() {
   static const auto samples =
       static_cast<std::uint64_t>(env_int("IMC_MICRO_POOL", 40000));
+  return samples;
+}
+
+std::uint64_t micro_huge_pool_samples() {
+  static const auto samples =
+      static_cast<std::uint64_t>(env_int("IMC_MICRO_HUGE_POOL", 1000000));
   return samples;
 }
 
@@ -298,6 +307,10 @@ void greedy_selection_bench(benchmark::State& state, const RicPool& pool,
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine(pool, 10, options).seeds.size());
   }
+  // items/s = samples swept per second of selection, like the pool-grow
+  // benches report samples grown per second.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pool.size()));
   state.counters["pool_size"] = static_cast<double>(pool.size());
   state.counters["threads"] = static_cast<double>(threads);
 }
@@ -321,17 +334,43 @@ void BM_CelfGreedyNuSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_CelfGreedyNuSelect)->Arg(0)->Arg(2)->Arg(4)->Arg(8);
 
-// Large-fixture selection: the acceptance benchmark for the CSR/SoA layout.
+// Large-fixture selection: the acceptance benchmark for the CSR/SoA layout
+// and the SIMD gain kernels (DESIGN.md §14).
 void BM_GreedyCHatSelectLarge(benchmark::State& state) {
   greedy_selection_bench(state, large_pool(), &greedy_c_hat);
 }
-BENCHMARK(BM_GreedyCHatSelectLarge)->Arg(0)->Arg(8)
+BENCHMARK(BM_GreedyCHatSelectLarge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CelfGreedyNuSelectLarge(benchmark::State& state) {
   greedy_selection_bench(state, large_pool(), &celf_greedy_nu);
 }
-BENCHMARK(BM_CelfGreedyNuSelectLarge)->Arg(0)->Arg(8)
+BENCHMARK(BM_CelfGreedyNuSelectLarge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Huge fixture: ≥10⁶ samples (~25x the covered/arena working set of the
+// large fixture — firmly DRAM-resident) on the same full-scale graph. This
+// is the scale where the sharded slab sweep and the SIMD kernels are
+// measured for acceptance; grown once, reused by both engines.
+const RicPool& huge_pool() {
+  static const RicPool pool = [] {
+    RicPool p(large_graph(), large_communities());
+    p.grow(micro_huge_pool_samples(), 23);
+    return p;
+  }();
+  return pool;
+}
+
+void BM_GreedyCHatSelectHuge(benchmark::State& state) {
+  greedy_selection_bench(state, huge_pool(), &greedy_c_hat);
+}
+BENCHMARK(BM_GreedyCHatSelectHuge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CelfGreedyNuSelectHuge(benchmark::State& state) {
+  greedy_selection_bench(state, huge_pool(), &celf_greedy_nu);
+}
+BENCHMARK(BM_CelfGreedyNuSelectHuge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 // End-to-end IMCAF: Arg 0 solves cold at every doubling stage

@@ -1,0 +1,152 @@
+// Runtime dispatch for the gain-kernel variants. Unlike the
+// IMC_POPCNT_CLONES target_clones mechanism (which relies on ifunc
+// resolution and is therefore disabled under sanitizers), dispatch here is
+// an explicit atomic ops-table pointer guarded by __builtin_cpu_supports —
+// it works identically in ASan/TSan builds, and tests can flip the active
+// kernel with set_gain_kernel().
+#include "core/gain_kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/gain_kernels_registry.h"
+
+namespace imc {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+// __builtin_cpu_supports requires literal feature names.
+bool host_supports(GainKernelKind kind) noexcept {
+  switch (kind) {
+    case GainKernelKind::kScalar:
+      return true;
+    case GainKernelKind::kPopcnt:
+      return __builtin_cpu_supports("popcnt") != 0;
+    case GainKernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+    case GainKernelKind::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+  }
+  return false;
+}
+#else
+bool host_supports(GainKernelKind kind) noexcept {
+  return kind == GainKernelKind::kScalar;
+}
+#endif
+
+/// Build-time availability: the variant TU compiled its implementation.
+const GainKernelOps* built_ops(GainKernelKind kind) noexcept {
+  switch (kind) {
+    case GainKernelKind::kScalar:
+      return gain_detail::scalar_ops();
+    case GainKernelKind::kPopcnt:
+      return gain_detail::popcnt_ops();
+    case GainKernelKind::kAvx2:
+      return gain_detail::avx2_ops();
+    case GainKernelKind::kAvx512:
+      return gain_detail::avx512_ops();
+  }
+  return nullptr;
+}
+
+constexpr GainKernelKind kAllKinds[] = {
+    GainKernelKind::kScalar, GainKernelKind::kPopcnt,
+    GainKernelKind::kAvx2, GainKernelKind::kAvx512};
+
+/// Strongest supported variant — scalar is always built and supported.
+const GainKernelOps* best_supported() noexcept {
+  const GainKernelOps* best = gain_detail::scalar_ops();
+  for (const GainKernelKind kind : kAllKinds) {
+    if (gain_kernel_supported(kind)) best = built_ops(kind);
+  }
+  return best;
+}
+
+/// First-use resolution: honor IMC_KERNEL when it names a supported
+/// variant, otherwise warn once on stderr and fall back to the best one.
+const GainKernelOps* resolve_initial() noexcept {
+  const char* env = std::getenv("IMC_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    const std::optional<GainKernelKind> kind = parse_gain_kernel(env);
+    if (kind.has_value() && gain_kernel_supported(*kind)) {
+      return built_ops(*kind);
+    }
+    std::fprintf(stderr,
+                 "imc: IMC_KERNEL=%s is %s on this host; using %s\n", env,
+                 kind.has_value() ? "not supported" : "not recognized",
+                 best_supported()->name);
+  }
+  return best_supported();
+}
+
+std::atomic<const GainKernelOps*> g_active{nullptr};
+
+}  // namespace
+
+bool gain_kernel_supported(GainKernelKind kind) noexcept {
+  return built_ops(kind) != nullptr && host_supports(kind);
+}
+
+const GainKernelOps& gain_kernel_ops(GainKernelKind kind) {
+  if (!gain_kernel_supported(kind)) {
+    throw std::invalid_argument(
+        std::string("gain kernel not supported on this host: ") +
+        gain_kernel_name(kind));
+  }
+  return *built_ops(kind);
+}
+
+const GainKernelOps& active_gain_kernel_ops() noexcept {
+  const GainKernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: concurrent first uses resolve to the same table.
+    ops = resolve_initial();
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+GainKernelKind active_gain_kernel() noexcept {
+  return active_gain_kernel_ops().kind;
+}
+
+bool set_gain_kernel(GainKernelKind kind) noexcept {
+  if (!gain_kernel_supported(kind)) return false;
+  g_active.store(built_ops(kind), std::memory_order_release);
+  return true;
+}
+
+const char* gain_kernel_name(GainKernelKind kind) noexcept {
+  switch (kind) {
+    case GainKernelKind::kScalar:
+      return "scalar";
+    case GainKernelKind::kPopcnt:
+      return "popcnt";
+    case GainKernelKind::kAvx2:
+      return "avx2";
+    case GainKernelKind::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+std::optional<GainKernelKind> parse_gain_kernel(
+    std::string_view name) noexcept {
+  if (name == "scalar") return GainKernelKind::kScalar;
+  if (name == "popcnt") return GainKernelKind::kPopcnt;
+  if (name == "avx2") return GainKernelKind::kAvx2;
+  if (name == "avx512") return GainKernelKind::kAvx512;
+  return std::nullopt;
+}
+
+}  // namespace imc

@@ -1,0 +1,34 @@
+// POPCNT gain-kernel variant: the same code as the scalar reference,
+// compiled with -mpopcnt (see src/CMakeLists.txt) so popcount64 lowers to
+// the hardware instruction instead of the SWAR sequence. Guarded on the
+// compiler-defined __POPCNT__ so the TU degrades to "unavailable" when
+// the flag was not applied (non-x86 builds).
+#include "core/gain_kernels_registry.h"
+
+#if defined(__POPCNT__)
+
+#define IMC_GK_NAMESPACE popcnt
+#define IMC_GK_NAME "popcnt"
+#define IMC_GK_KIND GainKernelKind::kPopcnt
+#define IMC_GK_VECTOR 0
+#include "core/gain_kernels_impl.h"
+
+namespace imc {
+namespace gain_detail {
+
+const GainKernelOps* popcnt_ops() noexcept { return &popcnt::ops(); }
+
+}  // namespace gain_detail
+}  // namespace imc
+
+#else  // !defined(__POPCNT__)
+
+namespace imc {
+namespace gain_detail {
+
+const GainKernelOps* popcnt_ops() noexcept { return nullptr; }
+
+}  // namespace gain_detail
+}  // namespace imc
+
+#endif

@@ -87,14 +87,23 @@ using BeatsFn = bool (*)(const CandidateScore&,
 }
 
 /// One ĉ argmax round, sample-major: accumulate every node's influenced
-/// gain in one sequential pass over the samples (or over per-chunk slabs
-/// summed in chunk order — integer adds, so the totals are identical for
-/// any chunking), then run the ν/appearance tie-break only on the nodes
+/// gain in one sequential pass over the samples (or over per-shard slabs
+/// reduced in slab order — integer adds, so the totals are identical for
+/// any sharding), then run the ν/appearance tie-break only on the nodes
 /// that achieve the maximum gain. Equivalent to the candidate-major sweep:
 /// `beats_c_hat` orders by influenced gain first, so the winner is always
 /// among the max-gain candidates, and their ν gains / appearance counts are
 /// computed exactly as the serial sweep computes them.
+///
+/// Parallel path (DESIGN.md §14): the pool is cut into 64-aligned sample
+/// slabs (RicPool::selection_shards, one per worker by default so slab ->
+/// worker affinity is stable round over round), each slab sweeps into its
+/// own private gain row via the active gain kernel, and the rows are
+/// folded node-by-node in ascending slab order — a fixed left-to-right
+/// accumulation sequence independent of execution timing — with the fold
+/// itself parallelized across the node dimension.
 void compute_c_hat_gains(const CoverageState& state, ThreadPool* sweep,
+                         std::size_t shard_count,
                          std::vector<std::uint64_t>& gains,
                          std::vector<std::uint64_t>& scratch) {
   const RicPool& pool = state.pool();
@@ -103,24 +112,44 @@ void compute_c_hat_gains(const CoverageState& state, ThreadPool* sweep,
   gains.assign(n, 0);
   if (sweep == nullptr) {
     state.accumulate_influenced_gains(0, samples, gains.data());
-  } else {
-    // Each parallel_for chunk owns one zeroed slab of `n` counters
-    // (chunk indices are < workers * 4 by construction); the serial
-    // slab-order reduction below makes the sums chunking-independent.
-    const std::size_t slabs = static_cast<std::size_t>(sweep->size()) * 4;
-    scratch.assign(slabs * n, 0);
-    parallel_for(*sweep, samples,
-                 [&](std::uint64_t begin, std::uint64_t end, unsigned chunk) {
-                   state.accumulate_influenced_gains(
-                       static_cast<std::uint32_t>(begin),
-                       static_cast<std::uint32_t>(end),
-                       scratch.data() + static_cast<std::size_t>(chunk) * n);
-                 });
-    for (std::size_t s = 0; s < slabs; ++s) {
+    return;
+  }
+  const std::vector<RicPool::SampleShard> shards =
+      RicPool::selection_shards(
+          samples, shard_count != 0 ? static_cast<unsigned>(shard_count)
+                                    : sweep->size());
+  if (shards.size() <= 1) {
+    state.accumulate_influenced_gains(0, samples, gains.data());
+    return;
+  }
+  scratch.assign(shards.size() * n, 0);
+  parallel_for_shards(
+      *sweep, static_cast<unsigned>(shards.size()), [&](unsigned s) {
+        state.accumulate_influenced_gains(
+            shards[s].begin, shards[s].end,
+            scratch.data() + static_cast<std::size_t>(s) * n);
+      });
+  // The fold is a handful of streaming adds per node — below this many
+  // cells the submit/wake/wait round trip of a second parallel_for costs
+  // more than the fold itself, so run it inline. Either way the order is
+  // ascending slab, ascending node: bit-identical totals.
+  constexpr std::size_t kSerialFoldCells = std::size_t{1} << 22;
+  if (shards.size() * n <= kSerialFoldCells) {
+    for (std::size_t s = 0; s < shards.size(); ++s) {
       const std::uint64_t* slab = scratch.data() + s * n;
       for (std::size_t v = 0; v < n; ++v) gains[v] += slab[v];
     }
+    return;
   }
+  parallel_for(*sweep, n,
+               [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+                 for (std::size_t s = 0; s < shards.size(); ++s) {
+                   const std::uint64_t* slab = scratch.data() + s * n;
+                   for (std::uint64_t v = begin; v < end; ++v) {
+                     gains[v] += slab[v];
+                   }
+                 }
+               });
 }
 
 /// The ν/appearance tie-break over the max-gain candidates, given every
@@ -152,9 +181,10 @@ void compute_c_hat_gains(const CoverageState& state, ThreadPool* sweep,
 
 [[nodiscard]] CandidateScore best_c_hat_sample_major(
     const CoverageState& state, std::span<const NodeId> candidates,
-    ThreadPool* sweep, std::vector<std::uint64_t>& gains,
+    ThreadPool* sweep, std::size_t shard_count,
+    std::vector<std::uint64_t>& gains,
     std::vector<std::uint64_t>& scratch) {
-  compute_c_hat_gains(state, sweep, gains, scratch);
+  compute_c_hat_gains(state, sweep, shard_count, gains, scratch);
   return best_from_gains(state, candidates, gains);
 }
 
@@ -192,8 +222,8 @@ GreedyResult greedy_c_hat(const RicPool& pool, std::uint32_t k,
 
   for (std::uint32_t round = 0;
        round < k && state.seeds().size() < candidates.size(); ++round) {
-    const CandidateScore best =
-        best_c_hat_sample_major(state, candidates, sweep, gains, scratch);
+    const CandidateScore best = best_c_hat_sample_major(
+        state, candidates, sweep, options.shards, gains, scratch);
     if (!best.valid()) break;
     state.add_seed(best.node);
   }
@@ -261,7 +291,7 @@ GreedyResult greedy_c_hat_resumable(const RicPool& pool, std::uint32_t k,
           static_cast<std::uint32_t>(old_samples),
           static_cast<std::uint32_t>(pool.size()), gains.data());
     } else {
-      compute_c_hat_gains(state, sweep, gains, scratch);
+      compute_c_hat_gains(state, sweep, options.shards, gains, scratch);
     }
     const CandidateScore best = best_from_gains(state, candidates, gains);
     if (!best.valid()) break;

@@ -41,6 +41,13 @@ struct GreedyOptions {
   /// is set (chunking overhead dominates below it). Does not affect the
   /// selected seeds, only where the sweep executes.
   std::size_t min_parallel_candidates = 64;
+  /// Number of sample slabs the parallel sample-major ĉ sweep splits the
+  /// pool into (0 = one per worker thread; see
+  /// RicPool::selection_shards). Per-slab gain rows are reduced in
+  /// ascending slab order — a fixed accumulation sequence — so the value
+  /// never affects the selected seeds; it exists so tests and the
+  /// differential fuzzer can randomize the decomposition.
+  std::size_t shards = 0;
 };
 
 /// Plain greedy on ĉ_R; O(k · Σ_v |touches(v)|).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/gain_kernels.h"
 #include "util/mathx.h"
 
 namespace imc {
@@ -57,6 +58,17 @@ CoverageState::CoverageState(const RicPool& pool)
   covered_.assign(pool.size(), 0);
   saturated_.assign((pool.size() + 63) / 64, 0);
   is_seed_.assign(pool.graph().node_count(), 0);
+  init_nu_base(0);
+}
+
+void CoverageState::init_nu_base(std::size_t from) {
+  // Callers guarantee covered_[g] == 0 for every g in [from, size): the
+  // base fraction of an untouched sample is its row's count-0 entry.
+  const std::uint32_t* thresholds = pool_->thresholds().data();
+  nu_base_.resize(pool_->size());
+  for (std::size_t g = from; g < nu_base_.size(); ++g) {
+    nu_base_[g] = fraction_table_[thresholds[g] * (kMaxNuThreshold + 1)];
+  }
 }
 
 void CoverageState::reset() {
@@ -66,6 +78,7 @@ void CoverageState::reset() {
   seeds_.clear();
   influenced_ = 0;
   nu_sum_ = KahanSum{};
+  init_nu_base(0);
 }
 
 IMC_POPCNT_CLONES
@@ -91,6 +104,7 @@ void CoverageState::add_seed(NodeId v) {
         }
         const double* row =
             fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
+        nu_base_[touch.sample] = row[new_count];
         nu_sum_.add(row[new_count] - row[old_count]);
       });
 }
@@ -106,8 +120,10 @@ void CoverageState::extend(const RicPool& pool, RicPool::PoolEpoch from_epoch) {
   }
   if (pool.samples_since(from_epoch) == 0) return;  // validates the epoch
 
+  const std::size_t old_samples = covered_.size();
   covered_.resize(pool.size(), 0);
   saturated_.resize((pool.size() + 63) / 64, 0);
+  init_nu_base(old_samples);  // fresh tail starts untouched: row_h[0]
   extend_mark_.resize(pool.size(), 0);
   if (++extend_epoch_ == 0) {  // wraparound: every mark is stale again
     std::fill(extend_mark_.begin(), extend_mark_.end(), 0);
@@ -149,6 +165,7 @@ void CoverageState::extend(const RicPool& pool, RicPool::PoolEpoch from_epoch) {
           }
           const double* row =
               fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
+          nu_base_[touch.sample] = row[new_count];
           nu_sum.add(row[new_count] - row[old_count]);
         });
   }
@@ -158,8 +175,9 @@ void CoverageState::extend(const RicPool& pool, RicPool::PoolEpoch from_epoch) {
 
 bool operator==(const CoverageState& a, const CoverageState& b) {
   return a.pool_ == b.pool_ && a.covered_ == b.covered_ &&
-         a.saturated_ == b.saturated_ && a.is_seed_ == b.is_seed_ &&
-         a.seeds_ == b.seeds_ && a.influenced_ == b.influenced_ &&
+         a.saturated_ == b.saturated_ && a.nu_base_ == b.nu_base_ &&
+         a.is_seed_ == b.is_seed_ && a.seeds_ == b.seeds_ &&
+         a.influenced_ == b.influenced_ &&
          a.nu_sum_.value() == b.nu_sum_.value();
 }
 
@@ -233,68 +251,45 @@ CandidateScore CoverageState::best_candidate_nu(
   return best;
 }
 
-IMC_POPCNT_CLONES
 double CoverageState::marginal_nu(NodeId v) const {
   assert(v < is_seed_.size());
   if (is_seed_[v]) return 0.0;
-  double gain = 0.0;
-  const std::uint64_t* saturated = saturated_.data();
-  for_each_touch(
-      pool_->touches_of(v), covered_.data(),
-      [&](const RicPool::Touch& touch) {
-        // min(c/h, 1) is flat past h: saturated samples add exactly 0.
-        if ((saturated[touch.sample >> 6] >> (touch.sample & 63)) & 1ULL) {
-          return;
-        }
-        const std::uint64_t before = covered_[touch.sample];
-        const std::uint64_t after = before | touch.mask;
-        if (after == before) return;
-        const double* row =
-            fraction_table_ + touch.threshold * (kMaxNuThreshold + 1);
-        gain += row[static_cast<std::uint32_t>(popcount64(after))] -
-                row[static_cast<std::uint32_t>(popcount64(before))];
-      });
-  return gain;
+  const std::span<const RicPool::Touch> touches = pool_->touches_of(v);
+  TouchGainView view;
+  view.covered = covered_.data();
+  view.saturated = saturated_.data();
+  view.nu_base = nu_base_.data();
+  view.fraction_table = fraction_table_;
+  return active_gain_kernel_ops().marginal_nu(view, touches.data(),
+                                              touches.size());
 }
 
-IMC_POPCNT_CLONES
 void CoverageState::accumulate_influenced_gains(std::uint32_t begin,
                                                 std::uint32_t end,
                                                 std::uint64_t* gains) const {
-  const RicPool& pool = *pool_;
-  const std::uint64_t* saturated = saturated_.data();
-  const std::uint32_t* thresholds = pool.thresholds().data();
-  for (std::uint32_t g = begin; g < end; ++g) {
-    if ((saturated[g >> 6] >> (g & 63)) & 1ULL) continue;  // dead sample
-    const std::uint64_t cov = covered_[g];
-    const std::uint32_t h = thresholds[g];
-    for (const auto& [node, mask] : pool.sample_touches(g)) {
-      if (static_cast<std::uint32_t>(popcount64(cov | mask)) >= h) {
-        ++gains[node];
-      }
-    }
-  }
+  SampleGainView view;
+  view.covered = covered_.data();
+  view.saturated = saturated_.data();
+  view.thresholds = pool_->thresholds().data();
+  view.nu_base = nu_base_.data();
+  view.sample_offsets = pool_->sample_offsets().data();
+  view.sample_arena = pool_->sample_arena().data();
+  view.fraction_table = fraction_table_;
+  active_gain_kernel_ops().accumulate_influenced(view, begin, end, gains);
 }
 
-IMC_POPCNT_CLONES
 void CoverageState::accumulate_nu_gains(std::uint32_t begin,
                                         std::uint32_t end,
                                         double* gains) const {
-  const RicPool& pool = *pool_;
-  const std::uint64_t* saturated = saturated_.data();
-  const std::uint32_t* thresholds = pool.thresholds().data();
-  for (std::uint32_t g = begin; g < end; ++g) {
-    if ((saturated[g >> 6] >> (g & 63)) & 1ULL) continue;  // adds exactly 0
-    const std::uint64_t cov = covered_[g];
-    const std::uint32_t h = thresholds[g];
-    const double* row = fraction_table_ + h * (kMaxNuThreshold + 1);
-    const double base = row[static_cast<std::uint32_t>(popcount64(cov))];
-    for (const auto& [node, mask] : pool.sample_touches(g)) {
-      const std::uint64_t after = cov | mask;
-      if (after == cov) continue;  // matches marginal_nu's early-out: no add
-      gains[node] += row[static_cast<std::uint32_t>(popcount64(after))] - base;
-    }
-  }
+  SampleGainView view;
+  view.covered = covered_.data();
+  view.saturated = saturated_.data();
+  view.thresholds = pool_->thresholds().data();
+  view.nu_base = nu_base_.data();
+  view.sample_offsets = pool_->sample_offsets().data();
+  view.sample_arena = pool_->sample_arena().data();
+  view.fraction_table = fraction_table_;
+  active_gain_kernel_ops().accumulate_nu(view, begin, end, gains);
 }
 
 }  // namespace imc

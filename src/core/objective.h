@@ -122,7 +122,9 @@ class CoverageState {
   /// folded into covered). The inversion reads each covered mask once
   /// sequentially instead of once per touch at random, and skips dead
   /// samples wholesale; integer accumulation makes chunk sums independent
-  /// of the partition, so parallel callers stay deterministic.
+  /// of the partition, so parallel callers stay deterministic. Executed by
+  /// the active gain kernel (core/gain_kernels.h) — SIMD variants are
+  /// bit-identical to scalar, so the dispatch never affects results.
   void accumulate_influenced_gains(std::uint32_t begin, std::uint32_t end,
                                    std::uint64_t* gains) const;
 
@@ -133,7 +135,8 @@ class CoverageState {
   /// sample id, so the per-node accumulation order — and hence the exact
   /// floating-point association — matches the node-major loop. Chunked
   /// invocations summed slab-wise do NOT reproduce that association;
-  /// parallel callers must keep the node-major path instead.
+  /// parallel callers must keep the node-major path instead. Executed by
+  /// the active gain kernel, same bit-identity guarantee as above.
   void accumulate_nu_gains(std::uint32_t begin, std::uint32_t end,
                            double* gains) const;
 
@@ -153,6 +156,10 @@ class CoverageState {
   friend bool operator==(const CoverageState& a, const CoverageState& b);
 
  private:
+  /// (Re)derives nu_base_[from, pool size) from the current covered masks
+  /// (row_h[popcount(covered)]; row_h[0] for untouched samples).
+  void init_nu_base(std::size_t from);
+
   const RicPool* pool_;
   /// Base of the precomputed ν fraction table (nu_fraction_row(0)); rows
   /// have stride kMaxNuThreshold + 1. Replaces the per-touch fdiv with an
@@ -164,6 +171,13 @@ class CoverageState {
   /// sweeps skip them with an L1-resident bit test (the bitmap is |R|/8
   /// bytes) instead of a covered_ load that misses to L2/L3.
   std::vector<std::uint64_t> saturated_;
+  /// Per sample: the CURRENT base fraction row_h[popcount(covered)],
+  /// maintained on every covered change. The sample-major ν kernel then
+  /// does a pure lookup-subtract per touch — no per-sample popcount of the
+  /// covered word. Exact invariant (checked by operator==): rows are flat
+  /// at 1.0 past h, so skipping updates once saturated still leaves the
+  /// stored value equal to the recomputed one.
+  std::vector<double> nu_base_;
   std::vector<std::uint8_t> is_seed_;    // per node
   std::vector<NodeId> seeds_;
   std::uint64_t influenced_ = 0;

@@ -558,6 +558,23 @@ std::uint64_t RicPool::samples_since(PoolEpoch epoch) const {
   return size() - epoch.samples;
 }
 
+std::vector<RicPool::SampleShard> RicPool::selection_shards(
+    std::uint64_t samples, unsigned shards) {
+  std::vector<SampleShard> out;
+  if (samples == 0) return out;
+  if (shards == 0) shards = 1;
+  // Near-equal spans, rounded UP to whole 64-sample saturation words; the
+  // rounding can only reduce the shard count, never add a runt shard.
+  const std::uint64_t span = ceil_div(ceil_div(samples, shards), 64) * 64;
+  out.reserve(static_cast<std::size_t>(ceil_div(samples, span)));
+  for (std::uint64_t begin = 0; begin < samples; begin += span) {
+    out.push_back(SampleShard{static_cast<std::uint32_t>(begin),
+                              static_cast<std::uint32_t>(
+                                  std::min(samples, begin + span))});
+  }
+  return out;
+}
+
 std::uint64_t RicPool::splitmix_of(std::uint64_t seed, std::uint64_t index) {
   std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
   return splitmix64(state);

@@ -194,6 +194,37 @@ class RicPool {
     return {sample_arena_.data() + begin, sample_offsets_[g + 1] - begin};
   }
 
+  /// Per-sample begin offsets into sample_arena() (size()+1 entries; raw
+  /// counterpart of sample_touches() for the gain-kernel sweeps).
+  [[nodiscard]] std::span<const std::uint64_t> sample_offsets()
+      const noexcept {
+    return sample_offsets_.span();
+  }
+  /// The contiguous (node, mask) pair arena behind sample_touches().
+  [[nodiscard]] std::span<const std::pair<NodeId, std::uint64_t>>
+  sample_arena() const noexcept {
+    return sample_arena_.span();
+  }
+
+  /// One slab of the sample id range — the unit of work of the sharded
+  /// selection sweeps (core/greedy.cpp, DESIGN.md §14).
+  struct SampleShard {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;  // exclusive
+  };
+
+  /// Splits [0, samples) into at most `shards` contiguous slabs of
+  /// near-equal size. Every boundary except the last is a multiple of 64,
+  /// so each slab owns whole saturation-bitmap words (the word-at-a-time
+  /// skip never straddles slabs) and slab starts land on cache-line/page
+  /// boundaries of the covered array — under first-touch allocation the
+  /// pages a worker sweeps are the pages it faulted in. `shards == 0` is
+  /// treated as 1. The decomposition is a pure function of (samples,
+  /// shards): reducing per-slab results in ascending slab order is a fixed
+  /// accumulation sequence, independent of execution timing.
+  [[nodiscard]] static std::vector<SampleShard> selection_shards(
+      std::uint64_t samples, unsigned shards);
+
   /// Samples touched by node v (empty for untouched nodes). Hot path:
   /// bounds are debug-asserted, not checked in release builds.
   [[nodiscard]] std::span<const Touch> touches_of(NodeId v) const {

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/gain_kernels.h"
 #include "core/greedy.h"
 #include "core/maf.h"
 #include "core/objective.h"
@@ -56,6 +57,40 @@ ReferencePool contract_reference_pool(const Graph& graph,
     ref.add(sampler.generate(rng));
   }
   return ref;
+}
+
+/// All gain-kernel variants the host can run — kScalar is always first.
+std::vector<GainKernelKind> supported_kernels() {
+  std::vector<GainKernelKind> kinds;
+  for (const GainKernelKind kind :
+       {GainKernelKind::kScalar, GainKernelKind::kPopcnt,
+        GainKernelKind::kAvx2, GainKernelKind::kAvx512}) {
+    if (gain_kernel_supported(kind)) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+/// Forces one kernel for a check's scope and restores the previous one on
+/// every exit path, so a failing case never leaks its variant into later
+/// cases (which would make single-seed repro runs diverge from sweeps).
+class KernelGuard {
+ public:
+  explicit KernelGuard(GainKernelKind kind) : saved_(active_gain_kernel()) {
+    set_gain_kernel(kind);
+  }
+  ~KernelGuard() { set_gain_kernel(saved_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  GainKernelKind saved_;
+};
+
+/// Case-seeded kernel draw: optimized paths must hold under EVERY variant,
+/// so the fuzz population distributes across whatever the host supports.
+GainKernelKind kernel_for(std::uint64_t case_seed) {
+  const std::vector<GainKernelKind> kinds = supported_kernels();
+  return kinds[(case_seed >> 7) % kinds.size()];
 }
 
 std::string describe_nodes(std::span<const NodeId> nodes) {
@@ -215,6 +250,10 @@ std::optional<std::string> check_evaluators(const InstanceSpec& spec,
   const ReferencePool ref = contract_reference_pool(
       graph, communities, spec.model, count, case_seed);
 
+  // The bit-identity claims below must hold under every gain-kernel
+  // variant; rotate through them case by case.
+  const KernelGuard kernel(kernel_for(case_seed));
+
   // KahanSum vs plain double summation: agreement to ~1e-12 relative on
   // these pool sizes; 1e-9 leaves slack without hiding real bugs.
   constexpr double kTol = 1e-9;
@@ -313,16 +352,23 @@ std::optional<std::string> check_greedy(const InstanceSpec& spec,
   const ReferencePool ref = contract_reference_pool(
       graph, communities, spec.model, count, case_seed);
 
+  // Selection must be invariant across gain kernel x slab decomposition x
+  // thread count; draw a kernel and a shard override from the case seed so
+  // the population covers the grid.
+  const KernelGuard kernel(kernel_for(case_seed));
   ThreadPool two(2);
   ThreadPool eight(8);
   const GreedyOptions serial{};
   // min_parallel_candidates = 1 forces the parallel reduction even on tiny
   // candidate sets — otherwise every fuzz instance would take the serial
   // escape hatch and the slab reduction would go untested.
-  const GreedyOptions par2{/*parallel=*/true, &two,
-                           /*min_parallel_candidates=*/1};
-  const GreedyOptions par8{/*parallel=*/true, &eight,
-                           /*min_parallel_candidates=*/1};
+  GreedyOptions par2{/*parallel=*/true, &two,
+                     /*min_parallel_candidates=*/1};
+  GreedyOptions par8{/*parallel=*/true, &eight,
+                     /*min_parallel_candidates=*/1};
+  par2.shards = 1 + (case_seed >> 11) % 5;  // 1..5 slabs
+  par8.shards = (case_seed >> 17) % 8;      // 0 (= one per worker) ..7
+  const GreedyOptions* const option_grid[] = {&serial, &par2, &par8};
   constexpr double kTol = 1e-9;
 
   const std::uint32_t n = graph.node_count();
@@ -331,7 +377,7 @@ std::optional<std::string> check_greedy(const InstanceSpec& spec,
   for (const std::uint32_t k : ks) {
     const std::vector<NodeId> want_c = reference_greedy_c_hat(ref, k);
     const std::vector<NodeId> want_nu = reference_greedy_nu(ref, k);
-    for (const GreedyOptions* options : {&serial, &par2, &par8}) {
+    for (const GreedyOptions* options : option_grid) {
       const GreedyResult got_c = greedy_c_hat(pool, k, *options);
       if (got_c.seeds != want_c) {
         return "greedy_c_hat(k=" + std::to_string(k) + ") seeds " +
@@ -358,6 +404,90 @@ std::optional<std::string> check_greedy(const InstanceSpec& spec,
           !close(got_celf.nu, ref.nu(want_nu), kTol)) {
         return "greedy_nu(k=" + std::to_string(k) + ") metric mismatch";
       }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Check: kernel_variants
+// ---------------------------------------------------------------------------
+
+/// The gain-kernel dispatch contract (DESIGN.md §14): every SIMD variant
+/// the host supports must be BIT-IDENTICAL to the scalar reference on the
+/// same instance — sweep gain arrays, ν marginals, and end-to-end greedy
+/// selections. Unlike check_evaluators (one kernel per case), this runs
+/// ALL variants against each other on one pool, so a divergence between
+/// two non-scalar kernels can never slip through the per-case rotation.
+std::optional<std::string> check_kernel_variants(const InstanceSpec& spec,
+                                                 std::uint64_t case_seed) {
+  const Graph graph = spec.build_graph();
+  const CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  RicPool pool(graph, communities, spec.model);
+  pool.grow(count, case_seed, /*parallel=*/false);
+
+  Rng rng(case_seed ^ 0x51b3a7ULL);
+  const auto seed_count = static_cast<std::uint32_t>(
+      rng.between(0, std::min<std::int64_t>(3, graph.node_count())));
+  const std::vector<std::uint32_t> seeds =
+      rng.sample_without_replacement(graph.node_count(), seed_count);
+  const auto k = static_cast<std::uint32_t>(
+      rng.between(1, std::min<std::int64_t>(4, graph.node_count())));
+
+  const std::uint32_t n = graph.node_count();
+  const auto r = static_cast<std::uint32_t>(pool.size());
+  CoverageState state(pool);
+  for (const NodeId s : seeds) state.add_seed(s);
+
+  // Scalar reference for every surface the kernels own.
+  std::vector<std::uint64_t> ref_influenced(n, 0);
+  std::vector<double> ref_nu(n, 0.0);
+  std::vector<double> ref_marginal(n, 0.0);
+  GreedyResult ref_c;
+  GreedyResult ref_celf;
+  {
+    const KernelGuard guard(GainKernelKind::kScalar);
+    state.accumulate_influenced_gains(0, r, ref_influenced.data());
+    state.accumulate_nu_gains(0, r, ref_nu.data());
+    for (NodeId v = 0; v < n; ++v) ref_marginal[v] = state.marginal_nu(v);
+    ref_c = greedy_c_hat(pool, k, GreedyOptions{});
+    ref_celf = celf_greedy_nu(pool, k, GreedyOptions{});
+  }
+
+  for (const GainKernelKind kind : supported_kernels()) {
+    if (kind == GainKernelKind::kScalar) continue;
+    const KernelGuard guard(kind);
+    const std::string tag =
+        std::string(" [") + gain_kernel_name(kind) + "] on seeds " +
+        describe_nodes(seeds);
+    std::vector<std::uint64_t> influenced(n, 0);
+    std::vector<double> nu(n, 0.0);
+    state.accumulate_influenced_gains(0, r, influenced.data());
+    state.accumulate_nu_gains(0, r, nu.data());
+    for (NodeId v = 0; v < n; ++v) {
+      if (influenced[v] != ref_influenced[v]) {
+        return "accumulate_influenced_gains(" + std::to_string(v) +
+               ") != scalar" + tag;
+      }
+      if (nu[v] != ref_nu[v]) {
+        return "accumulate_nu_gains(" + std::to_string(v) +
+               ") not bit-identical to scalar" + tag;
+      }
+      if (state.marginal_nu(v) != ref_marginal[v]) {
+        return "marginal_nu(" + std::to_string(v) +
+               ") not bit-identical to scalar" + tag;
+      }
+    }
+    const GreedyResult got_c = greedy_c_hat(pool, k, GreedyOptions{});
+    if (got_c.seeds != ref_c.seeds || got_c.c_hat != ref_c.c_hat ||
+        got_c.nu != ref_c.nu) {
+      return "greedy_c_hat(k=" + std::to_string(k) + ") diverged" + tag;
+    }
+    const GreedyResult got_celf = celf_greedy_nu(pool, k, GreedyOptions{});
+    if (got_celf.seeds != ref_celf.seeds || got_celf.nu != ref_celf.nu) {
+      return "celf_greedy_nu(k=" + std::to_string(k) + ") diverged" + tag;
     }
   }
   return std::nullopt;
@@ -710,6 +840,7 @@ std::vector<FuzzCheck> default_checks() {
       {"append_path", check_append_path},
       {"evaluators", check_evaluators},
       {"greedy", check_greedy},
+      {"kernel_variants", check_kernel_variants},
       {"warm_vs_cold", check_warm_vs_cold},
       {"pool_roundtrip", check_pool_roundtrip},
       {"sampler_distribution", check_sampler_distribution},

@@ -80,6 +80,37 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Shared wait loop of the parallel_for variants. Help-runs queued tasks
+/// while waiting: a chunk is always either done, running on some worker,
+/// or in the queue — and queued chunks get run by this very loop, so a
+/// caller that is itself a pool worker (nested parallel_for) makes
+/// progress instead of deadlocking behind its own chunks.
+void help_wait_all(ThreadPool& pool,
+                   std::vector<std::future<void>>& pending) {
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool.try_run_one()) {
+        // Nothing left to help with: the chunk is running on a worker that
+        // itself never blocks while the queue is non-empty, so this wait
+        // terminates.
+        f.wait();
+      }
+    }
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::uint64_t count,
                   const std::function<void(std::uint64_t, std::uint64_t,
                                            unsigned)>& body) {
@@ -100,29 +131,18 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
         [&body, begin, end, c] { body(begin, end, static_cast<unsigned>(c)); }));
     begin = end;
   }
-  // Help-run queued tasks while waiting. A chunk is always either done,
-  // running on some worker, or in the queue — and queued chunks get run by
-  // this very loop, so a caller that is itself a pool worker (nested
-  // parallel_for) makes progress instead of deadlocking behind its own
-  // chunks.
-  std::exception_ptr first_error;
-  for (auto& f : pending) {
-    while (f.wait_for(std::chrono::seconds(0)) !=
-           std::future_status::ready) {
-      if (!pool.try_run_one()) {
-        // Nothing left to help with: the chunk is running on a worker that
-        // itself never blocks while the queue is non-empty, so this wait
-        // terminates.
-        f.wait();
-      }
-    }
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  help_wait_all(pool, pending);
+}
+
+void parallel_for_shards(ThreadPool& pool, unsigned shards,
+                         const std::function<void(unsigned)>& body) {
+  if (shards == 0) return;
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    pending.push_back(pool.submit([&body, s] { body(s); }));
   }
-  if (first_error) std::rethrow_exception(first_error);
+  help_wait_all(pool, pending);
 }
 
 namespace {

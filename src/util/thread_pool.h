@@ -64,6 +64,18 @@ void parallel_for(ThreadPool& pool, std::uint64_t count,
                                            std::uint64_t end,
                                            unsigned chunk_index)>& body);
 
+/// Runs `body(shard)` for each shard in [0, shards) as ONE task per shard
+/// — no chunk merging or splitting — and blocks until done. This is the
+/// slab-affinity primitive of the sharded selection sweeps (DESIGN.md
+/// §14): each shard owns a private accumulator row written by exactly one
+/// task, and with shards == pool.size() the queue hands one slab to each
+/// worker, so the covered/arena pages a worker faulted in under
+/// first-touch are the pages it keeps sweeping. Exceptions propagate to
+/// the caller (first one wins); the caller help-runs queued tasks while
+/// waiting, so nested use cannot deadlock.
+void parallel_for_shards(ThreadPool& pool, unsigned shards,
+                         const std::function<void(unsigned shard)>& body);
+
 /// Shared default pool. Lazily constructed on first use, sized from (in
 /// priority order) `set_default_pool_threads`, the `IMC_THREADS` environment
 /// variable, then std::thread::hardware_concurrency().
