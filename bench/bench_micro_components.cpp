@@ -12,6 +12,7 @@
 // kernel the selection benches run on (default: best supported).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +26,7 @@
 #include "community/louvain.h"
 #include "community/size_cap.h"
 #include "community/threshold_policy.h"
+#include "core/engine.h"
 #include "core/greedy.h"
 #include "core/imcaf.h"
 #include "core/objective.h"
@@ -38,7 +40,9 @@
 #include "sampling/ric_sample.h"
 #include "sampling/rr_set.h"
 #include "util/cli.h"
+#include "util/context.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -415,30 +419,74 @@ const CommunitySet& ba_hub_communities() {
   return communities;
 }
 
+// End-to-end Alg. 5 runs, arguments {warm_start, threads}. threads == 0 is
+// the serial schedule (pipeline off, no worker pool); threads > 0 runs the
+// pipelined engine (DESIGN.md §15) with that many workers overlapping each
+// stage's solve/estimate with the next stage's sample generation.
+// Sampling itself stays SERIAL in every row (parallel_sampling = false) so
+// the pipeline's only lever is the overlap — on a multi-core host the
+// wall-clock should approach max(sampling, solve + estimate) instead of
+// their sum, i.e. the solver_seconds counter disappears from the wall
+// time at >= 2 threads. (The committed numbers come from a single-core
+// container — see EXPERIMENTS.md — where overlap cannot shorten wall
+// time; the overlap_seconds counter still reports what WAS hidden.)
+// items_per_second = RIC samples generated end to end.
 void BM_ImcafEndToEnd(benchmark::State& state) {
   const Graph& graph = ba_hub_graph();
   const CommunitySet& communities = ba_hub_communities();
   const UbgSolver solver;
+  const auto threads = static_cast<unsigned>(state.range(1));
   ImcafConfig config;
   config.max_samples = 24000;  // 4 stop stages from Λ ≈ 2.7k
   config.seed = 2024;
   config.parallel_sampling = false;
   config.warm_start = state.range(0) != 0;
+  config.pipeline = threads > 0;
+  std::unique_ptr<ThreadPool> workers;
+  if (threads > 0) workers = std::make_unique<ThreadPool>(threads);
+  double sampling_seconds = 0.0;
   double solver_seconds = 0.0;
+  double estimate_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  double committed = 0.0;
+  double discarded = 0.0;
   double stop_stages = 0.0;
+  std::int64_t samples = 0;
   for (auto _ : state) {
-    const ImcafResult result =
-        imcaf_solve(graph, communities, 10, solver, config);
+    ExecutionContext context;
+    context.workers = workers.get();
+    ImcEngine engine(graph, communities, config, context);
+    const ImcafResult result = engine.solve(10, solver);
     benchmark::DoNotOptimize(result.seeds.size());
+    sampling_seconds += result.sampling_seconds;
     solver_seconds += result.solver_seconds;
+    estimate_seconds += result.estimate_seconds;
+    overlap_seconds += result.overlap_seconds;
+    committed += static_cast<double>(result.speculative_samples_committed);
+    discarded += static_cast<double>(result.speculative_samples_discarded);
     stop_stages = static_cast<double>(result.stop_stages);
+    samples += static_cast<std::int64_t>(result.samples_generated);
   }
-  state.counters["solver_seconds"] =
-      solver_seconds / static_cast<double>(state.iterations());
+  const auto iterations = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(samples);
+  state.counters["sampling_seconds"] = sampling_seconds / iterations;
+  state.counters["solver_seconds"] = solver_seconds / iterations;
+  state.counters["estimate_seconds"] = estimate_seconds / iterations;
+  state.counters["overlap_seconds"] = overlap_seconds / iterations;
+  state.counters["speculative_samples_committed"] = committed / iterations;
+  state.counters["speculative_samples_discarded"] = discarded / iterations;
   state.counters["stop_stages"] = stop_stages;
   state.counters["warm_start"] = config.warm_start ? 1.0 : 0.0;
+  state.counters["pipeline"] = config.pipeline ? 1.0 : 0.0;
+  state.counters["threads"] = static_cast<double>(threads);
 }
-BENCHMARK(BM_ImcafEndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ImcafEndToEnd)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Louvain(benchmark::State& state) {
   const Graph& graph = facebook_graph();

@@ -18,6 +18,15 @@
 // schedule, same stage math; golden pins in tests/core/engine_test.cpp
 // hold the recorded outputs. The ExecutionContext adds only *optional*
 // behavior (deadline, cancellation, metrics) that is inert by default.
+//
+// Pipelining (ImcafConfig::pipeline, DESIGN.md §15): each stage's solve
+// and stop-estimate overlap with speculative background generation of the
+// next doubling batch into a PoolStagingArena; the stage boundary commits
+// the batch through the regular merge (or discards it when the stop
+// condition fired first). The speculative batch uses the same per-sample
+// RNG substreams and stitched order as the grow() it replaces, so the
+// pipelined schedule is bit-identical to the serial one — the golden pins
+// hold with the pipeline on and off, at any thread count.
 #pragma once
 
 #include <cstdint>

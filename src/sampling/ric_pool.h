@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -39,6 +40,7 @@
 namespace imc {
 
 class ThreadPool;
+class PoolStagingArena;
 
 class RicPool {
  public:
@@ -94,6 +96,36 @@ class RicPool {
   /// once sample ids would no longer fit in 32 bits.
   void grow(std::uint64_t count, std::uint64_t seed, bool parallel = true,
             ThreadPool* workers = nullptr);
+
+  /// Speculative counterpart of grow(): generates the samples grow(count,
+  /// seed, ...) WOULD append next — same per-sample RNG substreams
+  /// splitmix_of(seed, size() + i) — into caller-owned staging buffers
+  /// without touching the pool (const: the live arenas, the CSR index and
+  /// the PoolEpoch watermark are all unchanged). `commit_staged` later
+  /// splices the batch in with the regular two-pass merge, producing a
+  /// pool bit-identical to the direct grow() — or the staging arena is
+  /// simply dropped when the speculation missed. `cancelled` (may be
+  /// empty) is polled once per sample; on cancellation the arena is left
+  /// incomplete (complete() == false) and commit will refuse it. Safe to
+  /// run concurrently with const readers of this pool (the engine overlaps
+  /// it with solve/estimate); the only shared mutable state is the
+  /// mutex-guarded sampler cache. Throws std::length_error when the batch
+  /// would overflow 32-bit sample ids.
+  void stage_samples(std::uint64_t count, std::uint64_t seed, bool parallel,
+                     ThreadPool* workers,
+                     const std::function<bool()>& cancelled,
+                     PoolStagingArena& out) const;
+
+  /// Appends a batch staged by stage_samples() to the pool — stitch into
+  /// the sample-major arena, register metadata, merge the CSR index, bump
+  /// the growth watermark — exactly one grow() worth of mutation, so the
+  /// resulting pool (content AND PoolEpoch) is bit-identical to having
+  /// called grow(staged.count(), staged.seed()) at the staging point.
+  /// Consumes the arena (left cleared). Throws std::invalid_argument when
+  /// the arena is incomplete (cancelled staging) or stale (the pool grew
+  /// since staging — base/epoch mismatch); the pool is untouched then.
+  void commit_staged(PoolStagingArena&& staged, bool parallel = true,
+                     ThreadPool* workers = nullptr);
 
   /// Appends one externally produced sample (deserialization, tests).
   /// Validates community id, threshold and touching node ids; throws
@@ -309,8 +341,10 @@ class RicPool {
   void check_capacity(std::uint64_t count) const;
 
   /// Pops a cached sampler or constructs one; return via release_sampler.
-  [[nodiscard]] std::unique_ptr<RicSampler> acquire_sampler();
-  void release_sampler(std::unique_ptr<RicSampler> sampler);
+  /// Const because read-side producers (stage_samples) borrow samplers
+  /// too; the cache is mutable state guarded by sampler_mutex_.
+  [[nodiscard]] std::unique_ptr<RicSampler> acquire_sampler() const;
+  void release_sampler(std::unique_ptr<RicSampler> sampler) const;
 
   /// Registers one sample's metadata (SoA mirrors + community counter +
   /// sample-major offset for `touch_count` freshly appended arena pairs).
@@ -364,9 +398,10 @@ class RicPool {
   ArenaVector<std::pair<NodeId, std::uint64_t>> sample_arena_;
 
   // Cached RicSampler instances, reused across grow() parts and calls so
-  // repeated growth never reconstructs O(n) scratch buffers.
-  std::vector<std::unique_ptr<RicSampler>> sampler_cache_;
-  std::mutex sampler_mutex_;
+  // repeated growth never reconstructs O(n) scratch buffers. Mutable:
+  // const staging reuses the cache under the mutex.
+  mutable std::vector<std::unique_ptr<RicSampler>> sampler_cache_;
+  mutable std::mutex sampler_mutex_;
 
   // Flat CSR inverted index over samples [0, indexed_samples_); mutable so
   // const readers can materialize pending appends on demand.
@@ -375,6 +410,54 @@ class RicPool {
   mutable std::uint64_t indexed_samples_ = 0;
   mutable std::atomic<bool> index_stale_{false};
   mutable std::mutex index_mutex_;
+};
+
+/// Sampler-owned staging buffers for one speculative growth batch — the
+/// double-buffer half of the pipelined engine (DESIGN.md §15). Holds the
+/// per-part touch arenas and metadata stage_samples() produced, plus the
+/// provenance (base size, seed, epoch at staging) commit_staged() checks
+/// before splicing the batch into the live pool. A default-constructed
+/// arena is empty and reusable across stages: commit and clear both reset
+/// it, and the buffers keep their capacity for the next staging round.
+class PoolStagingArena {
+ public:
+  PoolStagingArena() = default;
+  PoolStagingArena(PoolStagingArena&&) noexcept = default;
+  PoolStagingArena& operator=(PoolStagingArena&&) noexcept = default;
+  PoolStagingArena(const PoolStagingArena&) = delete;
+  PoolStagingArena& operator=(const PoolStagingArena&) = delete;
+
+  /// True once stage_samples() generated the full batch (not cancelled).
+  [[nodiscard]] bool complete() const noexcept { return complete_; }
+  /// Requested batch size (what commit will append when complete).
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Pool size at staging time — the batch's sample ids start here.
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  /// Seed the substreams were derived from.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Samples actually generated so far (== count() when complete; the
+  /// partial progress of a cancelled staging otherwise).
+  [[nodiscard]] std::uint64_t staged_count() const noexcept;
+
+  /// Drops any staged content; capacity is retained for reuse.
+  void clear() noexcept;
+
+ private:
+  friend class RicPool;
+
+  /// One generation part: a contiguous run of the batch's sample indices,
+  /// emitted arena-direct exactly like grow()'s PartOutput.
+  struct Part {
+    RicSampler::TouchArena touches;
+    std::vector<RicSampleMeta> metas;
+  };
+
+  std::vector<Part> parts_;
+  std::uint64_t base_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t seed_ = 0;
+  RicPool::PoolEpoch epoch_;
+  bool complete_ = false;
 };
 
 }  // namespace imc

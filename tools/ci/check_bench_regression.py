@@ -5,12 +5,18 @@ Compares a fresh ``bench_micro_components --json`` run against the
 checked-in ``BENCH_micro.json`` and exits 1 if any benchmark on the
 curated allowlist slowed down by more than ``--threshold`` (default 25%).
 
-Only *stable serial* benchmarks are gated: multi-threaded variants and
-end-to-end solves depend on core count and scheduler noise, so a hard
-gate on them would flap. The allowlist below is the contract — extend it
-when a new serial hot path gets a benchmark, prune it if a benchmark is
-retired (an allowlisted name missing from either file is an error, so
-renames cannot silently drop coverage).
+Only *stable serial* benchmarks are gated on timing: multi-threaded
+variants and end-to-end solves depend on core count and scheduler noise,
+so a hard gate on them would flap. The allowlist below is the contract —
+extend it when a new serial hot path gets a benchmark, prune it if a
+benchmark is retired (an allowlisted name missing from either file is an
+error, so renames cannot silently drop coverage).
+
+The end-to-end pipeline sweep (``BM_ImcafEndToEnd/{warm}/{threads}``) is
+gated on *shape* instead: every row in COUNTER_CHECKS must be present in
+the fresh run and carry every listed counter. That catches a sweep arg
+being dropped or a counter silently vanishing from the reporter without
+flapping on wall-clock noise.
 
 Typical use (see the `bench` label notes in bench/CMakeLists.txt and
 DESIGN.md §14):
@@ -47,6 +53,33 @@ ALLOWLIST = [
     "BM_CelfGreedyNuSelectLarge/0",
     "BM_Louvain",
 ]
+
+# Counters every end-to-end Alg. 5 row must report. The serial-schedule
+# rows (threads == 0) and the pipelined rows share one schema so a diff
+# of BENCH_micro.json always lines up column-for-column.
+_E2E_COUNTERS = [
+    "items_per_second",
+    "sampling_seconds",
+    "solver_seconds",
+    "estimate_seconds",
+    "overlap_seconds",
+    "speculative_samples_committed",
+    "speculative_samples_discarded",
+    "stop_stages",
+    "warm_start",
+    "pipeline",
+    "threads",
+]
+
+# Presence-gated rows: name -> counters that must exist in the fresh run
+# (timing is NOT compared — these rows are thread/scheduler dependent).
+COUNTER_CHECKS = {
+    "BM_ImcafEndToEnd/0/0": _E2E_COUNTERS,
+    "BM_ImcafEndToEnd/1/0": _E2E_COUNTERS,
+    "BM_ImcafEndToEnd/1/2": _E2E_COUNTERS,
+    "BM_ImcafEndToEnd/1/4": _E2E_COUNTERS,
+    "BM_ImcafEndToEnd/1/8": _E2E_COUNTERS,
+}
 
 # Field gated by default: cpu time excludes other-process interference
 # that wall time picks up.
@@ -134,6 +167,25 @@ def main(argv: list[str]) -> int:
             flag = "  REGRESSION"
         print(f"{name:42} {base:12.0f} {new:12.0f} {ratio:7.2f}{flag}")
 
+    for name, counters in COUNTER_CHECKS.items():
+        fresh_entry = fresh.get(name)
+        if fresh_entry is None:
+            failures.append(f"{name}: missing from {args.fresh}")
+            print(f"{name:42} {'MISSING':>12}")
+            continue
+        missing = [
+            counter
+            for counter in counters
+            if not isinstance(fresh_entry.get(counter), (int, float))
+        ]
+        if missing:
+            failures.append(
+                f"{name}: missing counter(s) {', '.join(missing)}"
+            )
+            print(f"{name:42} {'NO COUNTERS':>12}  ({', '.join(missing)})")
+        else:
+            print(f"{name:42} {'counters ok':>12}")
+
     if failures:
         print(
             f"\nFAIL: {len(failures)} benchmark(s) regressed beyond "
@@ -143,7 +195,10 @@ def main(argv: list[str]) -> int:
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(ALLOWLIST)} benchmarks within threshold")
+    print(
+        f"\nOK: {len(ALLOWLIST)} benchmarks within threshold, "
+        f"{len(COUNTER_CHECKS)} counter schemas present"
+    )
     return 0
 
 

@@ -19,7 +19,11 @@ cmake --build "${build_dir}" -j "${jobs}" \
 # halt_on_error makes any race fail the ctest invocation instead of just
 # printing a report; second_deadlock_stack improves lock-order diagnostics.
 # The engine label rides along: warm-start resume and solve_many exercise
-# the thread pool through the same deterministic-parallel sweeps.
+# the thread pool through the same deterministic-parallel sweeps, and the
+# pipelined-engine tests (both labels carry pipeline_engine_test.cpp) drive
+# the staging-commit handoff — background stage_samples overlapping const
+# pool readers, then the boundary join + commit_staged — which is exactly
+# the surface TSan must prove clean.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
   ctest --test-dir "${build_dir}" -L 'concurrency|engine' \
   --output-on-failure -j "${jobs}"

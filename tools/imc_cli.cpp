@@ -8,7 +8,8 @@
 //                       [--k K] [--max-samples N] [--model ic|lt]
 //                       [--parallel] [--threads N] [--time-budget-s S]
 //                       [--metrics-json FILE] [--no-warm-start]
-//                       [--pool-backend ram|mmap] [--save-pool FILE]
+//                       [--no-pipeline] [--pool-backend ram|mmap]
+//                       [--save-pool FILE]
 //                       [--load-pool FILE [--trust-pool]]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
@@ -204,6 +205,7 @@ int cmd_solve(const ArgParser& args) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
   config.parallel_sampling = args.get_bool("parallel-sampling", true);
   config.warm_start = !args.get_bool("no-warm-start", false);
+  config.pipeline = !args.get_bool("no-pipeline", false);
   const std::string backend = args.get_string("pool-backend", "ram");
   if (backend == "ram") {
     config.pool_backend = ArenaBackend::kRam;
@@ -356,6 +358,9 @@ void print_usage() {
       "  --metrics-json F    write per-stage engine telemetry as JSON to F\n"
       "  --no-warm-start     cold MAXR solve every doubling stage\n"
       "                      (results are bit-identical; for benchmarking)\n"
+      "  --no-pipeline       serial grow/solve/estimate schedule instead of\n"
+      "                      overlapping the next stage's sampling with the\n"
+      "                      solve (results are bit-identical either way)\n"
       "  --pool-backend B    ram (default) or mmap arena storage for the\n"
       "                      RIC pool (bit-identical content either way)\n"
       "  --save-pool F       write the final pool as a binary v2 snapshot\n"
@@ -379,8 +384,8 @@ int main(int argc, char** argv) {
   try {
     if (command != "solve") {
       for (const char* flag : {"time-budget-s", "metrics-json",
-                               "no-warm-start", "pool-backend", "save-pool",
-                               "load-pool", "trust-pool"}) {
+                               "no-warm-start", "no-pipeline", "pool-backend",
+                               "save-pool", "load-pool", "trust-pool"}) {
         if (args.has(flag)) {
           throw UsageError(std::string("--") + flag +
                            " only applies to the solve subcommand");
