@@ -12,11 +12,13 @@
 // kernel the selection benches run on (default: best supported).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -32,6 +34,7 @@
 #include "core/objective.h"
 #include "core/ubg.h"
 #include "diffusion/ic_model.h"
+#include "graph/delta.h"
 #include "graph/generators/dataset_catalog.h"
 #include "graph/generators/generators.h"
 #include "graph/weights.h"
@@ -199,6 +202,91 @@ void BM_PoolGrowLarge(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(threads);
 }
 BENCHMARK(BM_PoolGrowLarge)->Arg(0)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Dynamic-update cost on the large fixture: a single-edge delta handled by
+// invalidate_and_repair (regenerate only the samples touching the changed
+// head, each from its original substream — DESIGN.md §16) vs a full
+// from-scratch rebuild on the mutated graph. Both produce bit-identical
+// pools; repaired_fraction is the share the repair had to regenerate. The
+// edge head is chosen at median touch-popularity, so the frontier is
+// representative rather than hub-degenerate or leaf-trivial.
+// Args: {0 = repair | 1 = rebuild, threads (0 = serial)}.
+void BM_DeltaRepairVsRebuild(benchmark::State& state) {
+  const bool rebuild = state.range(0) != 0;
+  const auto threads = static_cast<unsigned>(state.range(1));
+  std::unique_ptr<ThreadPool> workers;
+  if (threads > 0) workers = std::make_unique<ThreadPool>(threads);
+  // apply_delta mutates, so this bench owns private copies of the fixture.
+  Graph graph = large_graph();
+  CommunitySet communities = large_communities();
+  const std::uint64_t count = micro_pool_samples();
+  RicPool pool(graph, communities);
+  pool.grow(count, 17, /*parallel=*/threads > 0, workers.get());
+
+  const std::span<const std::uint64_t> offsets = pool.touch_offsets();
+  std::vector<std::uint64_t> touch_counts;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (graph.in_degree(v) > 0) {
+      touch_counts.push_back(offsets[v + 1] - offsets[v]);
+    }
+  }
+  std::nth_element(touch_counts.begin(),
+                   touch_counts.begin() + touch_counts.size() / 2,
+                   touch_counts.end());
+  const std::uint64_t median = touch_counts[touch_counts.size() / 2];
+  NodeId head = 0;
+  std::uint64_t best_gap = ~std::uint64_t{0};
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    if (graph.in_degree(v) == 0) continue;
+    const std::uint64_t touches = offsets[v + 1] - offsets[v];
+    const std::uint64_t gap =
+        touches > median ? touches - median : median - touches;
+    if (gap < best_gap) {
+      best_gap = gap;
+      head = v;
+    }
+  }
+  const Neighbor in_edge = graph.in_neighbors(head)[0];
+  const auto weight = static_cast<double>(in_edge.weight);
+
+  double repaired = 0.0;
+  bool shrink = true;
+  for (auto _ : state) {
+    // Alternate halving/restoring the weight: every iteration is a real
+    // change with the same repair frontier, and scaling down can never
+    // push an LT in-weight sum past 1.
+    GraphDelta delta;
+    delta.upsert_edge(in_edge.node, head, shrink ? weight * 0.5 : weight);
+    shrink = !shrink;
+    const DeltaEffects effects = apply_delta(graph, communities, delta);
+    if (rebuild) {
+      RicPool fresh(graph, communities);
+      fresh.grow(count, 17, /*parallel=*/threads > 0, workers.get());
+      benchmark::DoNotOptimize(fresh.touch_arena().size());
+      repaired += static_cast<double>(count);
+    } else {
+      const RicPool::RepairStats stats =
+          pool.invalidate_and_repair(effects, 17, /*parallel=*/threads > 0,
+                                     workers.get());
+      benchmark::DoNotOptimize(pool.touch_arena().size());
+      repaired += static_cast<double>(stats.repaired);
+    }
+  }
+  const auto iterations = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["repaired_samples"] = repaired / iterations;
+  state.counters["repaired_fraction"] =
+      repaired / (iterations * static_cast<double>(count));
+  state.counters["pool_size"] = static_cast<double>(count);
+  state.counters["rebuild"] = rebuild ? 1.0 : 0.0;
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_DeltaRepairVsRebuild)
+    ->Args({0, 0})
+    ->Args({0, 8})
+    ->Args({1, 0})
+    ->Args({1, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PoolCHat(benchmark::State& state) {

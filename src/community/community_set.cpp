@@ -86,6 +86,35 @@ CommunityId CommunitySet::community_of(NodeId v) const {
   return community_of_[v];
 }
 
+void CommunitySet::move_member(NodeId v, CommunityId to) {
+  if (v >= node_count_) {
+    throw std::out_of_range("CommunitySet: node id out of range");
+  }
+  check_community(to);
+  const CommunityId from = community_of_[v];
+  if (from == kInvalidCommunity) {
+    throw std::invalid_argument(
+        "CommunitySet::move_member: node belongs to no community");
+  }
+  if (from == to) {
+    throw std::invalid_argument(
+        "CommunitySet::move_member: node already in target community");
+  }
+  if (groups_[from].size() <= 1) {
+    throw std::invalid_argument(
+        "CommunitySet::move_member: source community would become empty");
+  }
+  if (thresholds_[from] > groups_[from].size() - 1) {
+    throw std::invalid_argument(
+        "CommunitySet::move_member: source threshold would exceed its "
+        "shrunken population");
+  }
+  auto& source = groups_[from];
+  source.erase(std::find(source.begin(), source.end(), v));
+  groups_[to].push_back(v);
+  community_of_[v] = to;
+}
+
 std::uint32_t CommunitySet::threshold(CommunityId c) const {
   check_community(c);
   return thresholds_[c];

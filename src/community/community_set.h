@@ -43,6 +43,15 @@ class CommunitySet {
   /// Community containing `v`, or kInvalidCommunity.
   [[nodiscard]] CommunityId community_of(NodeId v) const;
 
+  /// Moves `v` into community `to` (a GraphDelta membership move). `v`
+  /// must currently belong to some OTHER community that stays non-empty —
+  /// and whose threshold stays ≤ its shrunken population — after the move;
+  /// `v` is appended to the target's member list (mask bit positions of
+  /// existing members are preserved, only the target community's samples
+  /// gain a bit). Throws std::invalid_argument when any of that fails;
+  /// the set is unchanged on throw.
+  void move_member(NodeId v, CommunityId to);
+
   // -- thresholds ---------------------------------------------------------
   [[nodiscard]] std::uint32_t threshold(CommunityId c) const;
   void set_threshold(CommunityId c, std::uint32_t h);

@@ -46,6 +46,25 @@ void ImcEngine::attach_pool(const std::string& path, SnapshotTrust trust) {
                                              : " (owned arenas)");
 }
 
+RicPool::RepairStats ImcEngine::apply_delta(Graph& graph,
+                                            CommunitySet& communities,
+                                            const GraphDelta& delta) {
+  if (&graph != graph_ || &communities != communities_) {
+    throw std::invalid_argument(
+        "ImcEngine::apply_delta: graph/communities must be the exact "
+        "objects this engine was constructed over");
+  }
+  const DeltaEffects effects = imc::apply_delta(graph, communities, delta);
+  const Stopwatch watch;
+  const RicPool::RepairStats stats = pool_.invalidate_and_repair(
+      effects, config_.seed, config_.parallel_sampling, context_.workers);
+  log(LogLevel::kDebug) << "IMCAF delta: repaired " << stats.repaired << "/"
+                        << stats.total << " samples in "
+                        << watch.elapsed_seconds() << " s, |R|="
+                        << pool_.size();
+  return stats;
+}
+
 void ImcEngine::timed_grow(std::uint64_t count, ImcafResult& result) {
   const Stopwatch grow_watch;
   pool_.grow(count, config_.seed, config_.parallel_sampling,
@@ -263,7 +282,8 @@ ImcafResult ImcEngine::solve(std::uint32_t k, const MaxrSolver& solver) {
       const double wait_seconds = wait_watch.elapsed_seconds();
       if (staging.complete() && staging.base() == pool_.size() &&
           staging.count() == stage_samples &&
-          staging.seed() == config_.seed) {
+          staging.seed() == config_.seed &&
+          staging.epoch() == pool_.grow_epoch()) {
         const Stopwatch commit_watch;
         pool_.commit_staged(std::move(staging), config_.parallel_sampling,
                             context_.workers);

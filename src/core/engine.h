@@ -38,6 +38,7 @@
 #include "community/community_set.h"
 #include "core/imcaf.h"
 #include "core/maxr_solver.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "sampling/pool_snapshot.h"
 #include "sampling/ric_pool.h"
@@ -87,6 +88,27 @@ class ImcEngine {
   /// the current pool is untouched on failure.
   void attach_pool(const std::string& path,
                    SnapshotTrust trust = SnapshotTrust::kVerifyPayload);
+
+  /// Streaming update: mutates the graph/community structure through the
+  /// free apply_delta(), then repairs the shared pool in place with
+  /// RicPool::invalidate_and_repair so the next solve() sees a pool
+  /// bit-identical to a from-scratch rebuild on the mutated inputs.
+  /// `graph` and `communities` MUST be the exact objects this engine was
+  /// constructed over (identity-checked; the engine holds const views, so
+  /// the caller supplies the mutable aliases) — std::invalid_argument
+  /// otherwise, nothing mutated. A repair bumps PoolEpoch::repairs, which
+  /// invalidates every outstanding warm-start carrier (solvers fall back
+  /// cold via their samples_since guard) and any staged speculative batch
+  /// (the pipeline's commit check rejects it and regrows synchronously).
+  /// Basic guarantee only: if the repair itself throws (sampler invariant
+  /// broken by the delta, e.g. a community grown past 64 members or LT
+  /// in-weights summing past 1), the graph/communities are already
+  /// mutated but the pool is untouched — and now inconsistent with them;
+  /// the engine must not be used further. Not thread-safe against a
+  /// concurrent solve(). Returns the repair statistics (samples
+  /// regenerated vs pool size).
+  RicPool::RepairStats apply_delta(Graph& graph, CommunitySet& communities,
+                                   const GraphDelta& delta);
 
   [[nodiscard]] const RicPool& pool() const noexcept { return pool_; }
   [[nodiscard]] const ImcafConfig& config() const noexcept { return config_; }

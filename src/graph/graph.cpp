@@ -148,6 +148,144 @@ EdgeList Graph::to_edge_list() const {
   return edges;
 }
 
+namespace {
+
+/// One canonicalized mutation of a single CSR direction: `owner` is the
+/// node whose adjacency range changes, `nb` the neighbor id within it.
+/// weight == 0 removes the entry, anything else overwrites-or-inserts.
+struct CsrOp {
+  NodeId owner = 0;
+  NodeId nb = 0;
+  float weight = 0.0F;
+};
+
+/// Rewrites one CSR direction by merging the (owner, nb)-sorted op list
+/// into the sorted per-node ranges — a single O(n + m + |ops|) splice, the
+/// same shape as the pool's stitch paths.
+void splice_csr(std::vector<EdgeId>& offsets, std::vector<Neighbor>& adjacency,
+                const std::vector<CsrOp>& ops) {
+  const NodeId n = static_cast<NodeId>(offsets.size() - 1);
+  std::vector<Neighbor> merged;
+  merged.reserve(adjacency.size() + ops.size());
+  std::vector<EdgeId> new_offsets(n + 1, 0);
+  std::size_t op = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    EdgeId i = offsets[v];
+    const EdgeId end = offsets[v + 1];
+    if (op == ops.size() || ops[op].owner != v) {
+      merged.insert(merged.end(), adjacency.begin() + i,
+                    adjacency.begin() + end);
+    } else {
+      while (i < end || (op < ops.size() && ops[op].owner == v)) {
+        const bool have_op = op < ops.size() && ops[op].owner == v;
+        if (!have_op || (i < end && adjacency[i].node < ops[op].nb)) {
+          merged.push_back(adjacency[i++]);
+        } else {
+          if (i < end && adjacency[i].node == ops[op].nb) ++i;  // replaced
+          if (ops[op].weight > 0.0F) {
+            merged.push_back(Neighbor{ops[op].nb, ops[op].weight});
+          }
+          ++op;
+        }
+      }
+    }
+    new_offsets[v + 1] = static_cast<EdgeId>(merged.size());
+  }
+  offsets = std::move(new_offsets);
+  adjacency = std::move(merged);
+}
+
+}  // namespace
+
+std::vector<NodeId> Graph::apply_edge_updates(
+    std::span<const EdgeUpdate> updates) {
+  const NodeId n = node_count();
+  for (const EdgeUpdate& u : updates) {
+    if (u.source >= n || u.target >= n) {
+      throw std::invalid_argument("Graph: edge update endpoint out of range");
+    }
+    if (!(u.weight >= 0.0) || u.weight > 1.0) {
+      throw std::invalid_argument("Graph: edge update weight outside [0, 1]");
+    }
+  }
+
+  // Canonicalize: drop self-loops, keep the LAST update per (source,
+  // target), then drop no-ops (removal of an absent edge, overwrite with
+  // the weight already stored — float-compared, since that is what the
+  // CSR stores and what the samplers consume).
+  std::vector<EdgeUpdate> ops(updates.begin(), updates.end());
+  std::erase_if(ops, [](const EdgeUpdate& u) { return u.source == u.target; });
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const EdgeUpdate& a, const EdgeUpdate& b) {
+                     return a.source != b.source ? a.source < b.source
+                                                 : a.target < b.target;
+                   });
+  std::vector<EdgeUpdate> canon;
+  canon.reserve(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i + 1 < ops.size() && ops[i + 1].source == ops[i].source &&
+        ops[i + 1].target == ops[i].target) {
+      continue;  // a later update to the same edge supersedes this one
+    }
+    const float stored = static_cast<float>(weight(ops[i].source,
+                                                   ops[i].target));
+    const float incoming = static_cast<float>(ops[i].weight);
+    if (incoming != stored) canon.push_back(ops[i]);
+  }
+  if (canon.empty()) return {};
+
+  std::vector<CsrOp> out_ops;
+  std::vector<CsrOp> in_ops;
+  out_ops.reserve(canon.size());
+  in_ops.reserve(canon.size());
+  std::vector<NodeId> changed_heads;
+  changed_heads.reserve(canon.size());
+  for (const EdgeUpdate& u : canon) {
+    const float w = static_cast<float>(u.weight);
+    out_ops.push_back(CsrOp{u.source, u.target, w});
+    in_ops.push_back(CsrOp{u.target, u.source, w});
+    changed_heads.push_back(u.target);
+  }
+  // canon is already (source, target)-sorted == out_ops order.
+  std::sort(in_ops.begin(), in_ops.end(), [](const CsrOp& a, const CsrOp& b) {
+    return a.owner != b.owner ? a.owner < b.owner : a.nb < b.nb;
+  });
+  splice_csr(out_offsets_, out_adjacency_, out_ops);
+  splice_csr(in_offsets_, in_adjacency_, in_ops);
+
+  std::sort(changed_heads.begin(), changed_heads.end());
+  changed_heads.erase(
+      std::unique(changed_heads.begin(), changed_heads.end()),
+      changed_heads.end());
+
+  // Refresh the geometric-skip tables for the heads whose in-edges moved;
+  // everything else is untouched by construction.
+  for (const NodeId v : changed_heads) {
+    const auto neighbors = in_neighbors(v);
+    if (neighbors.empty()) {
+      in_uniform_weight_[v] = 0.0F;
+      in_uniform_inv_log1p_[v] = 0.0;
+      continue;
+    }
+    const float p = neighbors.front().weight;
+    bool uniform = true;
+    for (const Neighbor& nb : neighbors) {
+      if (nb.weight != p) {
+        uniform = false;
+        break;
+      }
+    }
+    if (uniform) {
+      in_uniform_weight_[v] = p;
+      in_uniform_inv_log1p_[v] = 1.0 / std::log1p(-static_cast<double>(p));
+    } else {
+      in_uniform_weight_[v] = -1.0F;
+      in_uniform_inv_log1p_[v] = 1.0;
+    }
+  }
+  return changed_heads;
+}
+
 Graph::DegreeStats Graph::degree_stats() const {
   DegreeStats stats;
   const NodeId n = node_count();

@@ -99,6 +99,19 @@ class Graph {
   /// Reconstructs the (merged, sorted) edge list — handy for round-trips.
   [[nodiscard]] EdgeList to_edge_list() const;
 
+  /// Applies a batch of edge upserts/removals in place, keeping both CSR
+  /// orientations sorted-and-merged and the geometric-skip uniformity
+  /// tables consistent (recomputed only for nodes whose in-edges moved).
+  /// Within the batch the LAST update per (source, target) pair wins;
+  /// self-loops and no-ops (removing an absent edge, rewriting an equal
+  /// weight) are dropped. Returns the sorted unique set of nodes whose
+  /// in-adjacency actually changed — exactly the heads whose reverse
+  /// samples a RicPool repair must regenerate (DESIGN.md §16). Validates
+  /// the whole batch before mutating anything (strong guarantee); throws
+  /// std::invalid_argument on endpoints >= node_count() or weights
+  /// outside [0, 1]. O(n + m + |updates| log |updates|).
+  std::vector<NodeId> apply_edge_updates(std::span<const EdgeUpdate> updates);
+
   /// Aggregate degree statistics; used by Table I and dataset validation.
   struct DegreeStats {
     double mean_out = 0.0;

@@ -31,4 +31,15 @@ struct WeightedEdge {
 
 using EdgeList = std::vector<WeightedEdge>;
 
+/// One streaming edge mutation (graph/delta.h): weight in (0, 1] upserts
+/// the edge (insert or overwrite), weight == 0 removes it. Self-loops are
+/// inert, exactly as in the builder.
+struct EdgeUpdate {
+  NodeId source = 0;
+  NodeId target = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
 }  // namespace imc

@@ -24,6 +24,7 @@
 // graph substrate
 #include "graph/algorithms.h"
 #include "graph/builder.h"
+#include "graph/delta.h"
 #include "graph/edgelist_io.h"
 #include "graph/generators/dataset_catalog.h"
 #include "graph/generators/generators.h"

@@ -1,5 +1,6 @@
 #include "sampling/pool_snapshot.h"
 
+#include <cstddef>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -110,6 +111,15 @@ void write_padded(std::ostream& out, const void* data, std::size_t bytes,
   }
 }
 
+/// FNV-1a over every header byte before the header_checksum field. The
+/// struct is padding-free and exactly 128 bytes (static_assert in the
+/// header), so digesting the struct's own bytes digests the file bytes.
+std::uint64_t header_digest(const PoolSnapshotHeader& header) {
+  Fnv1a64 digest;
+  digest.add_bytes(&header, offsetof(PoolSnapshotHeader, header_checksum));
+  return digest.value();
+}
+
 PoolSnapshotHeader make_header(const RicPool& pool,
                                const RicPool::SnapshotView& view) {
   PoolSnapshotHeader header;
@@ -131,6 +141,8 @@ PoolSnapshotHeader make_header(const RicPool& pool,
       header.sample_pair_count, header.csr_touch_count);
   header.payload_bytes = layout.total_bytes;
   header.payload_checksum = payload_checksum(view);
+  header.epoch_repairs = view.epoch.repairs;
+  header.header_checksum = header_digest(header);
   return header;
 }
 
@@ -177,6 +189,13 @@ void validate_header(const PoolSnapshotHeader& header, const Graph& graph,
       header.sample_pair_count, header.csr_touch_count);
   if (header.payload_bytes != layout.total_bytes) {
     fail("declared payload size disagrees with the section counts");
+  }
+  // The header's own checksum runs LAST: every specific diagnosis above
+  // (wrong version, fingerprint mismatch, ...) stays reachable for
+  // honestly-mismatched snapshots, and only a header that passed them all
+  // but was edited in place — e.g. a forged epoch — lands here.
+  if (header_digest(header) != header.header_checksum) {
+    fail("header checksum mismatch (tampered or corrupt header)");
   }
 }
 
@@ -384,7 +403,8 @@ RicPool read_ric_pool_snapshot(std::istream& in, const Graph& graph,
   try {
     return RicPool::restore_snapshot(
         graph, communities, static_cast<DiffusionModel>(header.model),
-        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows},
+        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows,
+                           header.epoch_repairs},
         std::move(arenas));
   } catch (const std::invalid_argument& error) {
     fail(error.what());
@@ -443,7 +463,8 @@ RicPool attach_ric_pool_snapshot(const std::string& path, const Graph& graph,
   try {
     return RicPool::restore_snapshot(
         graph, communities, static_cast<DiffusionModel>(header.model),
-        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows},
+        RicPool::PoolEpoch{header.epoch_samples, header.epoch_grows,
+                           header.epoch_repairs},
         std::move(arenas));
   } catch (const std::invalid_argument& error) {
     fail(error.what());

@@ -1,5 +1,6 @@
-// Binary RIC-pool snapshot, format v2 — the persisted pool IS the live
-// pool (DESIGN.md §13).
+// Binary RIC-pool snapshot, format v3 — the persisted pool IS the live
+// pool (DESIGN.md §13). (v3 extends the v2 layout with the epoch's
+// repairs counter and a header checksum; the magic string is unchanged.)
 //
 // The text format (pool_io.h) re-parses and re-appends every sample:
 // O(pool) work and allocations before the first query can run. The v2
@@ -14,8 +15,12 @@
 //
 //   [0, 128)   PoolSnapshotHeader — magic "imcpool2", version, model,
 //              node/community/sample counts, epoch watermark
-//              {samples, grows}, RNG-contract id, graph + community
-//              fingerprints, payload byte count, payload checksum.
+//              {samples, grows, repairs}, RNG-contract id, graph +
+//              community fingerprints, payload byte count, payload
+//              checksum, header checksum (FNV-1a over the preceding 120
+//              header bytes — forging any header field, including the
+//              epoch, without resealing is detected even on the trusted
+//              attach path).
 //   sections   seven raw arena sections, each padded to a 64-byte
 //              boundary, in this fixed order (lengths derive from the
 //              header counts — no section table needed):
@@ -60,7 +65,7 @@ namespace imc {
 
 inline constexpr char kPoolSnapshotMagic[8] = {'i', 'm', 'c', 'p',
                                                'o', 'o', 'l', '2'};
-inline constexpr std::uint32_t kPoolSnapshotVersion = 2;
+inline constexpr std::uint32_t kPoolSnapshotVersion = 3;
 
 /// Fixed-size on-disk header; the arena sections follow at 64-byte-aligned
 /// offsets.
@@ -81,9 +86,12 @@ struct PoolSnapshotHeader {
   std::uint64_t community_fingerprint = 0;
   std::uint64_t payload_bytes = 0;     // total snapshot size, header included
   std::uint64_t payload_checksum = 0;  // FNV-1a over the section bytes
+  std::uint64_t epoch_repairs = 0;     // PoolEpoch::repairs at save time
+  std::uint64_t header_checksum = 0;   // FNV-1a over the 120 bytes above
 };
-static_assert(sizeof(PoolSnapshotHeader) <= 128,
-              "header must fit its reserved 128 bytes");
+static_assert(sizeof(PoolSnapshotHeader) == 128,
+              "header must fill its reserved 128 bytes exactly (the header "
+              "checksum covers the 120 bytes before itself)");
 
 /// How much of a snapshot's payload the attach paths verify before
 /// serving it. Header, counts, epoch and fingerprints are always checked.

@@ -111,6 +111,7 @@ RicPool::RicPool(RicPool&& other) noexcept
       backend_(other.backend_),
       total_benefit_(other.total_benefit_),
       grows_(other.grows_),
+      repairs_(other.repairs_),
       thresholds_(std::move(other.thresholds_)),
       source_community_(std::move(other.source_community_)),
       community_frequency_(std::move(other.community_frequency_)),
@@ -130,6 +131,7 @@ RicPool& RicPool::operator=(RicPool&& other) noexcept {
   backend_ = other.backend_;
   total_benefit_ = other.total_benefit_;
   grows_ = other.grows_;
+  repairs_ = other.repairs_;
   thresholds_ = std::move(other.thresholds_);
   source_community_ = std::move(other.source_community_);
   community_frequency_ = std::move(other.community_frequency_);
@@ -698,17 +700,208 @@ RicPool RicPool::restore_snapshot(const Graph& graph,
   pool.touch_offsets_ = std::move(arenas.touch_offsets);
   pool.touches_ = std::move(arenas.touches);
   pool.grows_ = epoch.grows;
+  pool.repairs_ = epoch.repairs;
   pool.indexed_samples_ = samples;
   pool.index_stale_.store(false, std::memory_order_release);
   return pool;
 }
 
 std::uint64_t RicPool::samples_since(PoolEpoch epoch) const {
-  if (epoch.samples > size() || epoch.grows > grows_) {
+  if (epoch.samples > size() || epoch.grows > grows_ ||
+      epoch.repairs != repairs_) {
+    // A repairs mismatch in EITHER direction invalidates the epoch: older
+    // means a repair rewrote part of the prefix the holder cached, newer
+    // means the epoch came from a different pool lineage.
     throw std::invalid_argument(
-        "RicPool::samples_since: epoch from a different or newer pool");
+        "RicPool::samples_since: epoch from a different, newer or "
+        "since-repaired pool");
   }
   return size() - epoch.samples;
+}
+
+RicPool::RepairStats RicPool::invalidate_and_repair(
+    const DeltaEffects& effects, std::uint64_t seed, bool parallel,
+    ThreadPool* workers) {
+  RepairStats stats;
+  stats.total = size();
+  if (effects.empty()) return stats;
+  for (const NodeId v : effects.changed_in_nodes) {
+    if (v >= graph_->node_count()) {
+      throw std::invalid_argument(
+          "RicPool::invalidate_and_repair: effects name a node outside the "
+          "bound graph");
+    }
+  }
+  for (const CommunityId c : effects.changed_communities) {
+    if (c >= communities_->size()) {
+      throw std::invalid_argument(
+          "RicPool::invalidate_and_repair: effects name a community outside "
+          "the bound set");
+    }
+  }
+
+  // Revalidate the mutated structures FIRST: constructing a sampler
+  // enforces the ≤64-member community cap and the LT in-weight sums, so a
+  // delta the sampler cannot serve throws here with the pool untouched.
+  // The probe then replaces the cache wholesale — every cached sampler
+  // baked pre-delta adjacency and membership into its scratch tables.
+  {
+    auto probe = std::make_unique<RicSampler>(*graph_, *communities_, model_);
+    const std::lock_guard<std::mutex> lock(sampler_mutex_);
+    sampler_cache_.clear();
+    sampler_cache_.push_back(std::move(probe));
+  }
+
+  if (stats.total == 0) {
+    ++repairs_;  // future samples may differ: stale stagers must not commit
+    return stats;
+  }
+  ensure_index();  // the affected set is read off the PRE-delta index
+  ensure_mutable();
+
+  // Affected = samples touching a changed in-adjacency head (their walk
+  // examined that node's in-edges — see the header's identification rule)
+  // ∪ samples sourced at a community whose member list moved (their mask
+  // bit layout changed). Everything else replays bit-identically.
+  std::vector<std::uint8_t> affected(stats.total, 0);
+  for (const NodeId v : effects.changed_in_nodes) {
+    for (const Touch& touch : touches_of(v)) affected[touch.sample] = 1;
+  }
+  if (!effects.changed_communities.empty()) {
+    std::vector<std::uint8_t> moved(communities_->size(), 0);
+    for (const CommunityId c : effects.changed_communities) moved[c] = 1;
+    const std::span<const CommunityId> sources = source_community_.span();
+    for (std::uint64_t g = 0; g < stats.total; ++g) {
+      if (moved[sources[g]]) affected[g] = 1;
+    }
+  }
+  std::vector<std::uint32_t> repair_ids;
+  for (std::uint64_t g = 0; g < stats.total; ++g) {
+    if (affected[g]) repair_ids.push_back(static_cast<std::uint32_t>(g));
+  }
+  stats.repaired = repair_ids.size();
+  if (repair_ids.empty()) {
+    ++repairs_;
+    return stats;
+  }
+
+  ThreadPool* pool = nullptr;
+  if (parallel) {
+    pool = workers != nullptr ? workers : &default_pool();
+    if (pool->size() <= 1) pool = nullptr;
+  }
+
+  // Regenerate the affected samples with their ORIGINAL substreams —
+  // Rng(splitmix_of(seed, g)) is exactly what a rebuild-from-scratch
+  // would feed sample g — using grow()'s fixed repair-order -> part
+  // mapping so the output is independent of scheduling.
+  const std::uint64_t count = repair_ids.size();
+  const std::uint64_t parts =
+      pool == nullptr
+          ? 1
+          : std::max<std::uint64_t>(
+                1, std::min<std::uint64_t>(
+                       count, static_cast<std::uint64_t>(pool->size()) * 4));
+  const auto part_begin = [&](std::uint64_t p) { return count * p / parts; };
+  struct PartOutput {
+    RicSampler::TouchArena touches;
+    std::vector<RicSampleMeta> metas;
+  };
+  std::vector<PartOutput> outputs(parts);
+  const auto regenerate = [&](std::uint64_t begin, std::uint64_t end,
+                              unsigned /*chunk*/) {
+    std::unique_ptr<RicSampler> sampler = acquire_sampler();
+    for (std::uint64_t p = begin; p < end; ++p) {
+      PartOutput& out = outputs[p];
+      const std::uint64_t lo = part_begin(p);
+      const std::uint64_t hi = part_begin(p + 1);
+      out.metas.reserve(hi - lo);
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        Rng rng(splitmix_of(seed, repair_ids[j]));
+        out.metas.push_back(sampler->generate_into(rng, out.touches));
+      }
+    }
+    release_sampler(std::move(sampler));
+  };
+  if (pool == nullptr) {
+    regenerate(0, parts, 0);
+  } else {
+    parallel_for(*pool, parts, regenerate);
+  }
+
+  // Flatten the parts (contiguous runs of repair order, so concatenation
+  // IS repair order) into per-repaired-sample views for the splice.
+  std::vector<const std::pair<NodeId, std::uint64_t>*> repaired_data(count);
+  std::vector<const RicSampleMeta*> repaired_meta(count);
+  {
+    std::uint64_t j = 0;
+    for (const PartOutput& out : outputs) {
+      std::uint64_t offset = 0;
+      for (const RicSampleMeta& meta : out.metas) {
+        repaired_data[j] = out.touches.data() + offset;
+        repaired_meta[j] = &meta;
+        offset += meta.touch_count;
+        ++j;
+      }
+    }
+  }
+
+  // Serial splice into a fresh sample-major arena: bulk-copy each
+  // unaffected run, drop in the regenerated touches at the affected ids,
+  // and overwrite the repaired samples' SoA metadata in place.
+  const std::span<const std::uint64_t> old_offsets = sample_offsets_.span();
+  const std::span<const std::pair<NodeId, std::uint64_t>> old_arena =
+      sample_arena_.span();
+  std::uint64_t new_pairs = old_arena.size();
+  for (std::uint64_t j = 0; j < count; ++j) {
+    const std::uint64_t r = repair_ids[j];
+    new_pairs += repaired_meta[j]->touch_count -
+                 (old_offsets[r + 1] - old_offsets[r]);
+  }
+  ArenaVector<std::uint64_t> new_offsets(backend_);
+  new_offsets.reserve(stats.total + 1);
+  new_offsets.push_back(0);
+  ArenaVector<std::pair<NodeId, std::uint64_t>> new_arena(backend_);
+  new_arena.reserve(new_pairs);
+  std::uint64_t run_begin = 0;
+  for (std::uint64_t j = 0; j <= count; ++j) {
+    const std::uint64_t run_end = j < count ? repair_ids[j] : stats.total;
+    if (run_end > run_begin) {
+      new_arena.append(
+          old_arena.data() + old_offsets[run_begin],
+          old_arena.data() + old_offsets[run_end]);
+      for (std::uint64_t g = run_begin; g < run_end; ++g) {
+        new_offsets.push_back(new_offsets.back() +
+                              (old_offsets[g + 1] - old_offsets[g]));
+      }
+    }
+    if (j == count) break;
+    const RicSampleMeta& meta = *repaired_meta[j];
+    new_arena.append(repaired_data[j], repaired_data[j] + meta.touch_count);
+    new_offsets.push_back(new_offsets.back() + meta.touch_count);
+    thresholds_[run_end] = meta.threshold;
+    source_community_[run_end] = meta.community;
+    run_begin = run_end + 1;
+  }
+  sample_offsets_ = std::move(new_offsets);
+  sample_arena_ = std::move(new_arena);
+
+  // Counters recomputed from the repaired metadata, never drifted.
+  community_frequency_.assign(communities_->size(), 0);
+  for (const CommunityId c : source_community_.span()) {
+    ++community_frequency_[c];
+  }
+
+  // Full CSR rebuild through the regular two-pass merge: with a zeroed
+  // offset table and an empty arena, merging [0, size()) is exactly the
+  // fresh-build path — byte-identical for any chunk count.
+  touch_offsets_.assign(graph_->node_count() + 1, 0);
+  touches_ = ArenaVector<Touch>(backend_);
+  indexed_samples_ = 0;
+  merge_fresh_into_index(pool == nullptr ? 1 : pool->size(), pool);
+
+  ++repairs_;
+  return stats;
 }
 
 std::vector<RicPool::SampleShard> RicPool::selection_shards(

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "community/community_set.h"
+#include "graph/delta.h"
 #include "graph/graph.h"
 #include "sampling/ric_sample.h"
 #include "util/mmap_arena.h"
@@ -63,9 +64,15 @@ class RicPool {
   /// holders of an epoch assert they are looking at the same pool lineage
   /// (a pool that shrank or was rebuilt would not just have a different
   /// size, it would have replayed a different number of growth steps).
+  /// `repairs` counts completed invalidate_and_repair() calls: a repair
+  /// rewrites samples IN PLACE (size and grows unchanged), so anything
+  /// holding per-sample state — warm-start carriers, CoverageState, staged
+  /// arenas — keys on it to detect that the prefix it cached is no longer
+  /// the prefix the pool serves (DESIGN.md §16).
   struct PoolEpoch {
     std::uint64_t samples = 0;  // pool size at capture
     std::uint64_t grows = 0;    // growth operations completed at capture
+    std::uint64_t repairs = 0;  // delta repairs completed at capture
     friend bool operator==(const PoolEpoch&, const PoolEpoch&) = default;
   };
 
@@ -140,15 +147,57 @@ class RicPool {
   /// Watermark of the current growth state. Samples are append-only, so a
   /// captured epoch permanently names the prefix [0, epoch.samples).
   [[nodiscard]] PoolEpoch grow_epoch() const noexcept {
-    return PoolEpoch{size(), grows_};
+    return PoolEpoch{size(), grows_, repairs_};
   }
 
   /// Number of samples appended since `epoch` was captured — the size of
   /// the fresh range [epoch.samples, size()). Throws std::invalid_argument
   /// when the epoch does not describe a prefix of THIS pool (captured from
   /// another pool, or from a later state: epoch.samples > size() or
-  /// epoch.grows > the completed growth count).
+  /// epoch.grows > the completed growth count) or when a delta repair
+  /// rewrote samples since the capture (epoch.repairs differs — the prefix
+  /// [0, epoch.samples) is no longer the one the holder cached).
   [[nodiscard]] std::uint64_t samples_since(PoolEpoch epoch) const;
+
+  /// Outcome of invalidate_and_repair(): how much of the pool had to be
+  /// regenerated. `repaired == 0` means the delta could not have changed
+  /// any existing sample (the epoch still bumps — future samples could
+  /// differ, so staged arenas and carriers must not survive).
+  struct RepairStats {
+    std::uint64_t repaired = 0;  // samples regenerated in place
+    std::uint64_t total = 0;     // pool size at repair time
+  };
+
+  /// Regenerates, in place, exactly the samples a graph/community delta
+  /// could have changed, leaving every other sample byte-identical — the
+  /// incremental half of the dynamic-graph path (DESIGN.md §16). Call
+  /// AFTER the bound Graph/CommunitySet were mutated (apply_delta in
+  /// graph/delta.h returns the `effects` to pass here). Affected samples
+  /// are identified from the pre-delta inverted index: a reverse RIC walk
+  /// only examines a node's in-edges when it dequeues that node, and every
+  /// dequeued node is in the sample's touch set, so the samples whose
+  /// realizations could differ are exactly those touching a node in
+  /// `effects.changed_in_nodes` — plus those sourced at a community in
+  /// `effects.changed_communities` (their member list, and hence mask bit
+  /// layout, moved; the ρ source distribution depends only on benefits,
+  /// which deltas never alter). Each affected sample g is regenerated with
+  /// its original splitmix substream Rng(splitmix_of(seed, g)), so the
+  /// repaired pool is BIT-IDENTICAL to a from-scratch rebuild on the
+  /// mutated structures with the same seed — `seed` must therefore be the
+  /// same base seed every grow() of this pool used (the engine's
+  /// config_.seed discipline). Metadata (thresholds, source communities),
+  /// the community_frequency counters and the CSR index are rebuilt, not
+  /// drifted. Bumps PoolEpoch::repairs when any sample was regenerated OR
+  /// any future sample could differ (i.e. whenever `effects` is
+  /// non-empty), invalidating warm-start carriers and staged arenas.
+  /// Returns how many samples were repaired. Not safe to run concurrently
+  /// with readers or stagers of this pool. Throws std::invalid_argument
+  /// (pool untouched) when the mutated structures violate sampling
+  /// invariants — community population > 64 members, LT in-weight sums
+  /// > 1.
+  RepairStats invalidate_and_repair(const DeltaEffects& effects,
+                                    std::uint64_t seed, bool parallel = true,
+                                    ThreadPool* workers = nullptr);
 
   /// Every arena the pool owns, in one movable bundle — the unit the
   /// binary snapshot format (sampling/pool_snapshot.h) persists and
@@ -384,6 +433,10 @@ class RicPool {
   // PoolEpoch.
   std::uint64_t grows_ = 0;
 
+  // Completed delta repairs (invalidate_and_repair with non-empty
+  // effects); see PoolEpoch.
+  std::uint64_t repairs_ = 0;
+
   // SoA hot-path metadata, one entry per sample. All arenas below live in
   // ArenaVector slabs (util/mmap_arena.h): heap or anonymous-mmap per
   // backend_, or zero-copy borrowed views while attached() to a snapshot.
@@ -435,6 +488,13 @@ class PoolStagingArena {
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
   /// Seed the substreams were derived from.
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// Full pool watermark at staging time. Besides the base()/size match,
+  /// commit requires this to still equal the pool's grow_epoch() — in
+  /// particular a delta repair between staging and commit (which rewrites
+  /// samples without changing the size) bumps PoolEpoch::repairs and
+  /// makes the staged batch stale, since it was generated from the
+  /// pre-delta graph.
+  [[nodiscard]] RicPool::PoolEpoch epoch() const noexcept { return epoch_; }
   /// Samples actually generated so far (== count() when complete; the
   /// partial progress of a cancelled staging otherwise).
   [[nodiscard]] std::uint64_t staged_count() const noexcept;

@@ -12,6 +12,7 @@
 
 #include "core/engine.h"
 #include "core/gain_kernels.h"
+#include "graph/delta.h"
 #include "core/greedy.h"
 #include "core/maf.h"
 #include "core/objective.h"
@@ -836,6 +837,167 @@ std::optional<std::string> check_pool_roundtrip(const InstanceSpec& spec,
 }
 
 // ---------------------------------------------------------------------------
+// Check: delta_vs_rebuild
+// ---------------------------------------------------------------------------
+
+/// Draws a random GraphDelta that keeps the instance valid for sampling:
+/// removals and weight decreases of existing edges, insertions bounded by
+/// the target's LT in-weight headroom (conservative under IC too), and
+/// membership moves that keep every community non-empty, at or under the
+/// 64-member cap and above its threshold.
+GraphDelta random_delta(const Graph& graph, const CommunitySet& communities,
+                        Rng& rng) {
+  GraphDelta delta;
+  const NodeId n = graph.node_count();
+  const auto edge_ops = static_cast<int>(rng.between(1, 3));
+  for (int i = 0; i < edge_ops; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const auto out = graph.out_neighbors(u);
+    if (!out.empty() && rng.bernoulli(0.6)) {
+      const Neighbor nb = out[rng.below(out.size())];
+      if (rng.bernoulli(0.5)) {
+        delta.remove_edge(u, nb.node);
+      } else {
+        delta.upsert_edge(u, nb.node,
+                          static_cast<double>(nb.weight) *
+                              rng.uniform(0.3, 0.9));
+      }
+      continue;
+    }
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    double in_sum = 0.0;
+    for (const Neighbor& in : graph.in_neighbors(v)) in_sum += in.weight;
+    const double headroom = 1.0 - in_sum;
+    if (headroom <= 0.01) continue;
+    delta.upsert_edge(u, v, headroom * rng.uniform(0.1, 0.5));
+  }
+
+  std::vector<NodeId> population(communities.size());
+  for (CommunityId c = 0; c < communities.size(); ++c) {
+    population[c] = communities.population(c);
+  }
+  std::vector<bool> moved(n, false);
+  const auto move_ops = static_cast<int>(rng.between(0, 2));
+  for (int i = 0; i < move_ops; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (moved[v]) continue;
+    const CommunityId from = communities.community_of(v);
+    if (from == kInvalidCommunity) continue;
+    const auto to = static_cast<CommunityId>(rng.below(communities.size()));
+    if (to == from) continue;
+    if (population[from] < 2 ||
+        communities.threshold(from) > population[from] - 1) {
+      continue;
+    }
+    if (population[to] + 1 > kMaxCommunityPopulation) continue;
+    delta.move_member(v, to);
+    moved[v] = true;
+    --population[from];
+    ++population[to];
+  }
+  return delta;
+}
+
+/// Random delta streams interleaved with solves: three live pools repaired
+/// at threads {1, 2, 8} must each stay bit-identical to a from-scratch
+/// rebuild on the mutated structures — arenas, counters AND the CSR index
+/// — and UBG/MAF selections on the repaired pools must match the rebuilt
+/// pool seed-for-seed, ĉ- and ν-exactly, at every parallelism level. This
+/// is the differential certificate behind RicPool::invalidate_and_repair
+/// (DESIGN.md §16).
+std::optional<std::string> check_delta_vs_rebuild(const InstanceSpec& spec,
+                                                  std::uint64_t case_seed) {
+  Graph graph = spec.build_graph();
+  CommunitySet communities = spec.build_communities();
+  const std::uint64_t count = pool_size_for(case_seed);
+
+  ThreadPool two(2);
+  ThreadPool eight(8);
+  struct Leg {
+    const char* name;
+    bool parallel;
+    ThreadPool* workers;
+    GreedyOptions options;
+    RicPool pool;
+  };
+  Leg legs[] = {
+      {"threads=1", false, nullptr, GreedyOptions{},
+       RicPool(graph, communities, spec.model)},
+      {"threads=2", true, &two,
+       GreedyOptions{/*parallel=*/true, &two, /*min_parallel_candidates=*/1},
+       RicPool(graph, communities, spec.model)},
+      {"threads=8", true, &eight,
+       GreedyOptions{/*parallel=*/true, &eight,
+                     /*min_parallel_candidates=*/1},
+       RicPool(graph, communities, spec.model)},
+  };
+  for (Leg& leg : legs) {
+    leg.pool.grow(count, case_seed, leg.parallel, leg.workers);
+  }
+
+  Rng rng(case_seed ^ 0xde17a5ULL);
+  const auto k = static_cast<std::uint32_t>(
+      rng.between(1, std::min<std::int64_t>(4, graph.node_count())));
+  for (int round = 0; round < 2; ++round) {
+    const std::string at = " (round " + std::to_string(round + 1) + ")";
+    const GraphDelta delta = random_delta(graph, communities, rng);
+    const DeltaEffects effects = apply_delta(graph, communities, delta);
+
+    std::uint64_t repaired[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+      repaired[i] = legs[i]
+                        .pool
+                        .invalidate_and_repair(effects, case_seed,
+                                               legs[i].parallel,
+                                               legs[i].workers)
+                        .repaired;
+    }
+    if (repaired[1] != repaired[0] || repaired[2] != repaired[0]) {
+      return "repair count diverged across thread counts" + at;
+    }
+
+    RicPool rebuilt(graph, communities, spec.model);
+    rebuilt.grow(count, case_seed, /*parallel=*/false);
+    for (const Leg& leg : legs) {
+      const std::string diff = pool_content_diff(leg.pool, rebuilt);
+      if (!diff.empty()) {
+        return std::string(leg.name) +
+               " repaired pool not bit-identical to rebuild: " + diff + at;
+      }
+    }
+
+    // Interleaved solves: the repaired pools must select exactly what the
+    // rebuilt pool selects, at their own parallelism level.
+    const UbgSolution want_ubg = ubg_solve(rebuilt, k, GreedyOptions{});
+    const MafSolution want_maf =
+        maf_solve(rebuilt, k, /*seed=*/case_seed, GreedyOptions{});
+    for (const Leg& leg : legs) {
+      const UbgSolution got_ubg = ubg_solve(leg.pool, k, leg.options);
+      if (got_ubg.seeds != want_ubg.seeds ||
+          got_ubg.c_hat != want_ubg.c_hat ||
+          got_ubg.from_nu.seeds != want_ubg.from_nu.seeds ||
+          got_ubg.from_nu.nu != want_ubg.from_nu.nu) {
+        return std::string(leg.name) + ": ubg_solve on repaired pool " +
+               "diverged from rebuild (seeds " +
+               describe_nodes(got_ubg.seeds) + " vs " +
+               describe_nodes(want_ubg.seeds) + ")" + at;
+      }
+      const MafSolution got_maf =
+          maf_solve(leg.pool, k, /*seed=*/case_seed, leg.options);
+      if (got_maf.seeds != want_maf.seeds ||
+          got_maf.c_hat != want_maf.c_hat) {
+        return std::string(leg.name) + ": maf_solve on repaired pool " +
+               "diverged from rebuild (seeds " +
+               describe_nodes(got_maf.seeds) + " vs " +
+               describe_nodes(want_maf.seeds) + ")" + at;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
 // Check: sampler_distribution
 // ---------------------------------------------------------------------------
 
@@ -951,6 +1113,7 @@ std::vector<FuzzCheck> default_checks() {
       {"warm_vs_cold", check_warm_vs_cold},
       {"pipelined_vs_serial", check_pipelined_vs_serial},
       {"pool_roundtrip", check_pool_roundtrip},
+      {"delta_vs_rebuild", check_delta_vs_rebuild},
       {"sampler_distribution", check_sampler_distribution},
   };
 }

@@ -238,8 +238,19 @@ PoolSnapshotHeader header_of(const std::string& blob) {
   return header;
 }
 
+/// Recomputes the v3 header checksum after a test patched header fields,
+/// so the corpus can target validation stages BEHIND the header seal.
+void reseal_header(std::string& blob) {
+  PoolSnapshotHeader header = header_of(blob);
+  Fnv1a64 digest;
+  digest.add_bytes(&header, offsetof(PoolSnapshotHeader, header_checksum));
+  header.header_checksum = digest.value();
+  std::memcpy(blob.data(), &header, sizeof(header));
+}
+
 /// Recomputes the payload checksum after a test patched section bytes, so
 /// the corpus can target validation stages BEHIND the checksum gate.
+/// Reseals the header too (the payload checksum lives inside it).
 void reseal_checksum(std::string& blob) {
   PoolSnapshotHeader header = header_of(blob);
   const Layout layout(header);
@@ -249,6 +260,7 @@ void reseal_checksum(std::string& blob) {
   }
   header.payload_checksum = digest.value();
   std::memcpy(blob.data(), &header, sizeof(header));
+  reseal_header(blob);
 }
 
 std::string streamed_error(const Fixture& fixture, const std::string& blob) {
@@ -358,6 +370,28 @@ TEST_F(PoolSnapshotCorpus, EpochWatermarkDisagreesWithSampleCount) {
   EXPECT_EQ(streamed_error(fixture_, blob_),
             "ric pool snapshot: epoch watermark disagrees with the sample "
             "count");
+}
+
+TEST_F(PoolSnapshotCorpus, ForgedRepairsEpochFailsHeaderChecksum) {
+  // Satellite of the dynamic-graph work (DESIGN.md §16): forging the
+  // repairs counter — to make a stale warm-start carrier validate against
+  // a pre-repair snapshot — must trip the header seal, even on the
+  // trusted attach path.
+  patch_header<std::uint64_t>(offsetof(PoolSnapshotHeader, epoch_repairs),
+                              7);
+  const std::string expected =
+      "ric pool snapshot: header checksum mismatch (tampered or corrupt "
+      "header)";
+  EXPECT_EQ(streamed_error(fixture_, blob_), expected);
+  EXPECT_EQ(attach_error(fixture_, blob_, "corpus_repairs.bin"), expected);
+
+  // Resealed, the same epoch loads fine and surfaces through the pool's
+  // watermark — the counter genuinely round-trips.
+  reseal_header(blob_);
+  std::istringstream in(blob_, std::ios::binary);
+  const RicPool loaded =
+      read_ric_pool_snapshot(in, fixture_.graph, fixture_.communities);
+  EXPECT_EQ(loaded.grow_epoch().repairs, 7U);
 }
 
 TEST_F(PoolSnapshotCorpus, TruncatedHeader) {

@@ -71,6 +71,18 @@ _E2E_COUNTERS = [
     "threads",
 ]
 
+# Counters every repair-vs-rebuild row must report (DESIGN.md §16):
+# repaired_fraction is the headline — a single-edge delta must stay a
+# small-minority repair, which EXPERIMENTS.md tracks from these rows.
+_DELTA_COUNTERS = [
+    "items_per_second",
+    "repaired_samples",
+    "repaired_fraction",
+    "pool_size",
+    "rebuild",
+    "threads",
+]
+
 # Presence-gated rows: name -> counters that must exist in the fresh run
 # (timing is NOT compared — these rows are thread/scheduler dependent).
 COUNTER_CHECKS = {
@@ -79,6 +91,10 @@ COUNTER_CHECKS = {
     "BM_ImcafEndToEnd/1/2": _E2E_COUNTERS,
     "BM_ImcafEndToEnd/1/4": _E2E_COUNTERS,
     "BM_ImcafEndToEnd/1/8": _E2E_COUNTERS,
+    "BM_DeltaRepairVsRebuild/0/0": _DELTA_COUNTERS,
+    "BM_DeltaRepairVsRebuild/0/8": _DELTA_COUNTERS,
+    "BM_DeltaRepairVsRebuild/1/0": _DELTA_COUNTERS,
+    "BM_DeltaRepairVsRebuild/1/8": _DELTA_COUNTERS,
 }
 
 # Field gated by default: cpu time excludes other-process interference

@@ -17,7 +17,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DIMC_SANITIZE=address
 cmake --build "${build_dir}" -j "${jobs}" \
   --target imc_fuzz_tests --target imc_engine_tests \
-  --target imc_io_tests
+  --target imc_io_tests --target imc_delta_tests
 
 # abort_on_error turns the first ASan report into a test failure instead of
 # a log line; detect_leaks catches pool/arena ownership bugs the
@@ -27,7 +27,11 @@ cmake --build "${build_dir}" -j "${jobs}" \
 # rides along for the same reason: mmap arena growth, copy-on-write
 # materialization and the snapshot loaders move raw bytes with lifetimes
 # that the sanitizers — not the differential checks — are built to police.
+# The delta label rides along: in-place sample repair rewrites arena spans
+# and splices CSR adjacency in place — exactly the kind of off-by-one
+# surface ASan exists for (the fuzz label's delta_vs_rebuild check covers
+# the randomized side of the same path).
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1 detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
-  ctest --test-dir "${build_dir}" -L 'fuzz|engine|io' \
+  ctest --test-dir "${build_dir}" -L 'fuzz|engine|io|delta' \
   --output-on-failure -j "${jobs}"

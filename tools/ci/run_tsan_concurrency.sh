@@ -14,7 +14,8 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DIMC_SANITIZE=thread
 cmake --build "${build_dir}" -j "${jobs}" \
-  --target imc_concurrency_tests --target imc_engine_tests
+  --target imc_concurrency_tests --target imc_engine_tests \
+  --target imc_delta_tests
 
 # halt_on_error makes any race fail the ctest invocation instead of just
 # printing a report; second_deadlock_stack improves lock-order diagnostics.
@@ -23,7 +24,9 @@ cmake --build "${build_dir}" -j "${jobs}" \
 # pipelined-engine tests (both labels carry pipeline_engine_test.cpp) drive
 # the staging-commit handoff — background stage_samples overlapping const
 # pool readers, then the boundary join + commit_staged — which is exactly
-# the surface TSan must prove clean.
+# the surface TSan must prove clean. The delta label rides along because
+# invalidate_and_repair fans regeneration chunks out over the same thread
+# pool and then merges them into one CSR index rebuild (DESIGN.md §16).
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
-  ctest --test-dir "${build_dir}" -L 'concurrency|engine' \
+  ctest --test-dir "${build_dir}" -L 'concurrency|engine|delta' \
   --output-on-failure -j "${jobs}"

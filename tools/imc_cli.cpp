@@ -11,6 +11,7 @@
 //                       [--no-pipeline] [--pool-backend ram|mmap]
 //                       [--save-pool FILE]
 //                       [--load-pool FILE [--trust-pool]]
+//                       [--apply-deltas FILE]
 //   imc_cli baseline    [graph opts] [community opts]
 //                       --algo hbc|ks|im|imm|degree|random [--k K]
 //   imc_cli simulate    [graph opts] [community opts] --seeds 1,2,3
@@ -177,8 +178,9 @@ int cmd_communities(const ArgParser& args) {
 }
 
 int cmd_solve(const ArgParser& args) {
-  const Graph graph = load_graph(args);
-  const CommunitySet communities = load_communities(args, graph);
+  // Mutable: --apply-deltas streams GraphDelta batches into them.
+  Graph graph = load_graph(args);
+  CommunitySet communities = load_communities(args, graph);
   const auto k = static_cast<std::uint32_t>(args.get_int("k", 10));
 
   const std::string algo = args.get_string("algo", "ubg");
@@ -245,7 +247,41 @@ int cmd_solve(const ArgParser& args) {
     std::cout << "attached pool " << pool_path << " (|R|="
               << engine.pool().size() << ")\n";
   }
-  const ImcafResult result = engine.solve(k, *solver);
+  ImcafResult result = engine.solve(k, *solver);
+
+  // Dynamic-graph replay (DESIGN.md §16): each blank-line-separated batch
+  // in the file is applied as one GraphDelta — the shared pool is repaired
+  // in place, then the query re-solves on the mutated instance. The final
+  // printed result (and any --save-pool snapshot) reflects the last state.
+  if (args.has("apply-deltas")) {
+    const std::string delta_path = args.get_string("apply-deltas", "");
+    if (delta_path.empty()) {
+      throw UsageError("--apply-deltas requires a file path");
+    }
+    std::ifstream in(delta_path);
+    if (!in) {
+      throw std::runtime_error("cannot open --apply-deltas file " +
+                               delta_path);
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<GraphDelta> stream = parse_delta_stream(buffer.str());
+    std::cout << "replaying " << stream.size() << " delta batch"
+              << (stream.size() == 1 ? "" : "es") << " from " << delta_path
+              << "\n";
+    std::size_t batch_no = 0;
+    for (const GraphDelta& delta : stream) {
+      ++batch_no;
+      const RicPool::RepairStats stats =
+          engine.apply_delta(graph, communities, delta);
+      result = engine.solve(k, *solver);
+      std::cout << "batch " << batch_no << ": " << delta.edges.size()
+                << " edge op(s), " << delta.moves.size()
+                << " move(s); repaired " << stats.repaired << "/"
+                << stats.total << " samples; c_hat " << result.c_hat
+                << " (|R|=" << result.samples_used << ")\n";
+    }
+  }
 
   if (args.has("save-pool")) {
     const std::string pool_path = args.get_string("save-pool", "");
@@ -369,7 +405,12 @@ void print_usage() {
       "                      by default; text v1 accepted)\n"
       "  --trust-pool        skip the O(pool) checksum + payload checks on\n"
       "                      --load-pool (for snapshots this host wrote;\n"
-      "                      attach cost becomes independent of pool size)\n";
+      "                      attach cost becomes independent of pool size)\n"
+      "  --apply-deltas F    after the first solve, replay streaming graph\n"
+      "                      updates from F (lines 'E u v w' upsert an edge,\n"
+      "                      w=0 removes; 'M v c' moves v to community c;\n"
+      "                      blank lines separate batches); each batch\n"
+      "                      repairs the pool in place and re-solves\n";
 }
 
 }  // namespace
@@ -385,7 +426,8 @@ int main(int argc, char** argv) {
     if (command != "solve") {
       for (const char* flag : {"time-budget-s", "metrics-json",
                                "no-warm-start", "no-pipeline", "pool-backend",
-                               "save-pool", "load-pool", "trust-pool"}) {
+                               "save-pool", "load-pool", "trust-pool",
+                               "apply-deltas"}) {
         if (args.has(flag)) {
           throw UsageError(std::string("--") + flag +
                            " only applies to the solve subcommand");
